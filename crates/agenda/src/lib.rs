@@ -1,0 +1,67 @@
+//! # humnet-agenda
+//!
+//! Research-ecosystem agent-based model for the `humnet` toolkit.
+//!
+//! The paper's central empirical claim (§1) is a feedback loop: problems
+//! that are *visible in data* and *backed by funding* get instrumented,
+//! published on, and thereby made more visible — while problems experienced
+//! by people outside the room ("economic precarity, infrastructural
+//! instability, linguistic and geopolitical marginality") never surface at
+//! all. Its central prescription (§2, §5) is that participatory and
+//! ethnographic problem-sourcing breaks the loop.
+//!
+//! This crate makes the loop executable:
+//!
+//! * [`model`] — a problem space stratified by stakeholder class, each
+//!   problem carrying *visibility* (how readily it appears in measurement
+//!   data), *impact* (human consequence), and *funding*; plus a researcher
+//!   population.
+//! * [`regime`] — four method regimes (data-driven, PAR, ethnographic,
+//!   mixed) that differ in how researchers *discover* problems and how
+//!   fast they publish.
+//! * [`sim`] — the round-based simulation with the
+//!   publication→funding→visibility feedback loop.
+//! * [`metrics`] — attention concentration (Gini/Lorenz over stakeholder
+//!   classes), marginalized-problem coverage, time-to-surface.
+//! * [`review`] — a venue-gatekeeping model for experiment **T5**: how
+//!   review weight profiles decide which methods get published where.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adoption;
+pub mod metrics;
+pub mod model;
+pub mod regime;
+pub mod review;
+pub mod sim;
+
+pub use adoption::{simulate_adoption, AdoptionConfig, AdoptionSnapshot};
+pub use metrics::{attention_by_class, attention_gini, coverage, mean_time_to_surface};
+pub use model::{Problem, ProblemSpace, SpaceConfig, StakeholderClass};
+pub use regime::MethodRegime;
+pub use review::{ContributionProfile, ReviewConfig, ReviewOutcome, VenueWeights};
+pub use sim::{AgendaConfig, AgendaSim, RoundSnapshot};
+
+/// Errors produced by the agenda model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgendaError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+    /// The operation requires a nonempty input.
+    EmptyInput,
+}
+
+impl std::fmt::Display for AgendaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgendaError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            AgendaError::EmptyInput => write!(f, "input is empty"),
+        }
+    }
+}
+
+impl std::error::Error for AgendaError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, AgendaError>;

@@ -1,0 +1,314 @@
+//! The round-based agenda simulation.
+//!
+//! Each round, every researcher (a) picks a problem according to the
+//! regime's discovery weights, (b) publishes on it with probability equal
+//! to the regime's throughput. A publication:
+//!
+//! * marks the problem surfaced (first time only);
+//! * increments its publication count (feeding the data-driven loop);
+//! * nudges its funding and visibility upward (success breeds telemetry
+//!   and grants — the instrumentation feedback the paper describes).
+
+use crate::model::{ProblemSpace, SpaceConfig, StakeholderClass};
+use crate::regime::MethodRegime;
+use crate::{AgendaError, Result};
+use humnet_stats::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an agenda run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgendaConfig {
+    /// The problem space.
+    pub space: SpaceConfig,
+    /// Number of researchers.
+    pub researchers: usize,
+    /// Rounds to simulate (think "publication cycles").
+    pub rounds: u32,
+    /// Method regime of the researcher population.
+    pub regime: MethodRegime,
+    /// Per-publication funding boost to the problem.
+    pub funding_feedback: f64,
+    /// Per-publication visibility boost to the problem (instrumentation
+    /// follows attention).
+    pub visibility_feedback: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for AgendaConfig {
+    fn default() -> Self {
+        AgendaConfig {
+            space: SpaceConfig::default(),
+            researchers: 200,
+            rounds: 60,
+            regime: MethodRegime::DataDriven,
+            funding_feedback: 0.01,
+            visibility_feedback: 0.01,
+            seed: 1,
+        }
+    }
+}
+
+/// A per-round snapshot of aggregate state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundSnapshot {
+    /// Round index.
+    pub round: u32,
+    /// Problems surfaced so far.
+    pub surfaced: usize,
+    /// Marginalized problems surfaced so far.
+    pub surfaced_marginalized: usize,
+    /// Publications so far.
+    pub publications: u64,
+}
+
+/// The simulation.
+#[derive(Debug, Clone)]
+pub struct AgendaSim {
+    config: AgendaConfig,
+    /// Problem space (public for inspection after running).
+    pub space: ProblemSpace,
+    rng: Rng,
+    history: Vec<RoundSnapshot>,
+    round: u32,
+}
+
+impl AgendaSim {
+    /// Create a simulation.
+    pub fn new(config: AgendaConfig) -> Result<Self> {
+        if config.researchers == 0 {
+            return Err(AgendaError::InvalidParameter("researchers must be >= 1"));
+        }
+        if config.rounds == 0 {
+            return Err(AgendaError::InvalidParameter("rounds must be >= 1"));
+        }
+        if config.funding_feedback < 0.0 || config.visibility_feedback < 0.0 {
+            return Err(AgendaError::InvalidParameter("feedback must be >= 0"));
+        }
+        let mut rng = Rng::new(config.seed);
+        let space = ProblemSpace::generate(&config.space, &mut rng)?;
+        Ok(AgendaSim {
+            config,
+            space,
+            rng,
+            history: Vec::new(),
+            round: 0,
+        })
+    }
+
+    /// Run all configured rounds and return the history.
+    pub fn run(&mut self) -> Result<&[RoundSnapshot]> {
+        for _ in 0..self.config.rounds {
+            self.step();
+        }
+        Ok(&self.history)
+    }
+
+    /// Advance one round.
+    pub fn step(&mut self) {
+        let regime = self.config.regime;
+        for _ in 0..self.config.researchers {
+            // Under the Mixed regime, each researcher-round flips between
+            // methods (a population half of whom work each way).
+            let effective = if regime == MethodRegime::Mixed {
+                if self.rng.chance(0.5) {
+                    MethodRegime::DataDriven
+                } else {
+                    MethodRegime::Par
+                }
+            } else {
+                regime
+            };
+            let weights: Vec<f64> = self
+                .space
+                .problems
+                .iter()
+                .map(|p| effective.discovery_weight(p))
+                .collect();
+            let pick = self.rng.choose_weighted(&weights);
+            if self.rng.chance(effective.throughput()) {
+                let p = &mut self.space.problems[pick];
+                if p.surfaced_round.is_none() {
+                    p.surfaced_round = Some(self.round);
+                }
+                p.publications += 1;
+                p.funding = (p.funding + self.config.funding_feedback).min(1.0);
+                p.visibility = (p.visibility + self.config.visibility_feedback).min(1.0);
+            }
+        }
+        let surfaced = self
+            .space
+            .problems
+            .iter()
+            .filter(|p| p.surfaced_round.is_some())
+            .count();
+        let surfaced_marginalized = self
+            .space
+            .problems
+            .iter()
+            .filter(|p| p.surfaced_round.is_some() && p.stakeholder.is_marginalized())
+            .count();
+        let publications = self
+            .space
+            .problems
+            .iter()
+            .map(|p| p.publications as u64)
+            .sum();
+        self.history.push(RoundSnapshot {
+            round: self.round,
+            surfaced,
+            surfaced_marginalized,
+            publications,
+        });
+        self.round += 1;
+    }
+
+    /// The recorded history.
+    pub fn history(&self) -> &[RoundSnapshot] {
+        &self.history
+    }
+
+    /// Count of marginalized problems in the space.
+    pub fn marginalized_total(&self) -> usize {
+        self.space
+            .problems
+            .iter()
+            .filter(|p| p.stakeholder.is_marginalized())
+            .count()
+    }
+
+    /// Publications per stakeholder class, in [`StakeholderClass::ALL`] order.
+    pub fn attention(&self) -> Vec<(StakeholderClass, u64)> {
+        StakeholderClass::ALL
+            .iter()
+            .map(|&c| {
+                let pubs = self
+                    .space
+                    .problems
+                    .iter()
+                    .filter(|p| p.stakeholder == c)
+                    .map(|p| p.publications as u64)
+                    .sum();
+                (c, pubs)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(regime: MethodRegime, seed: u64) -> AgendaSim {
+        let mut cfg = AgendaConfig::default();
+        cfg.regime = regime;
+        cfg.seed = seed;
+        let mut sim = AgendaSim::new(cfg).unwrap();
+        sim.run().unwrap();
+        sim
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = AgendaConfig::default();
+        cfg.researchers = 0;
+        assert!(AgendaSim::new(cfg).is_err());
+        let mut cfg = AgendaConfig::default();
+        cfg.rounds = 0;
+        assert!(AgendaSim::new(cfg).is_err());
+        let mut cfg = AgendaConfig::default();
+        cfg.funding_feedback = -0.1;
+        assert!(AgendaSim::new(cfg).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(MethodRegime::DataDriven, 7);
+        let b = run(MethodRegime::DataDriven, 7);
+        assert_eq!(a.history(), b.history());
+        assert_eq!(a.attention(), b.attention());
+    }
+
+    #[test]
+    fn history_is_monotone() {
+        let sim = run(MethodRegime::DataDriven, 1);
+        for w in sim.history().windows(2) {
+            assert!(w[1].surfaced >= w[0].surfaced);
+            assert!(w[1].publications >= w[0].publications);
+            assert!(w[1].surfaced_marginalized >= w[0].surfaced_marginalized);
+        }
+        assert_eq!(sim.history().len(), 60);
+    }
+
+    #[test]
+    fn data_driven_concentrates_on_funded_visible_problems() {
+        let sim = run(MethodRegime::DataDriven, 3);
+        let attention = sim.attention();
+        let get = |c: StakeholderClass| {
+            attention.iter().find(|&&(cl, _)| cl == c).unwrap().1 as f64
+        };
+        let hyper = get(StakeholderClass::Hyperscaler);
+        let community = get(StakeholderClass::CommunityOperator);
+        assert!(
+            hyper > 3.0 * community,
+            "hyperscaler attention {hyper} should dwarf community {community}"
+        );
+    }
+
+    #[test]
+    fn par_surfaces_marginalized_problems_faster() {
+        let dd = run(MethodRegime::DataDriven, 5);
+        let par = run(MethodRegime::Par, 5);
+        let dd_frac =
+            dd.history().last().unwrap().surfaced_marginalized as f64 / dd.marginalized_total() as f64;
+        let par_frac = par.history().last().unwrap().surfaced_marginalized as f64
+            / par.marginalized_total() as f64;
+        assert!(
+            par_frac > dd_frac,
+            "par coverage {par_frac} should beat data-driven {dd_frac}"
+        );
+    }
+
+    #[test]
+    fn data_driven_publishes_more_in_total() {
+        let dd = run(MethodRegime::DataDriven, 9);
+        let eth = run(MethodRegime::Ethnographic, 9);
+        assert!(
+            dd.history().last().unwrap().publications
+                > eth.history().last().unwrap().publications
+        );
+    }
+
+    #[test]
+    fn mixed_sits_between_extremes_on_marginalized_coverage() {
+        // Average over a few seeds for robustness.
+        let frac = |regime| {
+            (0..4)
+                .map(|s| {
+                    let sim = run(regime, s);
+                    sim.history().last().unwrap().surfaced_marginalized as f64
+                        / sim.marginalized_total() as f64
+                })
+                .sum::<f64>()
+                / 4.0
+        };
+        let dd = frac(MethodRegime::DataDriven);
+        let mixed = frac(MethodRegime::Mixed);
+        let par = frac(MethodRegime::Par);
+        assert!(par >= mixed && mixed >= dd, "par {par} mixed {mixed} dd {dd}");
+    }
+
+    #[test]
+    fn feedback_grows_visibility_and_funding() {
+        let sim = run(MethodRegime::DataDriven, 11);
+        let hot = sim
+            .space
+            .problems
+            .iter()
+            .max_by_key(|p| p.publications)
+            .unwrap();
+        assert!(hot.publications > 0);
+        // The most-published problem has had its attributes pushed up.
+        assert!(hot.funding >= 0.9 || hot.visibility >= 0.9);
+    }
+}

@@ -1,0 +1,33 @@
+//! Bench for experiment F1: the data-driven agenda loop and the attention
+//! concentration metrics over it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use humnet_agenda::{attention_gini, AgendaSim, MethodRegime};
+use humnet_bench::small_agenda;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_attention");
+    group.bench_function("agenda_run_data_driven", |b| {
+        b.iter(|| {
+            let mut cfg = small_agenda(1);
+            cfg.regime = MethodRegime::DataDriven;
+            let mut sim = AgendaSim::new(cfg).unwrap();
+            sim.run().unwrap();
+            black_box(sim.history().last().cloned())
+        })
+    });
+    group.bench_function("attention_metrics", |b| {
+        let mut cfg = small_agenda(1);
+        cfg.regime = MethodRegime::DataDriven;
+        let mut sim = AgendaSim::new(cfg).unwrap();
+        sim.run().unwrap();
+        b.iter(|| black_box(attention_gini(&sim.space).unwrap()))
+    });
+    group.bench_function("full_f1_experiment", |b| {
+        b.iter(|| black_box(humnet_core::experiments::f1_attention(1).unwrap().gini))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench for experiment F2: corpus generation and the positionality audit,
+//! with the DESIGN.md §4 ablation over citation preferential-attachment
+//! strength.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use humnet_bench::small_corpus;
+use humnet_core::MethodsAuditor;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_positionality");
+    group.bench_function("corpus_generate", |b| {
+        let (cfg, seed) = small_corpus(1);
+        b.iter(|| black_box(cfg.generate(seed).unwrap().papers.len()))
+    });
+    group.bench_function("methods_audit", |b| {
+        let (cfg, seed) = small_corpus(1);
+        let corpus = cfg.generate(seed).unwrap();
+        let auditor = MethodsAuditor::new();
+        b.iter(|| black_box(auditor.audit(&corpus).unwrap().full_adoption_rate))
+    });
+    // Ablation (DESIGN.md §4): citation skew via preferential attachment.
+    for strength in [0.0, 0.5, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("generate_pref_strength", format!("{strength:.1}")),
+            &strength,
+            |b, &strength| {
+                let (mut cfg, seed) = small_corpus(2);
+                cfg.preferential_strength = strength;
+                b.iter(|| black_box(cfg.generate(seed).unwrap().citation_counts()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Bench for experiment F3: the Mexico scenario under compliance vs ASN
+//! splitting, across enforcement levels.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use humnet_ixp::{CircumventionStrategy, MexicoConfig, MexicoScenario};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_telmex");
+    for (label, strategy) in [
+        ("comply", CircumventionStrategy::ComplyFully),
+        ("asn_split", CircumventionStrategy::AsnSplitting),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("scenario_run", label),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let mut cfg = MexicoConfig::default();
+                    cfg.strategy = strategy;
+                    let sc = MexicoScenario::run(&cfg).unwrap();
+                    black_box(sc.competitor_ixp_share().unwrap())
+                })
+            },
+        );
+    }
+    for enforcement in [0.0, 0.5, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("enforcement_sweep_point", format!("{enforcement:.1}")),
+            &enforcement,
+            |b, &enforcement| {
+                b.iter(|| {
+                    let mut cfg = MexicoConfig::default();
+                    cfg.regulation.enforcement = enforcement;
+                    black_box(MexicoScenario::run(&cfg).unwrap().transit_cost())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

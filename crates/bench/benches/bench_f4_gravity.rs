@@ -1,0 +1,36 @@
+//! Bench for experiment F4: the two-region (Brazil/Germany) scenario over
+//! the content-presence sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use humnet_ixp::{TwoRegionConfig, TwoRegionScenario};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_gravity");
+    for presence in [0.0, 0.5, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("scenario_run", format!("presence_{presence:.1}")),
+            &presence,
+            |b, &presence| {
+                b.iter(|| {
+                    let mut cfg = TwoRegionConfig::default();
+                    cfg.content_presence_south = presence;
+                    let sc = TwoRegionScenario::run(&cfg).unwrap();
+                    black_box(sc.foreign_exchange_share().unwrap())
+                })
+            },
+        );
+    }
+    group.bench_function("larger_topology_30_isps", |b| {
+        b.iter(|| {
+            let mut cfg = TwoRegionConfig::default();
+            cfg.south_isps = 30;
+            cfg.content_providers = 12;
+            let sc = TwoRegionScenario::run(&cfg).unwrap();
+            black_box(sc.local_exchange_share().unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench for experiment F5: congestion policies, with the DESIGN.md §4
+//! ablation over the token bank cap.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use humnet_bench::small_congestion;
+use humnet_community::{AllocationPolicy, CongestionSim};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f5_cpr");
+    for policy in AllocationPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("policy_run", policy.label()),
+            &policy,
+            |b, &policy| {
+                let sim = CongestionSim::new(small_congestion(1)).unwrap();
+                b.iter(|| black_box(sim.run(policy).fairness))
+            },
+        );
+    }
+    // Ablation: token bank depth.
+    for bank in [0.0, 3.0, 10.0] {
+        group.bench_with_input(
+            BenchmarkId::new("token_bank_cap", format!("{bank:.0}")),
+            &bank,
+            |b, &bank| {
+                let mut cfg = small_congestion(2);
+                cfg.bank_cap_rounds = bank;
+                let sim = CongestionSim::new(cfg).unwrap();
+                b.iter(|| black_box(sim.run(AllocationPolicy::CommunityTokens).starvation))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Bench for experiment F6: the insight-saturation model across schedules,
+//! with the DESIGN.md §4 ablation over memo retention.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use humnet_core::{EthnographyConfig, FieldStudy, MemoPractice, Schedule};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f6_patchwork");
+    let cases: Vec<(&str, Schedule)> = vec![
+        ("traditional", Schedule::Traditional),
+        (
+            "patchwork_6",
+            Schedule::Patchwork {
+                fragments: 6,
+                gap_days: 30,
+            },
+        ),
+        ("rapid_10", Schedule::Rapid { days_on_site: 10 }),
+    ];
+    for (label, schedule) in cases {
+        group.bench_with_input(BenchmarkId::new("study_run", label), &schedule, |b, schedule| {
+            b.iter(|| {
+                let mut cfg = EthnographyConfig::default();
+                cfg.schedule = schedule.clone();
+                black_box(FieldStudy::new(cfg).unwrap().run().insights)
+            })
+        });
+    }
+    // Ablation: memo retention sweep.
+    for keep in [0.0, 0.5, 0.9] {
+        group.bench_with_input(
+            BenchmarkId::new("memo_retention", format!("{keep:.1}")),
+            &keep,
+            |b, &keep| {
+                b.iter(|| {
+                    let mut cfg = EthnographyConfig::default();
+                    cfg.schedule = Schedule::Patchwork {
+                        fragments: 6,
+                        gap_days: 30,
+                    };
+                    cfg.memos = MemoPractice::Reflexive(keep);
+                    black_box(FieldStudy::new(cfg).unwrap().run().saturation)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench for experiment F7: the §5 methods audit, separating corpus
+//! generation cost from audit cost and from the text detector.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use humnet_bench::small_corpus;
+use humnet_core::MethodsAuditor;
+use humnet_survey::detect_positionality;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f7_audit");
+    let (cfg, seed) = small_corpus(3);
+    let corpus = cfg.generate(seed).unwrap();
+    group.bench_function("audit_240_papers", |b| {
+        let auditor = MethodsAuditor::new();
+        b.iter(|| black_box(auditor.audit(&corpus).unwrap().detector_recall))
+    });
+    group.bench_function("positionality_detector_per_abstract", |b| {
+        let texts: Vec<&str> = corpus.papers.iter().map(|p| p.abstract_text.as_str()).collect();
+        let mut i = 0;
+        b.iter(|| {
+            let hit = detect_positionality(texts[i % texts.len()]).is_some();
+            i += 1;
+            black_box(hit)
+        })
+    });
+    group.bench_function("full_f7_table", |b| {
+        b.iter(|| black_box(humnet_core::experiments::f7_audit(3).unwrap().rows.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

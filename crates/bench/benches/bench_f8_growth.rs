@@ -1,0 +1,33 @@
+//! Bench for experiment F8: IXP growth dynamics across regional-affinity
+//! settings.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use humnet_ixp::{simulate_growth, GrowthConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f8_growth");
+    for gamma in [0.0, 1.5, 3.0] {
+        group.bench_with_input(
+            BenchmarkId::new("growth_run", format!("gamma_{gamma:.1}")),
+            &gamma,
+            |b, &gamma| {
+                b.iter(|| {
+                    let mut cfg = GrowthConfig::default();
+                    cfg.gamma_region = gamma;
+                    black_box(simulate_growth(&cfg).unwrap().top_share)
+                })
+            },
+        );
+    }
+    group.bench_function("long_run_200_rounds", |b| {
+        b.iter(|| {
+            let mut cfg = GrowthConfig::default();
+            cfg.rounds = 200;
+            black_box(simulate_growth(&cfg).unwrap().membership_gini)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench for experiment F9: adoption dynamics around a CFP intervention.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use humnet_agenda::{simulate_adoption, AdoptionConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f9_adoption");
+    group.bench_function("default_30_rounds", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_adoption(&AdoptionConfig::default())
+                    .unwrap()
+                    .last()
+                    .unwrap()
+                    .human_share,
+            )
+        })
+    });
+    for weight in [0.3, 0.45, 0.6] {
+        group.bench_with_input(
+            BenchmarkId::new("cfp_weight", format!("{weight:.2}")),
+            &weight,
+            |b, &weight| {
+                b.iter(|| {
+                    let mut cfg = AdoptionConfig::default();
+                    cfg.human_weight_after = weight;
+                    black_box(simulate_adoption(&cfg).unwrap().len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Micro-benchmarks of the substrate kernels every experiment leans on:
+//! RNG, inequality indices, graph algorithms, policy routing, text
+//! vectorization, and reliability statistics.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use humnet_graph::{barabasi_albert, betweenness_centrality, pagerank};
+use humnet_ixp::{AsKind, AsTopology, RegionTag, RoutingTable};
+use humnet_stats::{bootstrap_ci, gini, mean, Rng};
+use humnet_text::{tokenize, TfIdf};
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_rng");
+    group.bench_function("next_u64_x1000", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("gaussian_x1000", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.gaussian();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("zipf_n1000", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| black_box(rng.zipf(1000, 1.2)))
+    });
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_stats");
+    let mut rng = Rng::new(2);
+    let data: Vec<f64> = (0..10_000).map(|_| rng.pareto(1.0, 1.5)).collect();
+    group.bench_function("gini_10k", |b| b.iter(|| black_box(gini(&data).unwrap())));
+    group.bench_function("bootstrap_mean_1k_x200", |b| {
+        let sample: Vec<f64> = data.iter().take(1000).copied().collect();
+        b.iter(|| {
+            let mut rng = Rng::new(3);
+            black_box(
+                bootstrap_ci(&sample, |d| mean(d).unwrap(), 200, 0.95, &mut rng)
+                    .unwrap()
+                    .estimate,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_graph");
+    let mut rng = Rng::new(4);
+    let g = barabasi_albert(500, 3, &mut rng).unwrap();
+    group.bench_function("pagerank_ba500", |b| {
+        b.iter(|| black_box(pagerank(&g, 0.85, 1e-9, 100).unwrap()[0]))
+    });
+    group.bench_function("betweenness_ba500", |b| {
+        b.iter(|| black_box(betweenness_centrality(&g).unwrap()[0]))
+    });
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_routing");
+    // A layered AS hierarchy of ~100 ASes with peering.
+    for n in [40usize, 100] {
+        group.bench_with_input(BenchmarkId::new("routing_table", n), &n, |b, &n| {
+            let mut rng = Rng::new(5);
+            let mut t = AsTopology::new();
+            let region = RegionTag::new("X", false);
+            for i in 0..n {
+                t.add_as(&format!("AS{i}"), AsKind::Access, region.clone(), 1.0);
+            }
+            for j in 1..n {
+                let p = rng.range(0, j);
+                t.add_provider(j, p).unwrap();
+            }
+            for a in 0..n {
+                for bb in (a + 1)..n {
+                    if rng.chance(0.05) {
+                        let _ = t.add_peering(a, bb, None);
+                    }
+                }
+            }
+            b.iter(|| black_box(RoutingTable::compute(&t).unwrap().as_count()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_text(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_text");
+    let docs: Vec<Vec<String>> = (0..200)
+        .map(|i| {
+            tokenize(&format!(
+                "community networks are operated by people round {i}; \
+                 we measure peering and routing behaviour at exchanges"
+            ))
+        })
+        .collect();
+    group.bench_function("tfidf_fit_200_docs", |b| {
+        b.iter(|| black_box(TfIdf::fit(&docs).unwrap().vocabulary().len()))
+    });
+    let model = TfIdf::fit(&docs).unwrap();
+    group.bench_function("tfidf_transform", |b| {
+        b.iter(|| black_box(model.transform(&docs[7]).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rng,
+    bench_stats,
+    bench_graph,
+    bench_routing,
+    bench_text
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench for experiment T1: one agenda run per method regime.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use humnet_agenda::{AgendaSim, MethodRegime};
+use humnet_bench::small_agenda;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_regimes");
+    for regime in MethodRegime::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("agenda_run", regime.label()),
+            &regime,
+            |b, &regime| {
+                b.iter(|| {
+                    let mut cfg = small_agenda(2);
+                    cfg.regime = regime;
+                    let mut sim = AgendaSim::new(cfg).unwrap();
+                    sim.run().unwrap();
+                    black_box(sim.history().len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

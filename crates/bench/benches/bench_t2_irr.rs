@@ -1,0 +1,38 @@
+//! Bench for experiment T2: simulated coding rounds and the reliability
+//! statistics.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use humnet_qual::{fleiss_kappa, krippendorff_alpha, SimulatedStudy, StudyConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_irr");
+    group.bench_function("code_one_round", |b| {
+        let mut study = SimulatedStudy::new(StudyConfig::default(), 1).unwrap();
+        b.iter(|| black_box(study.code_round(2).len()))
+    });
+    group.bench_function("trajectory_6_rounds", |b| {
+        b.iter(|| {
+            let mut study = SimulatedStudy::new(StudyConfig::default(), 1).unwrap();
+            black_box(study.reliability_trajectory(6).unwrap().len())
+        })
+    });
+    let mut study = SimulatedStudy::new(StudyConfig::default(), 3).unwrap();
+    let labels = study.code_round(3);
+    group.bench_function("krippendorff_alpha_200_units", |b| {
+        b.iter(|| black_box(krippendorff_alpha(&labels).unwrap()))
+    });
+    let full_units: Vec<usize> = (0..labels[0].len())
+        .filter(|&u| labels.iter().all(|l| l[u].is_some()))
+        .collect();
+    let fleiss_input: Vec<Vec<Option<usize>>> = labels
+        .iter()
+        .map(|l| full_units.iter().map(|&u| l[u]).collect())
+        .collect();
+    group.bench_function("fleiss_kappa_200_units", |b| {
+        b.iter(|| black_box(fleiss_kappa(&fleiss_input).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

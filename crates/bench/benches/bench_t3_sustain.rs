@@ -1,0 +1,36 @@
+//! Bench for experiment T3: the sustainability simulation per volunteer
+//! regime.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use humnet_bench::small_sustainability;
+use humnet_community::{SustainabilitySim, VolunteerRegime};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_sustain");
+    for regime in VolunteerRegime::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("quarter_year", regime.label()),
+            &regime,
+            |b, &regime| {
+                b.iter(|| {
+                    let mut cfg = small_sustainability(1);
+                    cfg.regime = regime;
+                    let out = SustainabilitySim::new(cfg).unwrap().run().unwrap();
+                    black_box(out.uptime)
+                })
+            },
+        );
+    }
+    group.bench_function("full_year_stewardship", |b| {
+        b.iter(|| {
+            let mut cfg = small_sustainability(2);
+            cfg.days = 365;
+            let out = SustainabilitySim::new(cfg).unwrap().run().unwrap();
+            black_box(out.repairs_completed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

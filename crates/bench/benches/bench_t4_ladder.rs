@@ -1,0 +1,31 @@
+//! Bench for experiment T4: participation-ladder scoring and the §5.1
+//! audit over project archetypes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use humnet_core::ParProject;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t4_ladder");
+    group.bench_function("build_and_score_archetypes", |b| {
+        b.iter(|| {
+            let total: f64 = (0..6)
+                .map(|i| ParProject::archetype(i).participation_score())
+                .sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("audit_5_1", |b| {
+        let projects: Vec<ParProject> = (0..6).map(ParProject::archetype).collect();
+        b.iter(|| {
+            let violations: usize = projects.iter().map(|p| p.audit_5_1().len()).sum();
+            black_box(violations)
+        })
+    });
+    group.bench_function("full_t4_table", |b| {
+        b.iter(|| black_box(humnet_core::experiments::t4_ladder().unwrap().rows.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

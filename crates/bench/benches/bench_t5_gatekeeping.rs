@@ -1,0 +1,44 @@
+//! Bench for experiment T5: the review-panel simulation across CFP weight
+//! profiles.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use humnet_agenda::review::run_review;
+use humnet_agenda::{ReviewConfig, VenueWeights};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t5_gatekeeping");
+    group.bench_function("traditional_review_cycle", |b| {
+        b.iter(|| {
+            black_box(
+                run_review(&ReviewConfig::default(), &VenueWeights::traditional_systems())
+                    .unwrap()
+                    .human_acceptance,
+            )
+        })
+    });
+    for weight in [0.0, 0.25, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::new("broadened_cfp", format!("{weight:.2}")),
+            &weight,
+            |b, &weight| {
+                b.iter(|| {
+                    black_box(
+                        run_review(&ReviewConfig::default(), &VenueWeights::broadened(weight))
+                            .unwrap()
+                            .systems_acceptance,
+                    )
+                })
+            },
+        );
+    }
+    group.bench_function("large_venue_1000_submissions", |b| {
+        let mut cfg = ReviewConfig::default();
+        cfg.systems_submissions = 750;
+        cfg.human_submissions = 250;
+        b.iter(|| black_box(run_review(&cfg, &VenueWeights::broadened(0.2)).unwrap().accepted))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench for experiment T6: diary-study simulation with and without
+//! technology probes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use humnet_qual::{simulate_diary, DiaryConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t6_diary");
+    for (label, probe_rate) in [("plain", 0.0), ("probed", 0.5)] {
+        group.bench_with_input(
+            BenchmarkId::new("six_weeks", label),
+            &probe_rate,
+            |b, &probe_rate| {
+                b.iter(|| {
+                    let mut cfg = DiaryConfig::default();
+                    cfg.probe_rate = probe_rate;
+                    black_box(simulate_diary(&cfg, 1).unwrap().entries.len())
+                })
+            },
+        );
+    }
+    group.bench_function("long_study_26_weeks_50_participants", |b| {
+        b.iter(|| {
+            let mut cfg = DiaryConfig::default();
+            cfg.days = 182;
+            cfg.participants = 50;
+            black_box(simulate_diary(&cfg, 2).unwrap().final_week_compliance())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

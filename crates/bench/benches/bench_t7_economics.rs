@@ -1,0 +1,40 @@
+//! Bench for experiment T7: cooperative economics per dues policy.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use humnet_community::{simulate_economics, DuesPolicy, EconomicsConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t7_economics");
+    for policy in DuesPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("five_years", policy.label()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    black_box(
+                        simulate_economics(&EconomicsConfig::default(), policy)
+                            .unwrap()
+                            .closing_balance,
+                    )
+                })
+            },
+        );
+    }
+    group.bench_function("large_coop_200_households_10y", |b| {
+        let mut cfg = EconomicsConfig::default();
+        cfg.households = 200;
+        cfg.months = 120;
+        cfg.backhaul_cost = 1000.0;
+        b.iter(|| {
+            black_box(
+                simulate_economics(&cfg, DuesPolicy::IncomeScaled)
+                    .unwrap()
+                    .remaining_members,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,306 @@
+//! The physical mesh: nodes, radio links, gateways, service reachability.
+
+use crate::{CommunityError, Result};
+use humnet_stats::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Operational state of a mesh node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Powered and relaying.
+    Up,
+    /// Failed, awaiting repair.
+    Down,
+}
+
+/// Configuration of a random geometric mesh.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeshConfig {
+    /// Number of nodes (including gateways).
+    pub nodes: usize,
+    /// Number of gateway (backhaul) nodes, placed first.
+    pub gateways: usize,
+    /// Side length of the square deployment area.
+    pub area: f64,
+    /// Radio range: nodes within this distance get a link.
+    pub radio_range: f64,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            nodes: 40,
+            gateways: 2,
+            area: 10.0,
+            radio_range: 2.5,
+        }
+    }
+}
+
+/// A deployed mesh network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeshNetwork {
+    /// Node positions.
+    positions: Vec<(f64, f64)>,
+    /// Adjacency lists (radio links).
+    links: Vec<Vec<usize>>,
+    /// Per-node state.
+    states: Vec<NodeState>,
+    /// Gateway node ids.
+    gateways: Vec<usize>,
+}
+
+impl MeshNetwork {
+    /// Deploy a random geometric mesh. Positions are uniform over the area;
+    /// links join nodes within radio range. Deterministic given the RNG.
+    pub fn deploy(config: &MeshConfig, rng: &mut Rng) -> Result<Self> {
+        if config.nodes == 0 {
+            return Err(CommunityError::InvalidParameter("need at least one node"));
+        }
+        if config.gateways == 0 || config.gateways > config.nodes {
+            return Err(CommunityError::InvalidParameter(
+                "gateways must be in [1, nodes]",
+            ));
+        }
+        if config.area <= 0.0 || config.radio_range <= 0.0 {
+            return Err(CommunityError::InvalidParameter(
+                "area and radio_range must be positive",
+            ));
+        }
+        let positions: Vec<(f64, f64)> = (0..config.nodes)
+            .map(|_| (rng.range_f64(0.0, config.area), rng.range_f64(0.0, config.area)))
+            .collect();
+        let mut links = vec![Vec::new(); config.nodes];
+        for i in 0..config.nodes {
+            for j in (i + 1)..config.nodes {
+                let dx = positions[i].0 - positions[j].0;
+                let dy = positions[i].1 - positions[j].1;
+                if (dx * dx + dy * dy).sqrt() <= config.radio_range {
+                    links[i].push(j);
+                    links[j].push(i);
+                }
+            }
+        }
+        Ok(MeshNetwork {
+            positions,
+            links,
+            states: vec![NodeState::Up; config.nodes],
+            gateways: (0..config.gateways).collect(),
+        })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Gateway ids.
+    pub fn gateways(&self) -> &[usize] {
+        &self.gateways
+    }
+
+    /// Position of a node.
+    pub fn position(&self, id: usize) -> Result<(f64, f64)> {
+        self.positions
+            .get(id)
+            .copied()
+            .ok_or(CommunityError::InvalidNode(id))
+    }
+
+    /// State of a node.
+    pub fn state(&self, id: usize) -> Result<NodeState> {
+        self.states
+            .get(id)
+            .copied()
+            .ok_or(CommunityError::InvalidNode(id))
+    }
+
+    /// Set a node's state.
+    pub fn set_state(&mut self, id: usize, state: NodeState) -> Result<()> {
+        match self.states.get_mut(id) {
+            Some(s) => {
+                *s = state;
+                Ok(())
+            }
+            None => Err(CommunityError::InvalidNode(id)),
+        }
+    }
+
+    /// Ids of nodes currently down.
+    pub fn down_nodes(&self) -> Vec<usize> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == NodeState::Down)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Neighbors of a node.
+    pub fn neighbors(&self, id: usize) -> &[usize] {
+        &self.links[id]
+    }
+
+    /// A node has *service* when it is up and can reach an up gateway
+    /// through up nodes. Returns the service bitmap.
+    pub fn service_map(&self) -> Vec<bool> {
+        let n = self.node_count();
+        let mut served = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        for &g in &self.gateways {
+            if self.states[g] == NodeState::Up {
+                served[g] = true;
+                queue.push_back(g);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.links[u] {
+                if !served[v] && self.states[v] == NodeState::Up {
+                    served[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        served
+    }
+
+    /// Fraction of all nodes currently holding service.
+    pub fn service_fraction(&self) -> f64 {
+        let served = self.service_map();
+        served.iter().filter(|&&s| s).count() as f64 / served.len().max(1) as f64
+    }
+
+    /// Mean hop distance from served nodes to their nearest gateway
+    /// (ignores unserved nodes; 0 when nothing is served).
+    pub fn mean_gateway_distance(&self) -> f64 {
+        let n = self.node_count();
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for &g in &self.gateways {
+            if self.states[g] == NodeState::Up {
+                dist[g] = 0;
+                queue.push_back(g);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.links[u] {
+                if dist[v] == usize::MAX && self.states[v] == NodeState::Up {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        let served: Vec<usize> = dist.into_iter().filter(|&d| d != usize::MAX).collect();
+        if served.is_empty() {
+            0.0
+        } else {
+            served.iter().sum::<usize>() as f64 / served.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_mesh() -> MeshNetwork {
+        // Small area + big range => fully connected.
+        let cfg = MeshConfig {
+            nodes: 10,
+            gateways: 1,
+            area: 1.0,
+            radio_range: 2.0,
+        };
+        MeshNetwork::deploy(&cfg, &mut Rng::new(1)).unwrap()
+    }
+
+    #[test]
+    fn deploy_rejects_bad_configs() {
+        let mut rng = Rng::new(1);
+        let mut c = MeshConfig::default();
+        c.nodes = 0;
+        assert!(MeshNetwork::deploy(&c, &mut rng).is_err());
+        let mut c = MeshConfig::default();
+        c.gateways = 0;
+        assert!(MeshNetwork::deploy(&c, &mut rng).is_err());
+        let mut c = MeshConfig::default();
+        c.gateways = c.nodes + 1;
+        assert!(MeshNetwork::deploy(&c, &mut rng).is_err());
+        let mut c = MeshConfig::default();
+        c.radio_range = 0.0;
+        assert!(MeshNetwork::deploy(&c, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deploy_is_deterministic() {
+        let cfg = MeshConfig::default();
+        let a = MeshNetwork::deploy(&cfg, &mut Rng::new(5)).unwrap();
+        let b = MeshNetwork::deploy(&cfg, &mut Rng::new(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fully_up_dense_mesh_serves_everyone() {
+        let m = dense_mesh();
+        assert_eq!(m.service_fraction(), 1.0);
+        assert!(m.down_nodes().is_empty());
+    }
+
+    #[test]
+    fn gateway_failure_kills_service() {
+        let mut m = dense_mesh();
+        m.set_state(0, NodeState::Down).unwrap(); // only gateway
+        assert_eq!(m.service_fraction(), 0.0);
+        assert_eq!(m.down_nodes(), vec![0]);
+    }
+
+    #[test]
+    fn node_failure_disconnects_subtree() {
+        // Line topology: g - a - b. Take a down; b loses service.
+        let mut m = MeshNetwork {
+            positions: vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)],
+            links: vec![vec![1], vec![0, 2], vec![1]],
+            states: vec![NodeState::Up; 3],
+            gateways: vec![0],
+        };
+        assert_eq!(m.service_fraction(), 1.0);
+        m.set_state(1, NodeState::Down).unwrap();
+        let served = m.service_map();
+        assert!(served[0]);
+        assert!(!served[1]);
+        assert!(!served[2], "downstream node orphaned");
+        assert!((m.service_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_gateway_distance_on_line() {
+        let m = MeshNetwork {
+            positions: vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)],
+            links: vec![vec![1], vec![0, 2], vec![1]],
+            states: vec![NodeState::Up; 3],
+            gateways: vec![0],
+        };
+        assert!((m.mean_gateway_distance() - 1.0).abs() < 1e-12); // (0+1+2)/3
+    }
+
+    #[test]
+    fn invalid_node_access_errors() {
+        let mut m = dense_mesh();
+        assert!(m.position(99).is_err());
+        assert!(m.state(99).is_err());
+        assert!(m.set_state(99, NodeState::Down).is_err());
+    }
+
+    #[test]
+    fn sparse_mesh_may_be_partitioned() {
+        let cfg = MeshConfig {
+            nodes: 30,
+            gateways: 1,
+            area: 100.0,
+            radio_range: 1.0,
+        };
+        let m = MeshNetwork::deploy(&cfg, &mut Rng::new(3)).unwrap();
+        // With this density, some nodes are isolated from the gateway.
+        assert!(m.service_fraction() < 1.0);
+    }
+}

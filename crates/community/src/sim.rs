@@ -1,0 +1,278 @@
+//! The sustainability simulation: failures, repair dispatch, burnout.
+//!
+//! Experiment **T3**: simulate a volunteer-maintained mesh for `days` days.
+//! Each day:
+//!
+//! 1. every up node fails independently with `daily_failure_rate`;
+//! 2. each down node is offered to an available volunteer (most skilled
+//!    available first under FewCore-style concentration; round-robin under
+//!    stewardship); a volunteer repairs one node per day with probability
+//!    `skill`;
+//! 3. working volunteers accrue burnout, idle ones recover; a volunteer at
+//!    full burnout quits permanently;
+//! 4. uptime accounting: a node-day counts as served when the node has
+//!    service (path to an up gateway).
+
+use crate::mesh::{MeshConfig, MeshNetwork, NodeState};
+use crate::volunteer::{VolunteerPool, VolunteerRegime};
+use crate::Result;
+use humnet_stats::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a sustainability run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SustainabilityConfig {
+    /// Mesh shape.
+    pub mesh: MeshConfig,
+    /// Volunteer regime.
+    pub regime: VolunteerRegime,
+    /// Days to simulate.
+    pub days: u32,
+    /// Per-node per-day failure probability.
+    pub daily_failure_rate: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for SustainabilityConfig {
+    fn default() -> Self {
+        SustainabilityConfig {
+            mesh: MeshConfig::default(),
+            regime: VolunteerRegime::DistributedStewardship,
+            days: 365,
+            daily_failure_rate: 0.01,
+            seed: 1,
+        }
+    }
+}
+
+/// Aggregate outcome of a sustainability run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SustainabilityOutcome {
+    /// Regime simulated.
+    pub regime: VolunteerRegime,
+    /// Fraction of node-days with service.
+    pub uptime: f64,
+    /// Mean days from failure to completed repair (completed repairs only).
+    pub mttr: f64,
+    /// Repairs completed.
+    pub repairs_completed: usize,
+    /// Failures that occurred.
+    pub failures: usize,
+    /// Volunteers who quit from burnout.
+    pub attrition: usize,
+    /// Total staffing cost.
+    pub total_cost: f64,
+    /// Service fraction on the final day (detects late-run collapse).
+    pub final_service: f64,
+}
+
+/// A runnable sustainability simulation.
+#[derive(Debug, Clone)]
+pub struct SustainabilitySim {
+    config: SustainabilityConfig,
+}
+
+impl SustainabilitySim {
+    /// Create a simulation.
+    pub fn new(config: SustainabilityConfig) -> Result<Self> {
+        if config.days == 0 {
+            return Err(crate::CommunityError::InvalidParameter("days must be >= 1"));
+        }
+        if !(0.0..=1.0).contains(&config.daily_failure_rate) {
+            return Err(crate::CommunityError::InvalidParameter(
+                "daily_failure_rate must be in [0,1]",
+            ));
+        }
+        Ok(SustainabilitySim { config })
+    }
+
+    /// Run to completion.
+    pub fn run(&self) -> Result<SustainabilityOutcome> {
+        let mut rng = Rng::new(self.config.seed);
+        let mut mesh = MeshNetwork::deploy(&self.config.mesh, &mut rng)?;
+        let mut pool = VolunteerPool::for_regime(self.config.regime);
+        pool.validate()?;
+        let n = mesh.node_count();
+        let mut failed_on: Vec<Option<u32>> = vec![None; n];
+        let mut served_node_days = 0u64;
+        let mut repair_latencies: Vec<u32> = Vec::new();
+        let mut failures = 0usize;
+        let mut total_cost = 0.0;
+        let mut rr_cursor = 0usize; // round-robin cursor for stewardship
+        for day in 0..self.config.days {
+            // 1. Failures.
+            for node in 0..n {
+                if mesh.state(node)? == NodeState::Up
+                    && rng.chance(self.config.daily_failure_rate)
+                {
+                    mesh.set_state(node, NodeState::Down)?;
+                    failed_on[node] = Some(day);
+                    failures += 1;
+                }
+            }
+            // 2. Repair dispatch.
+            let down = mesh.down_nodes();
+            let mut worked = vec![false; pool.members.len()];
+            // Determine today's availability per volunteer.
+            let available: Vec<bool> = pool
+                .members
+                .iter()
+                .map(|v| rng.chance(v.effective_availability()))
+                .collect();
+            // Dispatch order: FewCore concentrates on the most skilled;
+            // stewardship rotates.
+            let order: Vec<usize> = match self.config.regime {
+                VolunteerRegime::DistributedStewardship => {
+                    let k = pool.members.len();
+                    let o = (0..k).map(|i| (rr_cursor + i) % k).collect();
+                    rr_cursor = (rr_cursor + 1) % k;
+                    o
+                }
+                _ => {
+                    let mut idx: Vec<usize> = (0..pool.members.len()).collect();
+                    idx.sort_by(|&a, &b| {
+                        pool.members[b]
+                            .skill
+                            .partial_cmp(&pool.members[a].skill)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    idx
+                }
+            };
+            let mut order_iter = order.into_iter().filter(|&v| available[v]);
+            for node in down {
+                let Some(vol_idx) = order_iter.next() else {
+                    break; // no more hands today
+                };
+                worked[vol_idx] = true;
+                if rng.chance(pool.members[vol_idx].skill) {
+                    mesh.set_state(node, NodeState::Up)?;
+                    if let Some(f) = failed_on[node].take() {
+                        repair_latencies.push(day - f + 1);
+                    }
+                }
+            }
+            // 3. Burnout bookkeeping and costs.
+            for (i, member) in pool.members.iter_mut().enumerate() {
+                if worked[i] {
+                    member.work_day();
+                } else {
+                    member.rest_day();
+                }
+                if !member.quit {
+                    total_cost += member.daily_cost;
+                }
+            }
+            // 4. Uptime accounting.
+            served_node_days += mesh.service_map().iter().filter(|&&s| s).count() as u64;
+        }
+        let uptime = served_node_days as f64 / (n as u64 * self.config.days as u64) as f64;
+        let mttr = if repair_latencies.is_empty() {
+            f64::NAN
+        } else {
+            repair_latencies.iter().map(|&l| l as f64).sum::<f64>()
+                / repair_latencies.len() as f64
+        };
+        Ok(SustainabilityOutcome {
+            regime: self.config.regime,
+            uptime,
+            mttr,
+            repairs_completed: repair_latencies.len(),
+            failures,
+            attrition: pool.attrition(),
+            total_cost,
+            final_service: mesh.service_fraction(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(regime: VolunteerRegime, failure_rate: f64, days: u32, seed: u64) -> SustainabilityOutcome {
+        let mut cfg = SustainabilityConfig::default();
+        cfg.regime = regime;
+        cfg.daily_failure_rate = failure_rate;
+        cfg.days = days;
+        cfg.seed = seed;
+        SustainabilitySim::new(cfg).unwrap().run().unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = SustainabilityConfig::default();
+        cfg.days = 0;
+        assert!(SustainabilitySim::new(cfg).is_err());
+        let mut cfg = SustainabilityConfig::default();
+        cfg.daily_failure_rate = 1.5;
+        assert!(SustainabilitySim::new(cfg).is_err());
+    }
+
+    #[test]
+    fn zero_failure_rate_gives_stable_uptime() {
+        let out = run(VolunteerRegime::DistributedStewardship, 0.0, 60, 1);
+        assert_eq!(out.failures, 0);
+        assert_eq!(out.repairs_completed, 0);
+        assert!(out.mttr.is_nan());
+        // Uptime equals the deployed service fraction (some nodes may be
+        // out of radio range of a gateway from day one).
+        assert!(out.uptime > 0.0);
+        assert!((out.uptime - out.final_service).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(VolunteerRegime::FewCore, 0.02, 120, 9);
+        let b = run(VolunteerRegime::FewCore, 0.02, 120, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn few_core_burns_out_under_load() {
+        let out = run(VolunteerRegime::FewCore, 0.05, 365, 3);
+        assert!(out.attrition >= 1, "core volunteers should quit: {out:?}");
+    }
+
+    #[test]
+    fn stewardship_outlasts_few_core_under_load() {
+        // Average over seeds to keep the comparison robust.
+        let mean_uptime = |regime| {
+            (0..5)
+                .map(|s| run(regime, 0.05, 365, s).uptime)
+                .sum::<f64>()
+                / 5.0
+        };
+        let steward = mean_uptime(VolunteerRegime::DistributedStewardship);
+        let core = mean_uptime(VolunteerRegime::FewCore);
+        assert!(
+            steward > core,
+            "stewardship uptime {steward} should beat few-core {core}"
+        );
+    }
+
+    #[test]
+    fn paid_staff_costs_money() {
+        let out = run(VolunteerRegime::PaidStaff, 0.02, 200, 4);
+        assert!(out.total_cost > 0.0);
+        assert_eq!(out.attrition, 0);
+        let vol = run(VolunteerRegime::DistributedStewardship, 0.02, 200, 4);
+        assert_eq!(vol.total_cost, 0.0);
+    }
+
+    #[test]
+    fn higher_failure_rate_lowers_uptime() {
+        let low = run(VolunteerRegime::DistributedStewardship, 0.005, 200, 5);
+        let high = run(VolunteerRegime::DistributedStewardship, 0.08, 200, 5);
+        assert!(low.uptime > high.uptime);
+        assert!(high.failures > low.failures);
+    }
+
+    #[test]
+    fn mttr_is_positive_when_repairs_happen() {
+        let out = run(VolunteerRegime::PaidStaff, 0.03, 200, 6);
+        assert!(out.repairs_completed > 0);
+        assert!(out.mttr >= 1.0);
+    }
+}

@@ -1,0 +1,777 @@
+//! The experiment suite: one function per table/figure in `EXPERIMENTS.md`.
+//!
+//! Each function builds its workload, runs the relevant simulators, and
+//! returns both structured numbers and a rendered [`Table`]/[`Series`].
+//! The `experiments` binary prints them; the benches in `crates/bench`
+//! time them; the integration tests assert their qualitative shapes.
+
+use crate::audit::MethodsAuditor;
+use crate::ethnography::{EthnographyConfig, FieldStudy, MemoPractice, Schedule};
+use crate::par::ParProject;
+use crate::report::{Series, Table};
+use crate::Result;
+use humnet_agenda::{
+    attention_by_class, attention_gini, coverage, AgendaConfig, AgendaSim, MethodRegime,
+    ReviewConfig, VenueWeights,
+};
+use humnet_community::{
+    CongestionConfig, CongestionSim, SustainabilityConfig, SustainabilitySim,
+    VolunteerRegime,
+};
+use humnet_corpus::{CorpusConfig, MethodTag, VenueKind};
+use humnet_ixp::{
+    CircumventionStrategy, MexicoConfig, MexicoScenario, TwoRegionConfig, TwoRegionScenario,
+};
+use humnet_qual::{SimulatedStudy, StudyConfig};
+use humnet_stats::lorenz_curve;
+
+fn core_err(msg: &'static str) -> crate::CoreError {
+    crate::CoreError::InvalidParameter(msg)
+}
+
+/// Result of experiment **F1**: Lorenz curve of research attention under
+/// the data-driven regime.
+#[derive(Debug, Clone)]
+pub struct F1Result {
+    /// Lorenz curve of per-problem publication counts.
+    pub lorenz: Series,
+    /// Gini of per-problem attention.
+    pub gini: f64,
+    /// Publications per stakeholder class table.
+    pub by_class: Table,
+}
+
+/// **F1** — concentration of research attention (§1's feedback loop).
+pub fn f1_attention(seed: u64) -> Result<F1Result> {
+    let mut cfg = AgendaConfig::default();
+    cfg.regime = MethodRegime::DataDriven;
+    cfg.seed = seed;
+    let mut sim = AgendaSim::new(cfg).map_err(|_| core_err("agenda config"))?;
+    sim.run().map_err(|_| core_err("agenda run"))?;
+    let counts: Vec<f64> = sim
+        .space
+        .problems
+        .iter()
+        .map(|p| p.publications as f64)
+        .collect();
+    let curve = lorenz_curve(&counts).map_err(|_| core_err("lorenz"))?;
+    let mut lorenz = Series::new(
+        "F1: Lorenz curve of research attention (data-driven regime)",
+        "population share",
+        "publication share",
+    );
+    for (x, y) in curve {
+        lorenz.push(x, y);
+    }
+    let gini = attention_gini(&sim.space).map_err(|_| core_err("gini"))?;
+    let mut by_class = Table::new(
+        "F1: publications by stakeholder class",
+        &["class", "publications", "marginalized"],
+    );
+    for (class, pubs) in attention_by_class(&sim.space) {
+        by_class.row(&[
+            class.label().to_owned(),
+            pubs.to_string(),
+            class.is_marginalized().to_string(),
+        ]);
+    }
+    Ok(F1Result {
+        lorenz,
+        gini,
+        by_class,
+    })
+}
+
+/// One row of the **T1** regime-comparison table.
+#[derive(Debug, Clone)]
+pub struct T1Row {
+    /// Regime.
+    pub regime: MethodRegime,
+    /// Mean marginalized-problem coverage.
+    pub marginalized_coverage: f64,
+    /// Mean dominant-problem coverage.
+    pub dominant_coverage: f64,
+    /// Mean attention Gini.
+    pub gini: f64,
+    /// Mean total publications.
+    pub publications: f64,
+}
+
+/// **T1** — method-regime comparison over several seeds.
+pub fn t1_regimes(seeds: &[u64]) -> Result<(Vec<T1Row>, Table)> {
+    if seeds.is_empty() {
+        return Err(crate::CoreError::EmptyInput);
+    }
+    let mut rows = Vec::new();
+    for &regime in &MethodRegime::ALL {
+        let mut marg = 0.0;
+        let mut dom = 0.0;
+        let mut gini = 0.0;
+        let mut pubs = 0.0;
+        for &seed in seeds {
+            let mut cfg = AgendaConfig::default();
+            cfg.regime = regime;
+            cfg.seed = seed;
+            let mut sim = AgendaSim::new(cfg).map_err(|_| core_err("agenda config"))?;
+            sim.run().map_err(|_| core_err("agenda run"))?;
+            marg += coverage(&sim.space, true).map_err(|_| core_err("coverage"))?;
+            dom += coverage(&sim.space, false).map_err(|_| core_err("coverage"))?;
+            gini += attention_gini(&sim.space).map_err(|_| core_err("gini"))?;
+            pubs += sim.history().last().map(|s| s.publications as f64).unwrap_or(0.0);
+        }
+        let n = seeds.len() as f64;
+        rows.push(T1Row {
+            regime,
+            marginalized_coverage: marg / n,
+            dominant_coverage: dom / n,
+            gini: gini / n,
+            publications: pubs / n,
+        });
+    }
+    let mut table = Table::new(
+        "T1: problem surfacing by method regime",
+        &[
+            "regime",
+            "marginalized coverage",
+            "dominant coverage",
+            "attention gini",
+            "publications",
+        ],
+    );
+    for r in &rows {
+        table.row(&[
+            r.regime.label().to_owned(),
+            Table::f(r.marginalized_coverage),
+            Table::f(r.dominant_coverage),
+            Table::f(r.gini),
+            format!("{:.0}", r.publications),
+        ]);
+    }
+    Ok((rows, table))
+}
+
+/// **F2** — positionality-statement prevalence by venue kind and year.
+pub fn f2_positionality(seed: u64) -> Result<(Table, Vec<Series>)> {
+    let cfg = CorpusConfig::default();
+    let corpus = cfg.generate(seed).map_err(|_| core_err("corpus generate"))?;
+    let report = MethodsAuditor::new().audit(&corpus)?;
+    let mut table = Table::new(
+        "F2: positionality prevalence by venue kind",
+        &["venue kind", "papers", "tagged rate", "detected rate"],
+    );
+    for v in &report.venues {
+        table.row(&[
+            v.kind.label().to_owned(),
+            v.papers.to_string(),
+            Table::f(v.positionality_rate),
+            Table::f(v.detected_positionality_rate),
+        ]);
+    }
+    // Per-year trend series for two contrasting venue kinds.
+    let (lo, hi) = corpus.year_range().ok_or(crate::CoreError::EmptyInput)?;
+    let mut series = Vec::new();
+    for kind in [VenueKind::SystemsNetworking, VenueKind::HciCscw] {
+        let mut s = Series::new(
+            format!("F2: positionality rate over time ({})", kind.label()),
+            "year",
+            "rate",
+        );
+        for year in lo..=hi {
+            s.push(
+                year as f64,
+                humnet_corpus::method_rate_by_year(&corpus, kind, MethodTag::Positionality, year),
+            );
+        }
+        series.push(s);
+    }
+    Ok((table, series))
+}
+
+/// **T2** — inter-rater reliability vs codebook refinement round.
+pub fn t2_irr(seed: u64, rounds: u32) -> Result<Table> {
+    let mut study =
+        SimulatedStudy::new(StudyConfig::default(), seed).map_err(|_| core_err("study config"))?;
+    let traj = study
+        .reliability_trajectory(rounds)
+        .map_err(|_| core_err("trajectory"))?;
+    let mut table = Table::new(
+        "T2: inter-rater reliability vs codebook refinement",
+        &["round", "percent agreement", "fleiss kappa", "krippendorff alpha"],
+    );
+    for r in &traj {
+        table.row(&[
+            r.round.to_string(),
+            Table::f(r.percent_agreement),
+            Table::f(r.fleiss_kappa),
+            Table::f(r.krippendorff_alpha),
+        ]);
+    }
+    Ok(table)
+}
+
+/// **F3** — mandatory-peering enforcement sweep, complied vs circumvented.
+pub fn f3_telmex(points: usize) -> Result<(Series, Series, Table)> {
+    if points < 2 {
+        return Err(core_err("need >= 2 sweep points"));
+    }
+    let mut comply = Series::new(
+        "F3: competitor IXP share vs enforcement (incumbent complies)",
+        "enforcement",
+        "ixp share",
+    );
+    let mut split = Series::new(
+        "F3: competitor IXP share vs enforcement (ASN splitting)",
+        "enforcement",
+        "ixp share",
+    );
+    let mut table = Table::new(
+        "F3: Telmex scenario",
+        &["enforcement", "share (comply)", "share (split)", "transit cost (split)"],
+    );
+    for i in 0..points {
+        let e = i as f64 / (points - 1) as f64;
+        let mut cfg = MexicoConfig::default();
+        cfg.regulation.enforcement = e;
+        cfg.strategy = CircumventionStrategy::ComplyFully;
+        let sc = MexicoScenario::run(&cfg).map_err(|_| core_err("mexico run"))?;
+        let share_c = sc.competitor_ixp_share().map_err(|_| core_err("share"))?;
+        cfg.strategy = CircumventionStrategy::AsnSplitting;
+        let ss = MexicoScenario::run(&cfg).map_err(|_| core_err("mexico run"))?;
+        let share_s = ss.competitor_ixp_share().map_err(|_| core_err("share"))?;
+        comply.push(e, share_c);
+        split.push(e, share_s);
+        table.row(&[
+            Table::f(e),
+            Table::f(share_c),
+            Table::f(share_s),
+            format!("{:.0}", ss.transit_cost()),
+        ]);
+    }
+    Ok((comply, split, table))
+}
+
+/// **F4** — IXP gravity: foreign-exchange share vs local content presence.
+pub fn f4_gravity(points: usize) -> Result<(Series, Series)> {
+    if points < 2 {
+        return Err(core_err("need >= 2 sweep points"));
+    }
+    let mut foreign = Series::new(
+        "F4: share of South traffic exchanged at the Northern IXP",
+        "local content presence",
+        "foreign exchange share",
+    );
+    let mut local = Series::new(
+        "F4: share of South traffic exchanged at the local IXP",
+        "local content presence",
+        "local exchange share",
+    );
+    for i in 0..points {
+        let p = i as f64 / (points - 1) as f64;
+        let mut cfg = TwoRegionConfig::default();
+        cfg.content_presence_south = p;
+        let sc = TwoRegionScenario::run(&cfg).map_err(|_| core_err("two-region run"))?;
+        foreign.push(p, sc.foreign_exchange_share().map_err(|_| core_err("share"))?);
+        local.push(p, sc.local_exchange_share().map_err(|_| core_err("share"))?);
+    }
+    Ok((foreign, local))
+}
+
+/// **T3** — community-network sustainability by volunteer regime.
+pub fn t3_sustainability(seeds: &[u64]) -> Result<Table> {
+    if seeds.is_empty() {
+        return Err(crate::CoreError::EmptyInput);
+    }
+    let mut table = Table::new(
+        "T3: sustainability by volunteer regime (1 year, 5% daily failure)",
+        &["regime", "uptime", "mttr (days)", "attrition", "cost"],
+    );
+    for regime in VolunteerRegime::ALL {
+        let mut uptime = 0.0;
+        let mut mttr = 0.0;
+        let mut mttr_n = 0;
+        let mut attrition = 0.0;
+        let mut cost = 0.0;
+        for &seed in seeds {
+            let mut cfg = SustainabilityConfig::default();
+            cfg.regime = regime;
+            cfg.daily_failure_rate = 0.05;
+            cfg.seed = seed;
+            let out = SustainabilitySim::new(cfg)
+                .map_err(|_| core_err("sustain config"))?
+                .run()
+                .map_err(|_| core_err("sustain run"))?;
+            uptime += out.uptime;
+            if !out.mttr.is_nan() {
+                mttr += out.mttr;
+                mttr_n += 1;
+            }
+            attrition += out.attrition as f64;
+            cost += out.total_cost;
+        }
+        let n = seeds.len() as f64;
+        table.row(&[
+            regime.label().to_owned(),
+            Table::f(uptime / n),
+            if mttr_n > 0 {
+                Table::f(mttr / mttr_n as f64)
+            } else {
+                "n/a".to_owned()
+            },
+            Table::f(attrition / n),
+            format!("{:.0}", cost / n),
+        ]);
+    }
+    Ok(table)
+}
+
+/// **F5** — common-pool congestion policies.
+pub fn f5_congestion(seed: u64) -> Result<Table> {
+    let mut cfg = CongestionConfig::default();
+    cfg.seed = seed;
+    let sim = CongestionSim::new(cfg).map_err(|_| core_err("congestion config"))?;
+    let mut table = Table::new(
+        "F5: congestion-management policies (30 households, bursty demand)",
+        &["policy", "fairness (backlogged)", "utilization", "modest-user starvation"],
+    );
+    for out in sim.compare() {
+        table.row(&[
+            out.policy.label().to_owned(),
+            Table::f(out.fairness),
+            Table::f(out.utilization),
+            Table::f(out.starvation),
+        ]);
+    }
+    Ok(table)
+}
+
+/// **T4** — participation-ladder audit of project archetypes.
+pub fn t4_ladder() -> Result<Table> {
+    let mut table = Table::new(
+        "T4: participation-ladder audit of project archetypes",
+        &["archetype", "participation score", "§5.1 compliant", "violations"],
+    );
+    for i in 0..6 {
+        let p = ParProject::archetype(i);
+        let violations = p.audit_5_1();
+        table.row(&[
+            p.name.clone(),
+            Table::f(p.participation_score()),
+            p.is_5_1_compliant().to_string(),
+            violations.len().to_string(),
+        ]);
+    }
+    Ok(table)
+}
+
+/// **F6** — field-schedule comparison at a fixed 60-day budget.
+pub fn f6_patchwork() -> Result<Table> {
+    let mut table = Table::new(
+        "F6: ethnography schedules at a fixed 60-day budget",
+        &["schedule", "memos", "days on site", "insights", "saturation", "mean depth"],
+    );
+    let cases: Vec<(&str, Schedule, MemoPractice)> = vec![
+        ("traditional", Schedule::Traditional, MemoPractice::None),
+        (
+            "patchwork x6",
+            Schedule::Patchwork {
+                fragments: 6,
+                gap_days: 30,
+            },
+            MemoPractice::None,
+        ),
+        (
+            "patchwork x6 + memos",
+            Schedule::Patchwork {
+                fragments: 6,
+                gap_days: 30,
+            },
+            MemoPractice::Reflexive(0.9),
+        ),
+        (
+            "patchwork x12 + memos",
+            Schedule::Patchwork {
+                fragments: 12,
+                gap_days: 14,
+            },
+            MemoPractice::Reflexive(0.9),
+        ),
+        ("rapid (10 days)", Schedule::Rapid { days_on_site: 10 }, MemoPractice::None),
+    ];
+    for (label, schedule, memos) in cases {
+        let mut cfg = EthnographyConfig::default();
+        cfg.schedule = schedule;
+        cfg.memos = memos;
+        let out = FieldStudy::new(cfg).map_err(|_| core_err("ethnography config"))?.run();
+        let memo_label = match memos {
+            MemoPractice::None => "none".to_owned(),
+            MemoPractice::Reflexive(k) => format!("reflexive {k:.1}"),
+        };
+        table.row(&[
+            label.to_owned(),
+            memo_label,
+            out.days_on_site.to_string(),
+            format!("{:.1}", out.insights),
+            Table::f(out.saturation),
+            Table::f(out.mean_depth),
+        ]);
+    }
+    Ok(table)
+}
+
+/// **T5** — venue gatekeeping: acceptance by method vs CFP human weight.
+pub fn t5_gatekeeping(points: usize) -> Result<(Series, Series, Table)> {
+    if points < 2 {
+        return Err(core_err("need >= 2 sweep points"));
+    }
+    let mut human = Series::new(
+        "T5: human-centered acceptance vs CFP human-insight weight",
+        "human-insight weight",
+        "acceptance rate",
+    );
+    let mut systems = Series::new(
+        "T5: systems acceptance vs CFP human-insight weight",
+        "human-insight weight",
+        "acceptance rate",
+    );
+    let mut table = Table::new(
+        "T5: venue gatekeeping",
+        &["human weight", "systems acceptance", "human acceptance"],
+    );
+    for i in 0..points {
+        let w = 0.5 * i as f64 / (points - 1) as f64;
+        let out = humnet_agenda::review::run_review(
+            &ReviewConfig::default(),
+            &VenueWeights::broadened(w),
+        )
+        .map_err(|_| core_err("review run"))?;
+        human.push(w, out.human_acceptance);
+        systems.push(w, out.systems_acceptance);
+        table.row(&[
+            Table::f(w),
+            Table::f(out.systems_acceptance),
+            Table::f(out.human_acceptance),
+        ]);
+    }
+    Ok((human, systems, table))
+}
+
+/// **F8** — IXP growth dynamics: winner-take-all vs regional affinity.
+pub fn f8_growth(points: usize) -> Result<(Series, Series, Table)> {
+    if points < 2 {
+        return Err(core_err("need >= 2 sweep points"));
+    }
+    let mut top = Series::new(
+        "F8: top exchange's membership share vs regional affinity",
+        "regional affinity (gamma)",
+        "top share",
+    );
+    let mut local = Series::new(
+        "F8: South arrivals joining a local exchange vs regional affinity",
+        "regional affinity (gamma)",
+        "local join share",
+    );
+    let mut table = Table::new(
+        "F8: IXP growth dynamics",
+        &["gamma", "top share", "membership gini", "south joined local"],
+    );
+    for i in 0..points {
+        let gamma = 3.0 * i as f64 / (points - 1) as f64;
+        let mut cfg = humnet_ixp::GrowthConfig::default();
+        cfg.gamma_region = gamma;
+        let out = humnet_ixp::simulate_growth(&cfg).map_err(|_| core_err("growth run"))?;
+        top.push(gamma, out.top_share);
+        local.push(gamma, out.south_joined_local);
+        table.row(&[
+            Table::f(gamma),
+            Table::f(out.top_share),
+            Table::f(out.membership_gini),
+            Table::f(out.south_joined_local),
+        ]);
+    }
+    Ok((top, local, table))
+}
+
+/// **F9** — method-adoption dynamics around a CFP intervention.
+pub fn f9_adoption() -> Result<(Series, Table)> {
+    let cfg = humnet_agenda::AdoptionConfig::default();
+    let traj = humnet_agenda::simulate_adoption(&cfg).map_err(|_| core_err("adoption run"))?;
+    let mut series = Series::new(
+        "F9: human-centered share of the community (CFP broadened at round 15)",
+        "round",
+        "human share",
+    );
+    let mut table = Table::new(
+        "F9: adoption dynamics",
+        &["round", "human share", "human acceptance", "systems acceptance", "cfp broadened"],
+    );
+    for snap in &traj {
+        series.push(snap.round as f64, snap.human_share);
+        table.row(&[
+            snap.round.to_string(),
+            Table::f(snap.human_share),
+            Table::f(snap.human_acceptance),
+            Table::f(snap.systems_acceptance),
+            snap.intervened.to_string(),
+        ]);
+    }
+    Ok((series, table))
+}
+
+/// **T6** — diary-study compliance with and without technology probes
+/// (§6.1's "other methods", after Chidziwisano 2024).
+pub fn t6_diary(seed: u64) -> Result<Table> {
+    let mut table = Table::new(
+        "T6: diary-study compliance (12 participants, 6 weeks)",
+        &[
+            "design",
+            "overall compliance",
+            "final-week compliance",
+            "prompted share",
+            "mean words",
+        ],
+    );
+    for (label, probe_rate) in [("plain diary", 0.0), ("diary + probes", 0.5)] {
+        let mut cfg = humnet_qual::DiaryConfig::default();
+        cfg.probe_rate = probe_rate;
+        let out =
+            humnet_qual::simulate_diary(&cfg, seed).map_err(|_| core_err("diary run"))?;
+        table.row(&[
+            label.to_owned(),
+            Table::f(out.overall_compliance(&cfg)),
+            Table::f(out.final_week_compliance()),
+            Table::f(out.prompted_share()),
+            format!("{:.1}", out.mean_words()),
+        ]);
+    }
+    Ok(table)
+}
+
+/// **T7** — cooperative economics under three dues policies.
+pub fn t7_economics(seeds: &[u64]) -> Result<Table> {
+    if seeds.is_empty() {
+        return Err(crate::CoreError::EmptyInput);
+    }
+    let mut table = Table::new(
+        "T7: cooperative finances over 5 years by dues policy",
+        &[
+            "policy",
+            "insolvency rate",
+            "mean closing balance",
+            "mean members kept",
+            "mean priced out",
+        ],
+    );
+    for policy in humnet_community::DuesPolicy::ALL {
+        let mut insolvent = 0usize;
+        let mut closing = 0.0;
+        let mut kept = 0.0;
+        let mut dropped = 0.0;
+        for &seed in seeds {
+            let mut cfg = humnet_community::EconomicsConfig::default();
+            cfg.seed = seed;
+            cfg.income_sigma = 1.2;
+            let out = humnet_community::simulate_economics(&cfg, policy)
+                .map_err(|_| core_err("economics run"))?;
+            if out.insolvent_at.is_some() {
+                insolvent += 1;
+            }
+            closing += out.closing_balance;
+            kept += out.remaining_members as f64;
+            dropped += out.dropped_for_affordability as f64;
+        }
+        let n = seeds.len() as f64;
+        table.row(&[
+            policy.label().to_owned(),
+            Table::f(insolvent as f64 / n),
+            format!("{:.0}", closing / n),
+            Table::f(kept / n),
+            Table::f(dropped / n),
+        ]);
+    }
+    Ok(table)
+}
+
+/// **F7** — §5 recommendation uptake audit across the corpus.
+pub fn f7_audit(seed: u64) -> Result<Table> {
+    let corpus = CorpusConfig::default()
+        .generate(seed)
+        .map_err(|_| core_err("corpus generate"))?;
+    let report = MethodsAuditor::new().audit(&corpus)?;
+    let mut table = Table::new(
+        "F7: §5 recommendation uptake by venue kind",
+        &[
+            "venue kind",
+            "partnerships (§5.1)",
+            "conversations (§5.2)",
+            "positionality (§5.3)",
+            "human methods",
+        ],
+    );
+    for v in &report.venues {
+        table.row(&[
+            v.kind.label().to_owned(),
+            Table::f(v.partnership_rate),
+            Table::f(v.conversation_rate),
+            Table::f(v.positionality_rate),
+            Table::f(v.human_method_rate),
+        ]);
+    }
+    table.row(&[
+        "full §5 adoption".to_owned(),
+        Table::f(report.full_adoption_rate),
+        format!("recall {:.2}", report.detector_recall),
+        format!("precision {:.2}", report.detector_precision),
+        String::new(),
+    ]);
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_produces_high_gini() {
+        let r = f1_attention(42).unwrap();
+        assert!(r.gini > 0.5, "gini = {}", r.gini);
+        assert!(r.lorenz.points.len() > 100);
+        assert_eq!(r.by_class.rows.len(), 6);
+    }
+
+    #[test]
+    fn t1_shape_holds() {
+        let (rows, table) = t1_regimes(&[1, 2]).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(table.rows.len(), 4);
+        let get = |r: MethodRegime| rows.iter().find(|x| x.regime == r).unwrap();
+        let dd = get(MethodRegime::DataDriven);
+        let par = get(MethodRegime::Par);
+        assert!(par.marginalized_coverage > dd.marginalized_coverage);
+        assert!(dd.gini > par.gini);
+        assert!(dd.publications > par.publications);
+    }
+
+    #[test]
+    fn f2_gap_between_venue_cultures() {
+        let (table, series) = f2_positionality(7).unwrap();
+        assert_eq!(series.len(), 2);
+        let rate = |label: &str| -> f64 {
+            table
+                .rows
+                .iter()
+                .find(|r| r[0] == label)
+                .unwrap()[2]
+                .parse()
+                .unwrap()
+        };
+        assert!(rate("hci-cscw") > rate("systems-networking") + 0.1);
+    }
+
+    #[test]
+    fn t2_alpha_climbs() {
+        let table = t2_irr(5, 5).unwrap();
+        assert_eq!(table.rows.len(), 6);
+        let first: f64 = table.rows.first().unwrap()[3].parse().unwrap();
+        let last: f64 = table.rows.last().unwrap()[3].parse().unwrap();
+        assert!(last > first);
+    }
+
+    #[test]
+    fn f3_circumvention_gap() {
+        let (comply, split, table) = f3_telmex(5).unwrap();
+        assert_eq!(table.rows.len(), 5);
+        // At zero enforcement, compliance >> splitting.
+        assert!(comply.points[0].1 > split.points[0].1 + 0.3);
+        // At full enforcement the gap closes.
+        let last = split.points.last().unwrap().1;
+        assert!(last > 0.9, "full enforcement share = {last}");
+    }
+
+    #[test]
+    fn f4_gravity_slopes() {
+        let (foreign, local) = f4_gravity(5).unwrap();
+        assert!(foreign.points.first().unwrap().1 > foreign.points.last().unwrap().1);
+        assert!(local.points.last().unwrap().1 > local.points.first().unwrap().1);
+    }
+
+    #[test]
+    fn t3_and_f5_render() {
+        let t3 = t3_sustainability(&[1, 2]).unwrap();
+        assert_eq!(t3.rows.len(), 3);
+        let f5 = f5_congestion(1).unwrap();
+        assert_eq!(f5.rows.len(), 3);
+        assert!(f5.render().contains("community-tokens"));
+    }
+
+    #[test]
+    fn t4_scores_increase() {
+        let t = t4_ladder().unwrap();
+        assert_eq!(t.rows.len(), 6);
+        let scores: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(scores.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn f6_memos_rescue_patchwork() {
+        let t = f6_patchwork().unwrap();
+        let insights = |label: &str| -> f64 {
+            t.rows.iter().find(|r| r[0] == label).unwrap()[3].parse().unwrap()
+        };
+        assert!(insights("patchwork x6 + memos") > insights("patchwork x6"));
+        assert!(insights("traditional") > insights("rapid (10 days)"));
+    }
+
+    #[test]
+    fn t5_broadening_helps() {
+        let (human, _systems, table) = t5_gatekeeping(5).unwrap();
+        assert_eq!(table.rows.len(), 5);
+        assert!(human.points.last().unwrap().1 > human.points.first().unwrap().1);
+    }
+
+    #[test]
+    fn f7_audit_table_renders() {
+        let t = f7_audit(3).unwrap();
+        assert_eq!(t.rows.len(), 7);
+        assert!(t.render().contains("full §5 adoption"));
+    }
+
+    #[test]
+    fn f8_affinity_reduces_concentration() {
+        let (top, local, table) = f8_growth(4).unwrap();
+        assert_eq!(table.rows.len(), 4);
+        assert!(top.points[0].1 > top.points.last().unwrap().1);
+        assert!(local.points.last().unwrap().1 > local.points[0].1);
+    }
+
+    #[test]
+    fn f9_share_recovers_after_intervention() {
+        let (series, table) = f9_adoption().unwrap();
+        assert_eq!(table.rows.len(), 30);
+        let at15 = series.points[15].1;
+        let last = series.points.last().unwrap().1;
+        assert!(last > at15);
+    }
+
+    #[test]
+    fn t7_policies_differ() {
+        let t = t7_economics(&[1, 2, 3]).unwrap();
+        assert_eq!(t.rows.len(), 3);
+        let get = |label: &str, col: usize| -> f64 {
+            t.rows.iter().find(|r| r[0] == label).unwrap()[col].parse().unwrap()
+        };
+        // Income scaling keeps more members than flat dues.
+        assert!(get("income-scaled", 3) >= get("flat", 3));
+        // Donations carry the highest insolvency risk.
+        assert!(get("donation", 1) >= get("income-scaled", 1));
+    }
+
+    #[test]
+    fn t6_probes_help() {
+        let t = t6_diary(5).unwrap();
+        assert_eq!(t.rows.len(), 2);
+        let final_week = |label: &str| -> f64 {
+            t.rows.iter().find(|r| r[0] == label).unwrap()[2].parse().unwrap()
+        };
+        assert!(final_week("diary + probes") > final_week("plain diary"));
+    }
+}

@@ -1,0 +1,63 @@
+//! # humnet-core
+//!
+//! The `humnet` toolkit's primary contribution: first-class Rust types for
+//! the three research tools the paper advocates, plus the auditing and
+//! reporting machinery that makes them checkable.
+//!
+//! * [`par`] — participatory action research projects: partners, engagement
+//!   records across research stages, Arnstein-style participation-ladder
+//!   scoring, and the §5.1 documentation audit.
+//! * [`ethnography`] — field studies: sites, visit schedules (traditional,
+//!   patchwork, rapid), and an insight-saturation model that quantifies the
+//!   §3 claim that fragmented field time can preserve depth (experiment
+//!   **F6**).
+//! * [`reflexivity`] — role conflicts and disclosure audits tying
+//!   [`humnet_survey::positionality`] statements to project roles (§4's
+//!   Seattle Community Network example).
+//! * [`audit`] — the `MethodsAuditor`: runs the paper's §5 checklist over a
+//!   [`humnet_corpus::Corpus`] (experiments **F2** and **F7**).
+//! * [`report`] — plain-text tables and series used by the experiment
+//!   driver and benches to regenerate every table/figure in
+//!   `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod ethnography;
+pub mod experiments;
+pub mod par;
+pub mod reflexivity;
+pub mod report;
+
+pub use audit::{AuditReport, MethodsAuditor, VenueAudit};
+pub use ethnography::{EthnographyConfig, FieldStudy, MemoPractice, Schedule, StudyOutcome};
+pub use par::{EngagementKind, EngagementRecord, ParProject, Partner, ResearchStage};
+pub use reflexivity::{DisclosureAudit, ProjectRole, RoleAssignment};
+pub use report::{Series, Table};
+
+/// Errors produced by the core crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+    /// The operation requires nonempty input.
+    EmptyInput,
+    /// A referenced entity was missing.
+    NotFound(&'static str),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            CoreError::EmptyInput => write!(f, "input is empty"),
+            CoreError::NotFound(what) => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

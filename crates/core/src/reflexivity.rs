@@ -1,0 +1,235 @@
+//! Role conflicts and disclosure audits.
+//!
+//! §4's worked example: Jang "operated in many different roles, often with
+//! competing goals" — network lead *and* research lead of the same system —
+//! and the paper argues the research is only interpretable because those
+//! roles were disclosed. This module models project roles, detects the
+//! role combinations that demand disclosure, and audits a
+//! [`humnet_survey::PositionalityStatement`] against them.
+
+use crate::Result;
+use humnet_survey::{PositionalityFacet, PositionalityStatement};
+use serde::{Deserialize, Serialize};
+
+/// Roles a researcher can hold in a socio-technical project.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProjectRole {
+    /// Leads the research agenda and publications.
+    ResearchLead,
+    /// Operates the deployed network.
+    NetworkOperator,
+    /// Organizes community participation.
+    CommunityOrganizer,
+    /// Funds or administers the project.
+    Funder,
+    /// Lives in / uses the system being studied.
+    CommunityMember,
+}
+
+impl ProjectRole {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProjectRole::ResearchLead => "research-lead",
+            ProjectRole::NetworkOperator => "network-operator",
+            ProjectRole::CommunityOrganizer => "community-organizer",
+            ProjectRole::Funder => "funder",
+            ProjectRole::CommunityMember => "community-member",
+        }
+    }
+
+    /// The positionality facet a role's disclosure falls under.
+    pub fn facet(&self) -> PositionalityFacet {
+        match self {
+            ProjectRole::ResearchLead => PositionalityFacet::Disciplinary,
+            ProjectRole::NetworkOperator => PositionalityFacet::InstitutionalTies,
+            ProjectRole::CommunityOrganizer => PositionalityFacet::CommunityMembership,
+            ProjectRole::Funder => PositionalityFacet::InstitutionalTies,
+            ProjectRole::CommunityMember => PositionalityFacet::CommunityMembership,
+        }
+    }
+}
+
+/// A researcher's set of roles on one project.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoleAssignment {
+    /// Researcher name.
+    pub researcher: String,
+    /// Roles held.
+    pub roles: Vec<ProjectRole>,
+}
+
+impl RoleAssignment {
+    /// Create an assignment.
+    pub fn new(researcher: impl Into<String>, roles: Vec<ProjectRole>) -> Self {
+        RoleAssignment {
+            researcher: researcher.into(),
+            roles,
+        }
+    }
+
+    /// Role pairs with competing goals (the conflicts §4 says must be
+    /// disclosed): studying a system one operates, organizes, funds, or
+    /// inhabits.
+    pub fn conflicts(&self) -> Vec<(ProjectRole, ProjectRole)> {
+        let mut out = Vec::new();
+        if self.roles.contains(&ProjectRole::ResearchLead) {
+            for &other in &[
+                ProjectRole::NetworkOperator,
+                ProjectRole::CommunityOrganizer,
+                ProjectRole::Funder,
+                ProjectRole::CommunityMember,
+            ] {
+                if self.roles.contains(&other) {
+                    out.push((ProjectRole::ResearchLead, other));
+                }
+            }
+        }
+        out
+    }
+
+    /// True when the researcher holds roles with competing goals.
+    pub fn has_conflicts(&self) -> bool {
+        !self.conflicts().is_empty()
+    }
+}
+
+/// Result of auditing disclosures against role conflicts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisclosureAudit {
+    /// Conflicting role pairs found.
+    pub conflicts: Vec<(ProjectRole, ProjectRole)>,
+    /// Facets the statement should disclose but does not.
+    pub missing_facets: Vec<PositionalityFacet>,
+    /// Whether the statement reflects on influence (required when
+    /// conflicts exist).
+    pub reflection_present: bool,
+}
+
+impl DisclosureAudit {
+    /// Audit a statement against a role assignment. A compliant statement
+    /// discloses the facet of every conflicting role and reflects on how
+    /// the positions shaped the work.
+    pub fn run(assignment: &RoleAssignment, statement: &PositionalityStatement) -> Result<Self> {
+        let conflicts = assignment.conflicts();
+        let disclosed = statement.facets();
+        let mut missing = Vec::new();
+        for &(a, b) in &conflicts {
+            for role in [a, b] {
+                let facet = role.facet();
+                if !disclosed.contains(&facet) && !missing.contains(&facet) {
+                    missing.push(facet);
+                }
+            }
+        }
+        Ok(DisclosureAudit {
+            conflicts,
+            missing_facets: missing,
+            reflection_present: statement.reflects_on_influence,
+        })
+    }
+
+    /// True when the disclosure obligations are met.
+    pub fn compliant(&self) -> bool {
+        self.conflicts.is_empty()
+            || (self.missing_facets.is_empty() && self.reflection_present)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jang_like() -> RoleAssignment {
+        RoleAssignment::new(
+            "E. Jang",
+            vec![
+                ProjectRole::ResearchLead,
+                ProjectRole::NetworkOperator,
+                ProjectRole::CommunityOrganizer,
+            ],
+        )
+    }
+
+    #[test]
+    fn conflicts_detected_for_multi_role_researcher() {
+        let a = jang_like();
+        assert!(a.has_conflicts());
+        assert_eq!(a.conflicts().len(), 2);
+    }
+
+    #[test]
+    fn no_conflicts_for_single_role() {
+        let a = RoleAssignment::new("x", vec![ProjectRole::ResearchLead]);
+        assert!(!a.has_conflicts());
+        let b = RoleAssignment::new("y", vec![ProjectRole::NetworkOperator]);
+        assert!(!b.has_conflicts());
+    }
+
+    #[test]
+    fn audit_passes_with_full_disclosure() {
+        let statement = PositionalityStatement::new()
+            .disclose(
+                PositionalityFacet::Disciplinary,
+                "I lead the research agenda as a computer scientist",
+            )
+            .disclose(
+                PositionalityFacet::InstitutionalTies,
+                "I also operate the network under study",
+            )
+            .disclose(
+                PositionalityFacet::CommunityMembership,
+                "I organize the volunteer community",
+            )
+            .with_reflection();
+        let audit = DisclosureAudit::run(&jang_like(), &statement).unwrap();
+        assert!(audit.compliant(), "{audit:?}");
+        assert!(audit.missing_facets.is_empty());
+    }
+
+    #[test]
+    fn audit_fails_without_reflection() {
+        let statement = PositionalityStatement::new()
+            .disclose(PositionalityFacet::Disciplinary, "researcher")
+            .disclose(PositionalityFacet::InstitutionalTies, "operator")
+            .disclose(PositionalityFacet::CommunityMembership, "organizer");
+        let audit = DisclosureAudit::run(&jang_like(), &statement).unwrap();
+        assert!(!audit.compliant());
+        assert!(!audit.reflection_present);
+    }
+
+    #[test]
+    fn audit_reports_missing_facets() {
+        let statement = PositionalityStatement::new()
+            .disclose(PositionalityFacet::Disciplinary, "researcher")
+            .with_reflection();
+        let audit = DisclosureAudit::run(&jang_like(), &statement).unwrap();
+        assert!(!audit.compliant());
+        assert!(audit.missing_facets.contains(&PositionalityFacet::InstitutionalTies));
+        assert!(audit
+            .missing_facets
+            .contains(&PositionalityFacet::CommunityMembership));
+    }
+
+    #[test]
+    fn conflict_free_assignment_is_always_compliant() {
+        let a = RoleAssignment::new("x", vec![ProjectRole::ResearchLead]);
+        let empty = PositionalityStatement::new();
+        let audit = DisclosureAudit::run(&a, &empty).unwrap();
+        assert!(audit.compliant());
+    }
+
+    #[test]
+    fn role_facet_mapping_total() {
+        for role in [
+            ProjectRole::ResearchLead,
+            ProjectRole::NetworkOperator,
+            ProjectRole::CommunityOrganizer,
+            ProjectRole::Funder,
+            ProjectRole::CommunityMember,
+        ] {
+            let _ = role.facet();
+            assert!(!role.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Centrality measures: degree, closeness, PageRank, Brandes betweenness.
+//!
+//! The corpus crate uses PageRank over citation graphs to rank influence,
+//! and betweenness over AS topologies to identify choke-point networks
+//! (experiment **F4**: giant IXPs becoming "alternatives to Tier 1").
+
+use crate::graph::{Graph, NodeId};
+use crate::traversal::bfs_distances;
+use crate::{GraphError, Result};
+use std::collections::VecDeque;
+
+/// Degree centrality: degree divided by `n − 1` (0 for a single-node graph).
+pub fn degree_centrality(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    (0..n)
+        .map(|u| g.degree(u) as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// Closeness centrality with the Wasserman–Faust correction for
+/// disconnected graphs: for node `u` reaching `r` other nodes with total
+/// distance `s`, closeness is `(r / (n−1)) · (r / s)`. Isolated nodes get 0.
+pub fn closeness_centrality(g: &Graph) -> Result<Vec<f64>> {
+    let n = g.node_count();
+    if n == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let mut out = vec![0.0; n];
+    for u in 0..n {
+        let dist = bfs_distances(g, u)?;
+        let mut reach = 0usize;
+        let mut total = 0usize;
+        for (v, &d) in dist.iter().enumerate() {
+            if v != u && d != usize::MAX {
+                reach += 1;
+                total += d;
+            }
+        }
+        if reach > 0 && total > 0 && n > 1 {
+            out[u] = (reach as f64 / (n - 1) as f64) * (reach as f64 / total as f64);
+        }
+    }
+    Ok(out)
+}
+
+/// PageRank with damping factor `d` (typically 0.85), run until the L1
+/// change drops below `tol` or `max_iter` iterations elapse.
+///
+/// Dangling nodes (no out-edges) distribute their mass uniformly, the
+/// standard fix. Works on directed and undirected graphs (an undirected
+/// edge acts as two directed ones). Returns a probability vector that sums
+/// to 1.
+pub fn pagerank(g: &Graph, d: f64, tol: f64, max_iter: usize) -> Result<Vec<f64>> {
+    let n = g.node_count();
+    if n == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    if !(0.0..1.0).contains(&d) {
+        return Err(GraphError::InvalidParameter("damping must be in [0, 1)"));
+    }
+    if tol <= 0.0 {
+        return Err(GraphError::InvalidParameter("tolerance must be positive"));
+    }
+    let nf = n as f64;
+    let mut rank = vec![1.0 / nf; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..max_iter {
+        // Base teleportation mass.
+        for slot in next.iter_mut() {
+            *slot = (1.0 - d) / nf;
+        }
+        let mut dangling = 0.0;
+        for u in 0..n {
+            let deg = g.degree(u);
+            if deg == 0 {
+                dangling += rank[u];
+            } else {
+                let share = d * rank[u] / deg as f64;
+                for &(v, _) in g.neighbors(u) {
+                    next[v] += share;
+                }
+            }
+        }
+        if dangling > 0.0 {
+            let spread = d * dangling / nf;
+            for slot in next.iter_mut() {
+                *slot += spread;
+            }
+        }
+        let delta: f64 = rank
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < tol {
+            break;
+        }
+    }
+    Ok(rank)
+}
+
+/// Brandes' algorithm for (unweighted) betweenness centrality.
+///
+/// Returns raw betweenness scores; for undirected graphs each pair is
+/// counted once (scores halved, per convention).
+pub fn betweenness_centrality(g: &Graph) -> Result<Vec<f64>> {
+    let n = g.node_count();
+    if n == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let mut bc = vec![0.0; n];
+    // Reusable buffers.
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![-1i64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for s in 0..n {
+        // Reset.
+        for v in 0..n {
+            sigma[v] = 0.0;
+            dist[v] = -1;
+            delta[v] = 0.0;
+            preds[v].clear();
+        }
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            stack.push(u);
+            for &(v, _) in g.neighbors(u) {
+                if dist[v] < 0 {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+                if dist[v] == dist[u] + 1 {
+                    sigma[v] += sigma[u];
+                    preds[v].push(u);
+                }
+            }
+        }
+        while let Some(w) = stack.pop() {
+            for &u in &preds[w] {
+                delta[u] += sigma[u] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s {
+                bc[w] += delta[w];
+            }
+        }
+    }
+    if !g.is_directed() {
+        for b in bc.iter_mut() {
+            *b /= 2.0;
+        }
+    }
+    Ok(bc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, star};
+    use crate::graph::Graph;
+
+    #[test]
+    fn degree_centrality_star() {
+        let g = star(5); // hub 0 + 4 leaves
+        let c = degree_centrality(&g);
+        assert_eq!(c[0], 1.0);
+        for leaf in 1..5 {
+            assert!((c[leaf] - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degree_centrality_trivial_graphs() {
+        assert!(degree_centrality(&Graph::undirected(0)).is_empty());
+        assert_eq!(degree_centrality(&Graph::undirected(1)), vec![0.0]);
+    }
+
+    #[test]
+    fn closeness_star_hub_is_max() {
+        let g = star(6);
+        let c = closeness_centrality(&g).unwrap();
+        assert_eq!(c[0], 1.0);
+        for leaf in 1..6 {
+            assert!(c[leaf] < c[0]);
+        }
+    }
+
+    #[test]
+    fn closeness_isolated_node_zero() {
+        let g = Graph::undirected(3);
+        let c = closeness_centrality(&g).unwrap();
+        assert!(c.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_uniform_on_complete() {
+        let g = complete(5);
+        let pr = pagerank(&g, 0.85, 1e-12, 200).unwrap();
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for &p in &pr {
+            assert!((p - 0.2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pagerank_hub_dominates_star() {
+        let g = star(10);
+        let pr = pagerank(&g, 0.85, 1e-12, 200).unwrap();
+        assert!(pr[0] > pr[1] * 2.0);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pagerank_handles_dangling_nodes() {
+        let mut g = Graph::directed(3);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        // Node 2 dangles.
+        let pr = pagerank(&g, 0.85, 1e-12, 500).unwrap();
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(pr[2] > pr[0], "sink should accumulate rank");
+    }
+
+    #[test]
+    fn pagerank_dangling_chain_reference_values() {
+        // Independent fixed-point reference for 0→1→2 with node 2 dangling
+        // (d = 0.85): r ≈ [0.18442, 0.34117, 0.47441].
+        let mut g = Graph::directed(3);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        let pr = pagerank(&g, 0.85, 1e-14, 2000).unwrap();
+        let expected = [0.184_416_781_9, 0.341_171_046_6, 0.474_412_171_5];
+        for (got, want) in pr.iter().zip(expected) {
+            assert!((got - want).abs() < 1e-8, "pr = {pr:?}");
+        }
+    }
+
+    #[test]
+    fn pagerank_rejects_bad_params() {
+        let g = complete(3);
+        assert!(pagerank(&g, 1.0, 1e-9, 10).is_err());
+        assert!(pagerank(&g, 0.85, 0.0, 10).is_err());
+        assert!(pagerank(&Graph::undirected(0), 0.85, 1e-9, 10).is_err());
+    }
+
+    #[test]
+    fn betweenness_path_center() {
+        // Path 0-1-2: node 1 lies on the single 0↔2 shortest path.
+        let mut g = Graph::undirected(3);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        let bc = betweenness_centrality(&g).unwrap();
+        assert!((bc[1] - 1.0).abs() < 1e-12, "bc = {bc:?}");
+        assert_eq!(bc[0], 0.0);
+        assert_eq!(bc[2], 0.0);
+    }
+
+    #[test]
+    fn betweenness_star_hub() {
+        // Star with k leaves: hub is on all C(k, 2) leaf pairs' paths.
+        let g = star(5);
+        let bc = betweenness_centrality(&g).unwrap();
+        assert!((bc[0] - 6.0).abs() < 1e-12, "C(4,2) = 6, got {}", bc[0]);
+    }
+
+    #[test]
+    fn betweenness_complete_graph_zero() {
+        let g = complete(5);
+        let bc = betweenness_centrality(&g).unwrap();
+        assert!(bc.iter().all(|&b| b.abs() < 1e-12));
+    }
+
+    #[test]
+    fn betweenness_cycle_c5_reference() {
+        // Brute-force reference (all shortest paths enumerated externally):
+        // every node of C5 has betweenness exactly 1.0.
+        let g = crate::generators::ring(5).unwrap();
+        let bc = betweenness_centrality(&g).unwrap();
+        for &b in &bc {
+            assert!((b - 1.0).abs() < 1e-12, "bc = {bc:?}");
+        }
+    }
+
+    #[test]
+    fn betweenness_split_paths() {
+        // Diamond: 0-1-3, 0-2-3. Nodes 1 and 2 each carry half the 0↔3 pair.
+        let mut g = Graph::undirected(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 3).unwrap();
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(2, 3).unwrap();
+        let bc = betweenness_centrality(&g).unwrap();
+        assert!((bc[1] - 0.5).abs() < 1e-12);
+        assert!((bc[2] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,236 @@
+//! Community detection: modularity and deterministic label propagation.
+
+use crate::graph::Graph;
+use crate::{GraphError, Result};
+use humnet_stats::Rng;
+use std::collections::HashMap;
+
+/// A partition of graph nodes into communities: `membership[v]` is the
+/// community label of node `v` (labels are dense, `0..community_count`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Community label per node.
+    pub membership: Vec<usize>,
+}
+
+impl Partition {
+    /// Construct from raw labels, compacting them to `0..k`.
+    pub fn from_labels(labels: &[usize]) -> Self {
+        let mut remap: HashMap<usize, usize> = HashMap::new();
+        let mut membership = Vec::with_capacity(labels.len());
+        for &l in labels {
+            let next = remap.len();
+            let id = *remap.entry(l).or_insert(next);
+            membership.push(id);
+        }
+        Partition { membership }
+    }
+
+    /// Number of communities.
+    pub fn community_count(&self) -> usize {
+        self.membership.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Sizes of each community.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0; self.community_count()];
+        for &c in &self.membership {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+
+    /// Members of a given community.
+    pub fn members(&self, community: usize) -> Vec<usize> {
+        self.membership
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == community)
+            .map(|(v, _)| v)
+            .collect()
+    }
+}
+
+/// Newman modularity `Q` of a partition on an undirected weighted graph:
+/// `Q = (1/2m) Σ_ij [A_ij − k_i k_j / 2m] δ(c_i, c_j)`.
+///
+/// Q near 0 means no community structure beyond chance; dense intra-community
+/// graphs reach 0.3–0.7.
+pub fn modularity(g: &Graph, partition: &Partition) -> Result<f64> {
+    if g.is_directed() {
+        return Err(GraphError::InvalidParameter("modularity requires an undirected graph"));
+    }
+    if partition.membership.len() != g.node_count() {
+        return Err(GraphError::InvalidParameter("partition size != node count"));
+    }
+    let two_m = 2.0 * g.total_weight();
+    if two_m <= 0.0 {
+        return Err(GraphError::InvalidParameter("modularity undefined on an edgeless graph"));
+    }
+    // Intra-community edge weight and community degree sums.
+    let k = partition.community_count();
+    let mut intra = vec![0.0; k];
+    let mut deg = vec![0.0; k];
+    for v in g.nodes() {
+        deg[partition.membership[v]] += g.weighted_degree(v);
+    }
+    for e in g.edges() {
+        if partition.membership[e.from] == partition.membership[e.to] {
+            intra[partition.membership[e.from]] += e.weight;
+        }
+    }
+    let mut q = 0.0;
+    for c in 0..k {
+        q += intra[c] / (two_m / 2.0) - (deg[c] / two_m) * (deg[c] / two_m);
+    }
+    Ok(q)
+}
+
+/// Asynchronous label propagation (Raghavan et al. 2007), made deterministic
+/// by seeding the visit order from the provided RNG.
+///
+/// Each node repeatedly adopts the label carrying the greatest total edge
+/// weight among its neighbours (ties broken by smallest label) until no
+/// label changes or `max_sweeps` is reached. Returns the compacted
+/// partition.
+pub fn label_propagation(g: &Graph, rng: &mut Rng, max_sweeps: usize) -> Result<Partition> {
+    if g.is_directed() {
+        return Err(GraphError::InvalidParameter(
+            "label propagation requires an undirected graph",
+        ));
+    }
+    let n = g.node_count();
+    let mut labels: Vec<usize> = (0..n).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..max_sweeps {
+        rng.shuffle(&mut order);
+        let mut changed = false;
+        for &v in &order {
+            if g.degree(v) == 0 {
+                continue;
+            }
+            // Tally neighbour labels by weight.
+            let mut tally: HashMap<usize, f64> = HashMap::new();
+            for &(u, w) in g.neighbors(v) {
+                *tally.entry(labels[u]).or_insert(0.0) += w;
+            }
+            // Pick heaviest label; ties -> smallest label id for determinism.
+            let mut best_label = labels[v];
+            let mut best_weight = f64::NEG_INFINITY;
+            let mut keys: Vec<usize> = tally.keys().copied().collect();
+            keys.sort_unstable();
+            for l in keys {
+                let w = tally[&l];
+                if w > best_weight {
+                    best_weight = w;
+                    best_label = l;
+                }
+            }
+            if best_label != labels[v] {
+                labels[v] = best_label;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(Partition::from_labels(&labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::complete;
+    use crate::graph::Graph;
+
+    /// Two 5-cliques joined by a single bridge edge.
+    fn two_cliques() -> Graph {
+        let mut g = Graph::undirected(10);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                g.add_edge(u, v).unwrap();
+            }
+        }
+        for u in 5..10 {
+            for v in (u + 1)..10 {
+                g.add_edge(u, v).unwrap();
+            }
+        }
+        g.add_edge(4, 5).unwrap();
+        g
+    }
+
+    #[test]
+    fn partition_compacts_labels() {
+        let p = Partition::from_labels(&[7, 7, 3, 9, 3]);
+        assert_eq!(p.membership, vec![0, 0, 1, 2, 1]);
+        assert_eq!(p.community_count(), 3);
+        assert_eq!(p.sizes(), vec![2, 2, 1]);
+        assert_eq!(p.members(1), vec![2, 4]);
+    }
+
+    #[test]
+    fn modularity_of_true_split_is_high() {
+        let g = two_cliques();
+        let labels: Vec<usize> = (0..10).map(|v| if v < 5 { 0 } else { 1 }).collect();
+        let q = modularity(&g, &Partition::from_labels(&labels)).unwrap();
+        assert!(q > 0.4, "q = {q}");
+    }
+
+    #[test]
+    fn modularity_of_single_community_is_zero() {
+        let g = two_cliques();
+        let q = modularity(&g, &Partition::from_labels(&vec![0; 10])).unwrap();
+        assert!(q.abs() < 1e-12, "q = {q}");
+    }
+
+    #[test]
+    fn modularity_of_bad_split_is_lower() {
+        let g = two_cliques();
+        let good: Vec<usize> = (0..10).map(|v| if v < 5 { 0 } else { 1 }).collect();
+        let bad: Vec<usize> = (0..10).map(|v| v % 2).collect();
+        let qg = modularity(&g, &Partition::from_labels(&good)).unwrap();
+        let qb = modularity(&g, &Partition::from_labels(&bad)).unwrap();
+        assert!(qg > qb);
+    }
+
+    #[test]
+    fn modularity_rejects_size_mismatch() {
+        let g = complete(3);
+        assert!(modularity(&g, &Partition::from_labels(&[0, 1])).is_err());
+    }
+
+    #[test]
+    fn label_propagation_finds_two_cliques() {
+        let g = two_cliques();
+        let mut rng = Rng::new(11);
+        let p = label_propagation(&g, &mut rng, 50).unwrap();
+        // Nodes within each clique share a label.
+        for u in 1..5 {
+            assert_eq!(p.membership[u], p.membership[0]);
+        }
+        for u in 6..10 {
+            assert_eq!(p.membership[u], p.membership[5]);
+        }
+        let q = modularity(&g, &p).unwrap();
+        assert!(q > 0.3, "q = {q}");
+    }
+
+    #[test]
+    fn label_propagation_deterministic_per_seed() {
+        let g = two_cliques();
+        let p1 = label_propagation(&g, &mut Rng::new(5), 50).unwrap();
+        let p2 = label_propagation(&g, &mut Rng::new(5), 50).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_own_labels() {
+        let mut g = Graph::undirected(4);
+        g.add_edge(0, 1).unwrap();
+        let p = label_propagation(&g, &mut Rng::new(1), 10).unwrap();
+        assert_eq!(p.membership[0], p.membership[1]);
+        assert_ne!(p.membership[2], p.membership[3]);
+    }
+}

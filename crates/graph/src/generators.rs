@@ -1,0 +1,264 @@
+//! Graph generators: deterministic shapes and seeded random models.
+
+use crate::graph::Graph;
+use crate::{GraphError, Result};
+use humnet_stats::Rng;
+
+/// Complete graph on `n` nodes.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::undirected(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v).expect("valid nodes");
+        }
+    }
+    g
+}
+
+/// Star graph: node 0 is the hub, nodes `1..n` are leaves.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::undirected(n);
+    for v in 1..n {
+        g.add_edge(0, v).expect("valid nodes");
+    }
+    g
+}
+
+/// Ring (cycle) graph on `n ≥ 3` nodes.
+pub fn ring(n: usize) -> Result<Graph> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter("ring needs n >= 3"));
+    }
+    let mut g = Graph::undirected(n);
+    for u in 0..n {
+        g.add_edge(u, (u + 1) % n).expect("valid nodes");
+    }
+    Ok(g)
+}
+
+/// Erdős–Rényi G(n, p): each of the C(n, 2) possible edges appears
+/// independently with probability `p`.
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut Rng) -> Result<Graph> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter("p must be in [0, 1]"));
+    }
+    let mut g = Graph::undirected(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.chance(p) {
+                g.add_edge(u, v).expect("valid nodes");
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Barabási–Albert preferential attachment: start from a clique of `m`
+/// nodes, then attach each new node to `m` distinct existing nodes chosen
+/// with probability proportional to degree.
+///
+/// Requires `n > m ≥ 1`. Produces the heavy-tailed degree distributions
+/// characteristic of citation and interconnection networks.
+pub fn barabasi_albert(n: usize, m: usize, rng: &mut Rng) -> Result<Graph> {
+    if m == 0 {
+        return Err(GraphError::InvalidParameter("barabasi_albert needs m >= 1"));
+    }
+    if n <= m {
+        return Err(GraphError::InvalidParameter("barabasi_albert needs n > m"));
+    }
+    let mut g = Graph::undirected(n);
+    // Seed clique.
+    for u in 0..m {
+        for v in (u + 1)..m {
+            g.add_edge(u, v).expect("valid nodes");
+        }
+    }
+    // Repeated-endpoint list for degree-proportional sampling.
+    let mut endpoints: Vec<usize> = Vec::new();
+    for u in 0..m {
+        for _ in 0..g.degree(u) {
+            endpoints.push(u);
+        }
+    }
+    // Special case m == 1: seed "clique" has no edges, so attach node 1 to
+    // node 0 unconditionally to bootstrap the endpoint pool.
+    let mut start = m;
+    if endpoints.is_empty() {
+        g.add_edge(0, 1).expect("valid nodes");
+        endpoints.push(0);
+        endpoints.push(1);
+        start = 2.max(m);
+    }
+    for new in start..n {
+        let mut targets: Vec<usize> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while targets.len() < m && guard < 10_000 {
+            let t = *rng.choose(&endpoints);
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+            guard += 1;
+        }
+        for &t in &targets {
+            g.add_edge(new, t).expect("valid nodes");
+            endpoints.push(new);
+            endpoints.push(t);
+        }
+    }
+    Ok(g)
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where each node connects
+/// to its `k` nearest neighbours (`k` even, `k < n`), with each edge rewired
+/// to a uniformly random endpoint with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut Rng) -> Result<Graph> {
+    if k % 2 != 0 || k == 0 {
+        return Err(GraphError::InvalidParameter("watts_strogatz needs even k >= 2"));
+    }
+    if k >= n {
+        return Err(GraphError::InvalidParameter("watts_strogatz needs k < n"));
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidParameter("beta must be in [0, 1]"));
+    }
+    let mut g = Graph::undirected(n);
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            // Rewire with probability beta.
+            if rng.chance(beta) {
+                // Pick a random target that isn't u and isn't already adjacent.
+                let mut guard = 0;
+                loop {
+                    let w = rng.range(0, n);
+                    if w != u && !g.has_edge(u, w) {
+                        g.add_edge(u, w).expect("valid nodes");
+                        break;
+                    }
+                    guard += 1;
+                    if guard > 10 * n {
+                        // Dense corner case: keep the lattice edge.
+                        if !g.has_edge(u, v) {
+                            g.add_edge(u, v).expect("valid nodes");
+                        }
+                        break;
+                    }
+                }
+            } else if !g.has_edge(u, v) {
+                g.add_edge(u, v).expect("valid nodes");
+            }
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::component_count;
+
+    #[test]
+    fn complete_edge_count() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.degree(0), 5);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(0), 6);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(5).unwrap();
+        assert_eq!(g.edge_count(), 5);
+        for u in 0..5 {
+            assert_eq!(g.degree(u), 2);
+        }
+        assert!(ring(2).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = Rng::new(1);
+        let empty = erdos_renyi(10, 0.0, &mut rng).unwrap();
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi(10, 1.0, &mut rng).unwrap();
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_expected_density() {
+        let mut rng = Rng::new(2);
+        let g = erdos_renyi(100, 0.1, &mut rng).unwrap();
+        // Expect ~495 edges; allow generous slack.
+        let e = g.edge_count();
+        assert!((350..650).contains(&e), "edges = {e}");
+    }
+
+    #[test]
+    fn erdos_renyi_deterministic() {
+        let g1 = erdos_renyi(50, 0.2, &mut Rng::new(9)).unwrap();
+        let g2 = erdos_renyi(50, 0.2, &mut Rng::new(9)).unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn barabasi_albert_structure() {
+        let mut rng = Rng::new(3);
+        let g = barabasi_albert(200, 3, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 200);
+        // Connected by construction.
+        assert_eq!(component_count(&g), 1);
+        // Heavy tail: max degree should far exceed m.
+        let max_deg = (0..200).map(|u| g.degree(u)).max().unwrap();
+        assert!(max_deg > 10, "max degree {max_deg}");
+    }
+
+    #[test]
+    fn barabasi_albert_m1_is_tree() {
+        let mut rng = Rng::new(4);
+        let g = barabasi_albert(100, 1, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 99);
+        assert_eq!(component_count(&g), 1);
+    }
+
+    #[test]
+    fn barabasi_albert_rejects_bad_params() {
+        let mut rng = Rng::new(5);
+        assert!(barabasi_albert(5, 0, &mut rng).is_err());
+        assert!(barabasi_albert(3, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn watts_strogatz_zero_beta_is_lattice() {
+        let mut rng = Rng::new(6);
+        let g = watts_strogatz(20, 4, 0.0, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 40);
+        for u in 0..20 {
+            assert_eq!(g.degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rewired_stays_connected_usually() {
+        let mut rng = Rng::new(7);
+        let g = watts_strogatz(60, 6, 0.2, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 60);
+        // Edge count is preserved by rewiring (each lattice slot yields one
+        // edge except rare dense-corner fallbacks that dedup).
+        assert!(g.edge_count() > 150);
+    }
+
+    #[test]
+    fn watts_strogatz_rejects_bad_params() {
+        let mut rng = Rng::new(8);
+        assert!(watts_strogatz(10, 3, 0.1, &mut rng).is_err());
+        assert!(watts_strogatz(4, 4, 0.1, &mut rng).is_err());
+        assert!(watts_strogatz(10, 2, 1.5, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,313 @@
+//! The core graph type: a weighted adjacency-list graph with directed or
+//! undirected semantics chosen at construction time.
+
+use crate::{GraphError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node: a dense index in `[0, node_count)`.
+pub type NodeId = usize;
+
+/// Whether edges are directed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Every edge `(u, v)` is traversable both ways.
+    Undirected,
+    /// Edges are one-way.
+    Directed,
+}
+
+/// A lightweight reference to an edge during iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRef {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Edge weight.
+    pub weight: f64,
+}
+
+/// A weighted graph stored as adjacency lists.
+///
+/// Nodes are dense indices; adding a node returns the next index. For an
+/// undirected graph, each edge is stored in both adjacency lists but counted
+/// once by [`Graph::edge_count`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    direction: Direction,
+    adj: Vec<Vec<(NodeId, f64)>>,
+    /// For directed graphs, reverse adjacency (predecessors). Kept empty for
+    /// undirected graphs.
+    radj: Vec<Vec<(NodeId, f64)>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Create an empty graph with the given edge semantics.
+    pub fn new(direction: Direction) -> Self {
+        Graph {
+            direction,
+            adj: Vec::new(),
+            radj: Vec::new(),
+            edges: 0,
+        }
+    }
+
+    /// Create an undirected graph with `n` isolated nodes.
+    pub fn undirected(n: usize) -> Self {
+        let mut g = Graph::new(Direction::Undirected);
+        g.add_nodes(n);
+        g
+    }
+
+    /// Create a directed graph with `n` isolated nodes.
+    pub fn directed(n: usize) -> Self {
+        let mut g = Graph::new(Direction::Directed);
+        g.add_nodes(n);
+        g
+    }
+
+    /// Edge semantics of this graph.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// True if this graph is directed.
+    pub fn is_directed(&self) -> bool {
+        self.direction == Direction::Directed
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges (each undirected edge counted once).
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Add a single node; returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        if self.is_directed() {
+            self.radj.push(Vec::new());
+        }
+        self.adj.len() - 1
+    }
+
+    /// Add `n` nodes; returns the id of the first one added.
+    pub fn add_nodes(&mut self, n: usize) -> NodeId {
+        let first = self.adj.len();
+        for _ in 0..n {
+            self.add_node();
+        }
+        first
+    }
+
+    fn check(&self, id: NodeId) -> Result<()> {
+        if id < self.adj.len() {
+            Ok(())
+        } else {
+            Err(GraphError::InvalidNode(id))
+        }
+    }
+
+    /// Add an edge with weight 1.0.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<()> {
+        self.add_weighted_edge(from, to, 1.0)
+    }
+
+    /// Add a weighted edge. Parallel edges are permitted (they simply appear
+    /// twice in the adjacency list); self-loops are allowed for directed
+    /// graphs and rejected for undirected ones (they break degree and
+    /// clustering accounting).
+    pub fn add_weighted_edge(&mut self, from: NodeId, to: NodeId, weight: f64) -> Result<()> {
+        self.check(from)?;
+        self.check(to)?;
+        if !weight.is_finite() {
+            return Err(GraphError::InvalidParameter("edge weight must be finite"));
+        }
+        if from == to && !self.is_directed() {
+            return Err(GraphError::InvalidParameter(
+                "self-loops not supported on undirected graphs",
+            ));
+        }
+        self.adj[from].push((to, weight));
+        if self.is_directed() {
+            self.radj[to].push((from, weight));
+        } else {
+            self.adj[to].push((from, weight));
+        }
+        self.edges += 1;
+        Ok(())
+    }
+
+    /// True if an edge `from → to` exists (in either direction for
+    /// undirected graphs).
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.adj
+            .get(from)
+            .map(|nbrs| nbrs.iter().any(|&(v, _)| v == to))
+            .unwrap_or(false)
+    }
+
+    /// Out-neighbors of a node with weights.
+    pub fn neighbors(&self, id: NodeId) -> &[(NodeId, f64)] {
+        &self.adj[id]
+    }
+
+    /// In-neighbors of a node with weights. For undirected graphs this is
+    /// the same as [`Graph::neighbors`].
+    pub fn predecessors(&self, id: NodeId) -> &[(NodeId, f64)] {
+        if self.is_directed() {
+            &self.radj[id]
+        } else {
+            &self.adj[id]
+        }
+    }
+
+    /// Out-degree of a node.
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.adj[id].len()
+    }
+
+    /// In-degree of a node (equals degree for undirected graphs).
+    pub fn in_degree(&self, id: NodeId) -> usize {
+        if self.is_directed() {
+            self.radj[id].len()
+        } else {
+            self.adj[id].len()
+        }
+    }
+
+    /// Sum of weights on out-edges of a node.
+    pub fn weighted_degree(&self, id: NodeId) -> f64 {
+        self.adj[id].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Iterate over all edges. Undirected edges are yielded once, with
+    /// `from <= to`.
+    pub fn edges(&self) -> Vec<EdgeRef> {
+        let mut out = Vec::with_capacity(self.edges);
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for &(v, w) in nbrs {
+                if self.is_directed() || u <= v {
+                    out.push(EdgeRef {
+                        from: u,
+                        to: v,
+                        weight: w,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Node ids, `0..node_count()`.
+    pub fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.node_count()
+    }
+
+    /// Total edge weight (each undirected edge counted once).
+    pub fn total_weight(&self) -> f64 {
+        self.edges().iter().map(|e| e.weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(Direction::Undirected);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn add_nodes_returns_first_id() {
+        let mut g = Graph::new(Direction::Directed);
+        assert_eq!(g.add_nodes(3), 0);
+        assert_eq!(g.add_nodes(2), 3);
+        assert_eq!(g.node_count(), 5);
+    }
+
+    #[test]
+    fn undirected_edge_visible_both_ways() {
+        let mut g = Graph::undirected(3);
+        g.add_edge(0, 1).unwrap();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn directed_edge_one_way() {
+        let mut g = Graph::directed(2);
+        g.add_edge(0, 1).unwrap();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.in_degree(1), 1);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.predecessors(1), &[(0, 1.0)]);
+    }
+
+    #[test]
+    fn invalid_node_rejected() {
+        let mut g = Graph::undirected(2);
+        assert_eq!(g.add_edge(0, 5).unwrap_err(), GraphError::InvalidNode(5));
+    }
+
+    #[test]
+    fn undirected_self_loop_rejected() {
+        let mut g = Graph::undirected(2);
+        assert!(g.add_edge(1, 1).is_err());
+    }
+
+    #[test]
+    fn directed_self_loop_allowed() {
+        let mut g = Graph::directed(1);
+        g.add_edge(0, 0).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn edges_iterator_dedups_undirected() {
+        let mut g = Graph::undirected(3);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        let edges = g.edges();
+        assert_eq!(edges.len(), 2);
+        assert!(edges.iter().all(|e| e.from <= e.to));
+    }
+
+    #[test]
+    fn weighted_degree_sums() {
+        let mut g = Graph::undirected(3);
+        g.add_weighted_edge(0, 1, 2.5).unwrap();
+        g.add_weighted_edge(0, 2, 1.5).unwrap();
+        assert_eq!(g.weighted_degree(0), 4.0);
+        assert_eq!(g.total_weight(), 4.0);
+    }
+
+    #[test]
+    fn non_finite_weight_rejected() {
+        let mut g = Graph::undirected(2);
+        assert!(g.add_weighted_edge(0, 1, f64::NAN).is_err());
+        assert!(g.add_weighted_edge(0, 1, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let mut g = Graph::undirected(3);
+        g.add_weighted_edge(0, 1, 2.0).unwrap();
+        let g2 = g.clone();
+        assert_eq!(g, g2);
+        assert_eq!(g2.neighbors(0), &[(1, 2.0)]);
+    }
+}

@@ -1,0 +1,81 @@
+//! # humnet-graph
+//!
+//! Graph substrate for the `humnet` toolkit.
+//!
+//! The corpus crate builds citation and coauthorship graphs on top of this,
+//! the IXP crate builds AS-level topologies, and the community crate builds
+//! wireless mesh layouts. The crate provides:
+//!
+//! * a simple weighted graph type ([`Graph`]) supporting directed and
+//!   undirected semantics;
+//! * traversals and shortest paths ([`traversal`]);
+//! * centrality measures ([`centrality`]) — degree, closeness, PageRank and
+//!   Brandes betweenness;
+//! * community detection ([`community`]) — modularity scoring and
+//!   deterministic label propagation;
+//! * random-graph generators ([`generators`]) — Erdős–Rényi,
+//!   Barabási–Albert, Watts–Strogatz, plus deterministic shapes;
+//! * whole-graph metrics ([`metrics`]) — density, clustering, degree
+//!   distribution, assortativity, diameter.
+//!
+//! Design follows the smoltcp school: plain data structures, no clever type
+//! tricks, deterministic behaviour everywhere (generators take an explicit
+//! [`humnet_stats::Rng`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod centrality;
+pub mod community;
+pub mod generators;
+pub mod graph;
+pub mod louvain;
+pub mod metrics;
+pub mod traversal;
+
+pub use centrality::{betweenness_centrality, closeness_centrality, degree_centrality, pagerank};
+pub use community::{label_propagation, modularity, Partition};
+pub use generators::{barabasi_albert, complete, erdos_renyi, ring, star, watts_strogatz};
+pub use graph::{Direction, EdgeRef, Graph, NodeId};
+pub use louvain::louvain;
+pub use metrics::{
+    assortativity, average_clustering, core_numbers, degree_histogram, density, diameter,
+    local_clustering,
+};
+pub use traversal::{
+    bfs_distances, connected_components, dijkstra, dijkstra_path, shortest_path,
+};
+
+/// Errors produced by graph routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id was out of range for this graph.
+    InvalidNode(usize),
+    /// The operation requires a nonempty graph.
+    EmptyGraph,
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+    /// No path exists between the requested endpoints.
+    NoPath {
+        /// Source node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::InvalidNode(id) => write!(f, "invalid node id {id}"),
+            GraphError::EmptyGraph => write!(f, "graph is empty"),
+            GraphError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            GraphError::NoPath { from, to } => write!(f, "no path from {from} to {to}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,255 @@
+//! Louvain community detection (Blondel et al. 2008), the standard
+//! multilevel modularity optimizer.
+//!
+//! Label propagation ([`crate::community::label_propagation`]) is fast but
+//! coarse; Louvain finds higher-modularity partitions on the coauthorship
+//! and co-citation graphs the corpus analyses build. The implementation is
+//! deterministic: nodes are visited in index order, ties break toward the
+//! smaller community id.
+
+use crate::community::Partition;
+use crate::graph::Graph;
+use crate::{GraphError, Result};
+
+/// Internal working graph: adjacency with weights plus per-node self-loop
+/// weight (aggregation creates self-loops that [`Graph`] does not allow).
+struct WorkGraph {
+    adj: Vec<Vec<(usize, f64)>>,
+    self_weight: Vec<f64>,
+}
+
+impl WorkGraph {
+    fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Weighted degree including twice the self-loop (standard convention).
+    fn degree(&self, v: usize) -> f64 {
+        self.adj[v].iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * self.self_weight[v]
+    }
+
+    /// Total edge weight m (self-loops counted once).
+    fn total_weight(&self) -> f64 {
+        let half: f64 = self
+            .adj
+            .iter()
+            .flat_map(|nbrs| nbrs.iter().map(|&(_, w)| w))
+            .sum();
+        half / 2.0 + self.self_weight.iter().sum::<f64>()
+    }
+}
+
+/// One level of local moving. Returns (community per node, improved?).
+fn local_moving(g: &WorkGraph, m: f64) -> (Vec<usize>, bool) {
+    let n = g.node_count();
+    let mut community: Vec<usize> = (0..n).collect();
+    // Sum of degrees per community.
+    let mut sigma_tot: Vec<f64> = (0..n).map(|v| g.degree(v)).collect();
+    let mut improved_any = false;
+    let mut improved = true;
+    let mut guard = 0;
+    while improved && guard < 100 {
+        improved = false;
+        guard += 1;
+        for v in 0..n {
+            let kv = g.degree(v);
+            let current = community[v];
+            // Weights from v to each neighbouring community.
+            let mut links: std::collections::HashMap<usize, f64> =
+                std::collections::HashMap::new();
+            for &(u, w) in &g.adj[v] {
+                *links.entry(community[u]).or_insert(0.0) += w;
+            }
+            // Remove v from its community.
+            sigma_tot[current] -= kv;
+            let base_link = links.get(&current).copied().unwrap_or(0.0);
+            // Gain of staying put.
+            let mut best_comm = current;
+            let mut best_gain = base_link - sigma_tot[current] * kv / (2.0 * m);
+            let mut comms: Vec<usize> = links.keys().copied().collect();
+            comms.sort_unstable();
+            for c in comms {
+                if c == current {
+                    continue;
+                }
+                let gain = links[&c] - sigma_tot[c] * kv / (2.0 * m);
+                if gain > best_gain + 1e-12 {
+                    best_gain = gain;
+                    best_comm = c;
+                } else if (gain - best_gain).abs() <= 1e-12 && c < best_comm {
+                    best_comm = c;
+                }
+            }
+            sigma_tot[best_comm] += kv;
+            if best_comm != current {
+                community[v] = best_comm;
+                improved = true;
+                improved_any = true;
+            }
+        }
+    }
+    (community, improved_any)
+}
+
+/// Aggregate communities into a smaller work graph.
+fn aggregate(g: &WorkGraph, community: &[usize]) -> (WorkGraph, Vec<usize>) {
+    // Compact community labels.
+    let mut remap: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut compact = vec![0usize; community.len()];
+    for (v, &c) in community.iter().enumerate() {
+        let next = remap.len();
+        compact[v] = *remap.entry(c).or_insert(next);
+    }
+    let k = remap.len();
+    let mut self_weight = vec![0.0; k];
+    let mut pair_weight: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
+    for v in 0..g.node_count() {
+        self_weight[compact[v]] += g.self_weight[v];
+        for &(u, w) in &g.adj[v] {
+            if u < v {
+                continue; // each undirected edge visited once
+            }
+            let (a, b) = (compact[v], compact[u]);
+            if a == b {
+                self_weight[a] += w;
+            } else {
+                let key = (a.min(b), a.max(b));
+                *pair_weight.entry(key).or_insert(0.0) += w;
+            }
+        }
+    }
+    let mut adj = vec![Vec::new(); k];
+    let mut pairs: Vec<((usize, usize), f64)> = pair_weight.into_iter().collect();
+    pairs.sort_by_key(|&(key, _)| key);
+    for ((a, b), w) in pairs {
+        adj[a].push((b, w));
+        adj[b].push((a, w));
+    }
+    (WorkGraph { adj, self_weight }, compact)
+}
+
+/// Run Louvain to convergence. Errors on directed or edgeless graphs.
+pub fn louvain(graph: &Graph) -> Result<Partition> {
+    if graph.is_directed() {
+        return Err(GraphError::InvalidParameter("louvain requires an undirected graph"));
+    }
+    if graph.edge_count() == 0 {
+        return Err(GraphError::InvalidParameter("louvain requires edges"));
+    }
+    // Build the initial work graph.
+    let n = graph.node_count();
+    let mut work = WorkGraph {
+        adj: (0..n)
+            .map(|v| graph.neighbors(v).to_vec())
+            .collect(),
+        self_weight: vec![0.0; n],
+    };
+    let m = work.total_weight();
+    // node -> community mapping through the levels.
+    let mut membership: Vec<usize> = (0..n).collect();
+    let mut guard = 0;
+    loop {
+        guard += 1;
+        let (community, improved) = local_moving(&work, m);
+        if !improved || guard > 20 {
+            break;
+        }
+        let (aggregated, compact) = aggregate(&work, &community);
+        // Update the global membership: each original node follows its
+        // current community through the compaction.
+        for slot in membership.iter_mut() {
+            *slot = compact[community[*slot]];
+        }
+        if aggregated.node_count() == work.node_count() {
+            break; // no further aggregation possible
+        }
+        work = aggregated;
+    }
+    Ok(Partition::from_labels(&membership))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::modularity;
+    use crate::generators::{complete, ring};
+    use crate::graph::{Direction, Graph};
+    use humnet_stats::Rng;
+
+    fn planted_partition(groups: usize, size: usize, p_in: f64, p_out: f64, seed: u64) -> Graph {
+        let mut rng = Rng::new(seed);
+        let n = groups * size;
+        let mut g = Graph::undirected(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let same = a / size == b / size;
+                let p = if same { p_in } else { p_out };
+                if rng.chance(p) {
+                    g.add_edge(a, b).unwrap();
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn recovers_planted_communities() {
+        let g = planted_partition(4, 12, 0.8, 0.02, 7);
+        let p = louvain(&g).unwrap();
+        // Every planted group should be (almost) entirely one community.
+        for group in 0..4 {
+            let labels: Vec<usize> =
+                (0..12).map(|i| p.membership[group * 12 + i]).collect();
+            let first = labels[0];
+            let same = labels.iter().filter(|&&l| l == first).count();
+            assert!(same >= 11, "group {group} split: {labels:?}");
+        }
+        let q = modularity(&g, &p).unwrap();
+        assert!(q > 0.5, "q = {q}");
+    }
+
+    #[test]
+    fn beats_or_matches_trivial_partition() {
+        let g = planted_partition(3, 10, 0.7, 0.05, 3);
+        let p = louvain(&g).unwrap();
+        let q = modularity(&g, &p).unwrap();
+        let trivial = crate::community::Partition::from_labels(&vec![0; g.node_count()]);
+        let q0 = modularity(&g, &trivial).unwrap();
+        assert!(q > q0);
+    }
+
+    #[test]
+    fn complete_graph_is_one_community() {
+        let g = complete(8);
+        let p = louvain(&g).unwrap();
+        assert_eq!(p.community_count(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = planted_partition(3, 8, 0.8, 0.05, 11);
+        assert_eq!(louvain(&g).unwrap(), louvain(&g).unwrap());
+    }
+
+    #[test]
+    fn ring_partitions_into_arcs() {
+        let g = ring(12).unwrap();
+        let p = louvain(&g).unwrap();
+        // A ring has weak structure; Louvain still groups adjacent nodes.
+        assert!(p.community_count() > 1);
+        assert!(p.community_count() < 12);
+        let q = modularity(&g, &p).unwrap();
+        assert!(q > 0.0);
+    }
+
+    #[test]
+    fn rejects_directed_and_edgeless() {
+        let mut d = Graph::new(Direction::Directed);
+        d.add_nodes(3);
+        d.add_edge(0, 1).unwrap();
+        assert!(louvain(&d).is_err());
+        let empty = Graph::undirected(5);
+        assert!(louvain(&empty).is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Whole-graph structural metrics.
+
+use crate::graph::Graph;
+use crate::traversal::bfs_distances;
+use crate::{GraphError, Result};
+
+/// Edge density: edges divided by the maximum possible for the graph's
+/// direction semantics. A single-node graph has density 0.
+pub fn density(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n <= 1 {
+        return 0.0;
+    }
+    let possible = if g.is_directed() {
+        n * (n - 1)
+    } else {
+        n * (n - 1) / 2
+    };
+    g.edge_count() as f64 / possible as f64
+}
+
+/// Local clustering coefficient of a node: fraction of neighbour pairs that
+/// are themselves connected. Nodes of degree < 2 get 0.
+pub fn local_clustering(g: &Graph, v: usize) -> Result<f64> {
+    if v >= g.node_count() {
+        return Err(GraphError::InvalidNode(v));
+    }
+    // Distinct neighbours (ignore parallel edges).
+    let mut nbrs: Vec<usize> = g.neighbors(v).iter().map(|&(u, _)| u).collect();
+    nbrs.sort_unstable();
+    nbrs.dedup();
+    if nbrs.len() < 2 {
+        return Ok(0.0);
+    }
+    let mut closed = 0usize;
+    for i in 0..nbrs.len() {
+        for j in (i + 1)..nbrs.len() {
+            if g.has_edge(nbrs[i], nbrs[j]) {
+                closed += 1;
+            }
+        }
+    }
+    let pairs = nbrs.len() * (nbrs.len() - 1) / 2;
+    Ok(closed as f64 / pairs as f64)
+}
+
+/// Average of local clustering coefficients over all nodes.
+pub fn average_clustering(g: &Graph) -> Result<f64> {
+    let n = g.node_count();
+    if n == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let mut total = 0.0;
+    for v in 0..n {
+        total += local_clustering(g, v)?;
+    }
+    Ok(total / n as f64)
+}
+
+/// Degree histogram: `hist[d]` is the number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let max_deg = (0..g.node_count()).map(|v| g.degree(v)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max_deg + 1];
+    for v in 0..g.node_count() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Degree assortativity coefficient (Pearson correlation of degrees at the
+/// two ends of each edge). Positive: hubs link to hubs. Errors when the
+/// graph has no edges or degenerate degree variance.
+pub fn assortativity(g: &Graph) -> Result<f64> {
+    let edges = g.edges();
+    if edges.is_empty() {
+        return Err(GraphError::InvalidParameter("assortativity needs edges"));
+    }
+    // Build symmetric endpoint degree lists (each undirected edge contributes
+    // both orientations, the standard convention).
+    let mut x = Vec::with_capacity(edges.len() * 2);
+    let mut y = Vec::with_capacity(edges.len() * 2);
+    for e in &edges {
+        let du = g.degree(e.from) as f64;
+        let dv = g.degree(e.to) as f64;
+        x.push(du);
+        y.push(dv);
+        if !g.is_directed() {
+            x.push(dv);
+            y.push(du);
+        }
+    }
+    humnet_stats::pearson(&x, &y)
+        .map_err(|_| GraphError::InvalidParameter("degenerate degree sequence"))
+}
+
+/// Diameter of the graph: the greatest shortest-path distance between any
+/// pair of mutually reachable nodes. Errors on an empty graph; returns 0
+/// for a graph with no edges.
+pub fn diameter(g: &Graph) -> Result<usize> {
+    let n = g.node_count();
+    if n == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let mut best = 0usize;
+    for v in 0..n {
+        let dist = bfs_distances(g, v)?;
+        for &d in &dist {
+            if d != usize::MAX && d > best {
+                best = d;
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// K-core decomposition: returns each node's core number (the largest `k`
+/// such that the node belongs to a subgraph where every node has degree ≥
+/// `k`). Uses the standard linear peeling algorithm on distinct-neighbour
+/// degrees.
+pub fn core_numbers(g: &Graph) -> Vec<usize> {
+    let n = g.node_count();
+    // Distinct-neighbour degree (parallel edges collapse).
+    let mut degree: Vec<usize> = (0..n)
+        .map(|v| {
+            let mut nbrs: Vec<usize> = g.neighbors(v).iter().map(|&(u, _)| u).collect();
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            nbrs.len()
+        })
+        .collect();
+    let mut core = vec![0usize; n];
+    let mut removed = vec![false; n];
+    for _ in 0..n {
+        // Peel the minimum-degree remaining node.
+        let v = (0..n)
+            .filter(|&v| !removed[v])
+            .min_by_key(|&v| degree[v])
+            .expect("nodes remain");
+        removed[v] = true;
+        core[v] = degree[v];
+        let mut nbrs: Vec<usize> = g.neighbors(v).iter().map(|&(u, _)| u).collect();
+        nbrs.sort_unstable();
+        nbrs.dedup();
+        for u in nbrs {
+            if !removed[u] && degree[u] > degree[v] {
+                degree[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, ring, star};
+    use crate::graph::Graph;
+
+    #[test]
+    fn density_complete_is_one() {
+        assert!((density(&complete(6)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_directed() {
+        let mut g = Graph::directed(3);
+        g.add_edge(0, 1).unwrap();
+        // 1 of 6 possible arcs.
+        assert!((density(&g) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_trivial() {
+        assert_eq!(density(&Graph::undirected(1)), 0.0);
+        assert_eq!(density(&Graph::undirected(0)), 0.0);
+    }
+
+    #[test]
+    fn clustering_triangle_is_one() {
+        let g = complete(3);
+        assert_eq!(local_clustering(&g, 0).unwrap(), 1.0);
+        assert_eq!(average_clustering(&g).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn clustering_star_is_zero() {
+        let g = star(6);
+        assert_eq!(average_clustering(&g).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn clustering_low_degree_is_zero() {
+        let mut g = Graph::undirected(2);
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(local_clustering(&g, 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let g = star(5);
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 4);
+        assert_eq!(h[4], 1);
+        assert_eq!(h[0], 0);
+    }
+
+    #[test]
+    fn assortativity_star_is_negative() {
+        let g = star(10);
+        let a = assortativity(&g).unwrap();
+        assert!(a < -0.9, "a = {a}");
+    }
+
+    #[test]
+    fn assortativity_ring_is_degenerate() {
+        // All degrees equal -> zero variance -> error.
+        let g = ring(6).unwrap();
+        assert!(assortativity(&g).is_err());
+    }
+
+    #[test]
+    fn diameter_of_ring() {
+        let g = ring(8).unwrap();
+        assert_eq!(diameter(&g).unwrap(), 4);
+    }
+
+    #[test]
+    fn diameter_of_disconnected() {
+        let mut g = Graph::undirected(4);
+        g.add_edge(0, 1).unwrap();
+        // Pairs across components are ignored.
+        assert_eq!(diameter(&g).unwrap(), 1);
+    }
+
+    #[test]
+    fn diameter_empty_graph_errors() {
+        assert!(diameter(&Graph::undirected(0)).is_err());
+    }
+
+    #[test]
+    fn core_numbers_complete_graph() {
+        let g = complete(5);
+        assert_eq!(core_numbers(&g), vec![4; 5]);
+    }
+
+    #[test]
+    fn core_numbers_star_and_ring() {
+        let g = star(6);
+        let core = core_numbers(&g);
+        assert!(core.iter().all(|&c| c == 1), "star is 1-core: {core:?}");
+        let r = ring(7).unwrap();
+        assert_eq!(core_numbers(&r), vec![2; 7]);
+    }
+
+    #[test]
+    fn core_numbers_clique_with_tail() {
+        // 4-clique (nodes 0..4) plus a path 3-4-5.
+        let mut g = Graph::undirected(6);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                g.add_edge(a, b).unwrap();
+            }
+        }
+        g.add_edge(3, 4).unwrap();
+        g.add_edge(4, 5).unwrap();
+        let core = core_numbers(&g);
+        assert_eq!(&core[0..4], &[3, 3, 3, 3]);
+        assert_eq!(core[4], 1);
+        assert_eq!(core[5], 1);
+    }
+
+    #[test]
+    fn core_numbers_isolated() {
+        let g = Graph::undirected(3);
+        assert_eq!(core_numbers(&g), vec![0; 3]);
+    }
+}

@@ -1,0 +1,374 @@
+//! Traversals, shortest paths, and connectivity.
+
+use crate::graph::{Graph, NodeId};
+use crate::{GraphError, Result};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Unweighted BFS distances from `source` to every node.
+/// Unreachable nodes get `usize::MAX`.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Result<Vec<usize>> {
+    if source >= g.node_count() {
+        return Err(GraphError::InvalidNode(source));
+    }
+    let mut dist = vec![usize::MAX; g.node_count()];
+    dist[source] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &(v, _) in g.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    Ok(dist)
+}
+
+/// Shortest unweighted path from `from` to `to` as a node sequence
+/// (inclusive of both endpoints). Errors when no path exists.
+pub fn shortest_path(g: &Graph, from: NodeId, to: NodeId) -> Result<Vec<NodeId>> {
+    if from >= g.node_count() {
+        return Err(GraphError::InvalidNode(from));
+    }
+    if to >= g.node_count() {
+        return Err(GraphError::InvalidNode(to));
+    }
+    let mut prev = vec![usize::MAX; g.node_count()];
+    let mut seen = vec![false; g.node_count()];
+    seen[from] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    while let Some(u) = queue.pop_front() {
+        if u == to {
+            break;
+        }
+        for &(v, _) in g.neighbors(u) {
+            if !seen[v] {
+                seen[v] = true;
+                prev[v] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    if !seen[to] {
+        return Err(GraphError::NoPath { from, to });
+    }
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = prev[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    Ok(path)
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance: reverse the comparison.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra single-source shortest path distances over edge weights, which
+/// must all be nonnegative. Unreachable nodes get `f64::INFINITY`.
+pub fn dijkstra(g: &Graph, source: NodeId) -> Result<Vec<f64>> {
+    if source >= g.node_count() {
+        return Err(GraphError::InvalidNode(source));
+    }
+    for e in g.edges() {
+        if e.weight < 0.0 {
+            return Err(GraphError::InvalidParameter("dijkstra requires nonnegative weights"));
+        }
+    }
+    let mut dist = vec![f64::INFINITY; g.node_count()];
+    dist[source] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in g.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+    Ok(dist)
+}
+
+/// Dijkstra with path reconstruction: shortest weighted path from `from`
+/// to `to` as `(node sequence, total distance)`. Errors when no path
+/// exists or any weight is negative.
+pub fn dijkstra_path(g: &Graph, from: NodeId, to: NodeId) -> Result<(Vec<NodeId>, f64)> {
+    if from >= g.node_count() {
+        return Err(GraphError::InvalidNode(from));
+    }
+    if to >= g.node_count() {
+        return Err(GraphError::InvalidNode(to));
+    }
+    for e in g.edges() {
+        if e.weight < 0.0 {
+            return Err(GraphError::InvalidParameter("dijkstra requires nonnegative weights"));
+        }
+    }
+    let mut dist = vec![f64::INFINITY; g.node_count()];
+    let mut prev = vec![usize::MAX; g.node_count()];
+    dist[from] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: from,
+    });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if u == to {
+            break;
+        }
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in g.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                prev[v] = u;
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+    if dist[to].is_infinite() {
+        return Err(GraphError::NoPath { from, to });
+    }
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = prev[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    Ok((path, dist[to]))
+}
+
+/// Connected components of an undirected graph (weakly connected components
+/// if the graph is directed — edges are followed both ways using the
+/// predecessor lists). Returns a component label per node, with labels
+/// numbered from 0 in order of first appearance.
+pub fn connected_components(g: &Graph) -> Vec<usize> {
+    let n = g.node_count();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            let forward = g.neighbors(u).iter().map(|&(v, _)| v);
+            let backward = g.predecessors(u).iter().map(|&(v, _)| v);
+            for v in forward.chain(backward) {
+                if label[v] == usize::MAX {
+                    label[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+/// Number of connected components.
+pub fn component_count(g: &Graph) -> usize {
+    connected_components(g).iter().copied().max().map_or(0, |m| m + 1)
+}
+
+/// Size of the largest connected component (0 for an empty graph).
+pub fn largest_component_size(g: &Graph) -> usize {
+    let labels = connected_components(g);
+    if labels.is_empty() {
+        return 0;
+    }
+    let k = labels.iter().copied().max().unwrap() + 1;
+    let mut sizes = vec![0usize; k];
+    for &l in &labels {
+        sizes[l] += 1;
+    }
+    sizes.into_iter().max().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::undirected(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, 0).unwrap();
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_max() {
+        let mut g = Graph::undirected(3);
+        g.add_edge(0, 1).unwrap();
+        let d = bfs_distances(&g, 0).unwrap();
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn shortest_path_endpoints() {
+        let g = path_graph(4);
+        let p = shortest_path(&g, 0, 3).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3]);
+        let p = shortest_path(&g, 2, 2).unwrap();
+        assert_eq!(p, vec![2]);
+    }
+
+    #[test]
+    fn shortest_path_no_route() {
+        let g = Graph::undirected(2);
+        assert_eq!(
+            shortest_path(&g, 0, 1).unwrap_err(),
+            GraphError::NoPath { from: 0, to: 1 }
+        );
+    }
+
+    #[test]
+    fn shortest_path_prefers_fewer_hops() {
+        let mut g = Graph::undirected(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 3).unwrap();
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g.add_edge(0, 3).unwrap();
+        assert_eq!(shortest_path(&g, 0, 3).unwrap(), vec![0, 3]);
+    }
+
+    #[test]
+    fn dijkstra_weighted_route() {
+        let mut g = Graph::undirected(4);
+        g.add_weighted_edge(0, 1, 1.0).unwrap();
+        g.add_weighted_edge(1, 3, 1.0).unwrap();
+        g.add_weighted_edge(0, 3, 10.0).unwrap();
+        g.add_weighted_edge(0, 2, 2.0).unwrap();
+        let d = dijkstra(&g, 0).unwrap();
+        assert_eq!(d[3], 2.0);
+        assert_eq!(d[2], 2.0);
+        assert_eq!(d[0], 0.0);
+    }
+
+    #[test]
+    fn dijkstra_rejects_negative_weight() {
+        let mut g = Graph::undirected(2);
+        g.add_weighted_edge(0, 1, -1.0).unwrap();
+        assert!(dijkstra(&g, 0).is_err());
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_infinite() {
+        let g = Graph::undirected(2);
+        let d = dijkstra(&g, 0).unwrap();
+        assert_eq!(d[1], f64::INFINITY);
+    }
+
+    #[test]
+    fn dijkstra_directed_respects_direction() {
+        let mut g = Graph::directed(2);
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(dijkstra(&g, 1).unwrap()[0], f64::INFINITY);
+        assert_eq!(dijkstra(&g, 0).unwrap()[1], 1.0);
+    }
+
+    #[test]
+    fn dijkstra_path_reconstruction() {
+        let mut g = Graph::undirected(4);
+        g.add_weighted_edge(0, 1, 1.0).unwrap();
+        g.add_weighted_edge(1, 3, 1.0).unwrap();
+        g.add_weighted_edge(0, 3, 5.0).unwrap();
+        g.add_weighted_edge(0, 2, 1.0).unwrap();
+        let (path, d) = dijkstra_path(&g, 0, 3).unwrap();
+        assert_eq!(path, vec![0, 1, 3]);
+        assert_eq!(d, 2.0);
+        let (self_path, d0) = dijkstra_path(&g, 2, 2).unwrap();
+        assert_eq!(self_path, vec![2]);
+        assert_eq!(d0, 0.0);
+    }
+
+    #[test]
+    fn dijkstra_path_errors() {
+        let g = Graph::undirected(2);
+        assert_eq!(
+            dijkstra_path(&g, 0, 1).unwrap_err(),
+            GraphError::NoPath { from: 0, to: 1 }
+        );
+        assert!(dijkstra_path(&g, 0, 9).is_err());
+    }
+
+    #[test]
+    fn components_on_forest() {
+        let mut g = Graph::undirected(6);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g.add_edge(3, 4).unwrap();
+        let labels = connected_components(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[5], labels[0]);
+        assert_eq!(component_count(&g), 3);
+        assert_eq!(largest_component_size(&g), 3);
+    }
+
+    #[test]
+    fn weak_components_on_directed() {
+        let mut g = Graph::directed(3);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(2, 1).unwrap();
+        assert_eq!(component_count(&g), 1);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = Graph::undirected(0);
+        assert_eq!(component_count(&g), 0);
+        assert_eq!(largest_component_size(&g), 0);
+    }
+}

@@ -1,0 +1,459 @@
+//! Valley-free (Gao–Rexford) policy routing.
+//!
+//! The standard model of interdomain routing economics:
+//!
+//! * **Selection.** An AS prefers routes learned from customers over routes
+//!   learned from peers over routes learned from providers — revenue beats
+//!   settlement-free beats cost — and breaks ties by AS-path length, then
+//!   by lowest next-hop id (determinism).
+//! * **Export.** Routes learned from customers are announced to everyone;
+//!   routes learned from peers or providers are announced only to
+//!   customers.
+//!
+//! Together these yield *valley-free* paths: zero or more customer→provider
+//! ("up") hops, at most one peer hop, then zero or more provider→customer
+//! ("down") hops. The computation below runs the classic three-phase
+//! propagation per destination.
+
+use crate::topology::{AsId, AsTopology, IxpId};
+use crate::{IxpError, Result};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const INF: u32 = u32::MAX;
+
+/// How the first hop of a route was learned — equivalently, the economic
+/// class of the selected route at the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteKind {
+    /// Destination is the source itself.
+    SelfRoute,
+    /// Route learned from a customer (revenue route).
+    Customer,
+    /// Route learned from a settlement-free peer.
+    Peer,
+    /// Route learned from a provider (paid transit).
+    Provider,
+}
+
+/// A resolved route from one AS to another.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Economic class of the route at the source.
+    pub kind: RouteKind,
+    /// Full AS path, source first, destination last.
+    pub path: Vec<AsId>,
+    /// IXP at which the path's peer hop occurs, if the path has a peer hop
+    /// established at an exchange.
+    pub crossed_ixp: Option<IxpId>,
+    /// Whether the path includes a settlement-free peer hop at all.
+    pub has_peer_hop: bool,
+}
+
+impl Route {
+    /// Number of AS-level hops.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// Number of *paid* hops: every hop except a settlement-free peer hop
+    /// crosses a customer/provider link that someone pays for.
+    pub fn transit_hops(&self) -> usize {
+        self.hops() - usize::from(self.has_peer_hop)
+    }
+}
+
+/// Per-destination routing state.
+#[derive(Debug, Clone)]
+struct DestTable {
+    dist_cust: Vec<u32>,
+    next_cust: Vec<Option<AsId>>,
+    dist_peer: Vec<u32>,
+    next_peer: Vec<Option<AsId>>,
+    peer_ixp: Vec<Option<IxpId>>,
+    dist_down: Vec<u32>,
+    next_down: Vec<Option<AsId>>,
+}
+
+/// All-pairs policy routes for a topology.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    n: usize,
+    tables: Vec<DestTable>,
+}
+
+impl RoutingTable {
+    /// Compute routes for every destination. Errors if the provider
+    /// hierarchy contains a cycle (valley-free routing is undefined then).
+    pub fn compute(topology: &AsTopology) -> Result<Self> {
+        if !topology.is_hierarchy_acyclic() {
+            return Err(IxpError::InconsistentRelationship(
+                "provider hierarchy contains a cycle",
+            ));
+        }
+        let n = topology.as_count();
+        let mut tables = Vec::with_capacity(n);
+        for dst in 0..n {
+            tables.push(Self::compute_destination(topology, dst));
+        }
+        Ok(RoutingTable { n, tables })
+    }
+
+    fn compute_destination(topology: &AsTopology, dst: AsId) -> DestTable {
+        let n = topology.as_count();
+        let mut t = DestTable {
+            dist_cust: vec![INF; n],
+            next_cust: vec![None; n],
+            dist_peer: vec![INF; n],
+            next_peer: vec![None; n],
+            peer_ixp: vec![None; n],
+            dist_down: vec![INF; n],
+            next_down: vec![None; n],
+        };
+        // Phase 1: customer routes propagate upward (customer -> provider)
+        // by BFS on uniform weights.
+        t.dist_cust[dst] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(dst);
+        while let Some(u) = queue.pop_front() {
+            for &p in topology.providers_of(u) {
+                if t.dist_cust[p] == INF {
+                    t.dist_cust[p] = t.dist_cust[u] + 1;
+                    t.next_cust[p] = Some(u);
+                    queue.push_back(p);
+                }
+            }
+        }
+        // Phase 2: peer routes — one peer hop extending a customer route
+        // (or the destination itself).
+        for u in 0..n {
+            let mut best: Option<(u32, AsId, Option<IxpId>)> = None;
+            for (v, ixp) in topology.peers_of(u) {
+                if t.dist_cust[v] != INF {
+                    let cand = (t.dist_cust[v] + 1, v, ixp);
+                    let better = match best {
+                        None => true,
+                        Some((bd, bv, _)) => cand.0 < bd || (cand.0 == bd && v < bv),
+                    };
+                    if better {
+                        best = Some(cand);
+                    }
+                }
+            }
+            if let Some((d, v, ixp)) = best {
+                t.dist_peer[u] = d;
+                t.next_peer[u] = Some(v);
+                t.peer_ixp[u] = ixp;
+            }
+        }
+        // Phase 3: provider routes propagate downward from every AS that
+        // has selected a route. A node's exportable length is the length of
+        // its *selected* route (customer preferred over peer over provider,
+        // regardless of length — the Gao–Rexford preference).
+        let selected_len = |t: &DestTable, u: AsId| -> u32 {
+            if t.dist_cust[u] != INF {
+                t.dist_cust[u]
+            } else if t.dist_peer[u] != INF {
+                t.dist_peer[u]
+            } else {
+                t.dist_down[u]
+            }
+        };
+        let mut heap: BinaryHeap<Reverse<(u32, AsId)>> = BinaryHeap::new();
+        for u in 0..n {
+            let len = selected_len(&t, u);
+            if len != INF {
+                heap.push(Reverse((len, u)));
+            }
+        }
+        while let Some(Reverse((len, u))) = heap.pop() {
+            if len > selected_len(&t, u) {
+                continue; // stale entry
+            }
+            for &c in topology.customers_of(u) {
+                let cand = len + 1;
+                if cand < t.dist_down[c] {
+                    let before = selected_len(&t, c);
+                    t.dist_down[c] = cand;
+                    t.next_down[c] = Some(u);
+                    let after = selected_len(&t, c);
+                    if after < before {
+                        heap.push(Reverse((after, c)));
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Number of ASes covered.
+    pub fn as_count(&self) -> usize {
+        self.n
+    }
+
+    /// The selected route from `src` to `dst`, or an error when none exists
+    /// under valley-free export rules.
+    pub fn route(&self, src: AsId, dst: AsId) -> Result<Route> {
+        if src >= self.n {
+            return Err(IxpError::InvalidAs(src));
+        }
+        if dst >= self.n {
+            return Err(IxpError::InvalidAs(dst));
+        }
+        if src == dst {
+            return Ok(Route {
+                kind: RouteKind::SelfRoute,
+                path: vec![src],
+                crossed_ixp: None,
+                has_peer_hop: false,
+            });
+        }
+        let t = &self.tables[dst];
+        let kind = if t.dist_cust[src] != INF {
+            RouteKind::Customer
+        } else if t.dist_peer[src] != INF {
+            RouteKind::Peer
+        } else if t.dist_down[src] != INF {
+            RouteKind::Provider
+        } else {
+            return Err(IxpError::NoRoute { from: src, to: dst });
+        };
+        // Reconstruct the path: provider hops (down the selection chain),
+        // then at most one peer hop, then customer-route hops.
+        let mut path = vec![src];
+        let mut crossed_ixp = None;
+        let mut has_peer_hop = false;
+        let mut current = src;
+        // Phase A: while the current AS's selected route is a provider
+        // route, follow next_down.
+        while t.dist_cust[current] == INF && t.dist_peer[current] == INF {
+            let next = t.next_down[current].expect("provider route has next hop");
+            path.push(next);
+            current = next;
+        }
+        // Phase B: one peer hop if the selected route here is a peer route.
+        if t.dist_cust[current] == INF {
+            has_peer_hop = true;
+            crossed_ixp = t.peer_ixp[current];
+            let next = t.next_peer[current].expect("peer route has next hop");
+            path.push(next);
+            current = next;
+        }
+        // Phase C: customer-route hops down to the destination.
+        while current != dst {
+            let next = t.next_cust[current].expect("customer route has next hop");
+            path.push(next);
+            current = next;
+        }
+        Ok(Route {
+            kind,
+            path,
+            crossed_ixp,
+            has_peer_hop,
+        })
+    }
+
+    /// True when `src` can reach `dst`.
+    pub fn reachable(&self, src: AsId, dst: AsId) -> bool {
+        self.route(src, dst).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{AsKind, AsTopology, RegionTag};
+
+    fn r() -> RegionTag {
+        RegionTag::new("X", false)
+    }
+
+    /// Classic small topology:
+    ///
+    /// ```text
+    ///        T (transit)
+    ///       / \
+    ///      A   B        A -- B are NOT peers initially
+    ///     /     \
+    ///    C       D
+    /// ```
+    fn diamond() -> (AsTopology, [AsId; 5]) {
+        let mut t = AsTopology::new();
+        let tr = t.add_as("T", AsKind::Transit, r(), 1.0);
+        let a = t.add_as("A", AsKind::Access, r(), 1.0);
+        let b = t.add_as("B", AsKind::Access, r(), 1.0);
+        let c = t.add_as("C", AsKind::Access, r(), 1.0);
+        let d = t.add_as("D", AsKind::Access, r(), 1.0);
+        t.add_provider(a, tr).unwrap();
+        t.add_provider(b, tr).unwrap();
+        t.add_provider(c, a).unwrap();
+        t.add_provider(d, b).unwrap();
+        (t, [tr, a, b, c, d])
+    }
+
+    #[test]
+    fn self_route() {
+        let (t, ids) = diamond();
+        let rt = RoutingTable::compute(&t).unwrap();
+        let route = rt.route(ids[1], ids[1]).unwrap();
+        assert_eq!(route.kind, RouteKind::SelfRoute);
+        assert_eq!(route.path, vec![ids[1]]);
+        assert_eq!(route.hops(), 0);
+    }
+
+    #[test]
+    fn provider_route_up_and_down() {
+        let (t, [tr, a, b, c, d]) = diamond();
+        let rt = RoutingTable::compute(&t).unwrap();
+        let route = rt.route(c, d).unwrap();
+        assert_eq!(route.kind, RouteKind::Provider);
+        assert_eq!(route.path, vec![c, a, tr, b, d]);
+        assert!(!route.has_peer_hop);
+        assert_eq!(route.transit_hops(), 4);
+    }
+
+    #[test]
+    fn customer_route_preferred() {
+        let (t, [tr, a, _b, c, _d]) = diamond();
+        let rt = RoutingTable::compute(&t).unwrap();
+        // T reaches C through its customer chain.
+        let route = rt.route(tr, c).unwrap();
+        assert_eq!(route.kind, RouteKind::Customer);
+        assert_eq!(route.path, vec![tr, a, c]);
+    }
+
+    #[test]
+    fn peer_route_beats_provider_route() {
+        let (mut t, [_tr, a, b, c, d]) = diamond();
+        t.add_peering(a, b, None).unwrap();
+        let rt = RoutingTable::compute(&t).unwrap();
+        let route = rt.route(c, d).unwrap();
+        // Now C -> A -peer-> B -> D, avoiding the transit tier.
+        assert_eq!(route.path, vec![c, a, b, d]);
+        assert!(route.has_peer_hop);
+        assert_eq!(route.kind, RouteKind::Provider, "C still reaches via its provider A");
+        assert_eq!(route.transit_hops(), 2);
+    }
+
+    #[test]
+    fn peer_hop_records_ixp() {
+        let (mut t, [_tr, a, b, c, d]) = diamond();
+        let ixp = t.add_ixp("IXP", r());
+        t.join_ixp(a, ixp).unwrap();
+        t.join_ixp(b, ixp).unwrap();
+        t.multilateral_peering(ixp).unwrap();
+        let rt = RoutingTable::compute(&t).unwrap();
+        let route = rt.route(c, d).unwrap();
+        assert_eq!(route.crossed_ixp, Some(ixp));
+    }
+
+    #[test]
+    fn valley_free_export_blocks_peer_to_peer_transit() {
+        // A - B peers, B - C peers: A must NOT reach C through B
+        // (B would be giving free transit between two peers).
+        let mut t = AsTopology::new();
+        let a = t.add_as("A", AsKind::Access, r(), 1.0);
+        let b = t.add_as("B", AsKind::Access, r(), 1.0);
+        let c = t.add_as("C", AsKind::Access, r(), 1.0);
+        t.add_peering(a, b, None).unwrap();
+        t.add_peering(b, c, None).unwrap();
+        let rt = RoutingTable::compute(&t).unwrap();
+        assert!(rt.route(a, b).is_ok());
+        assert_eq!(
+            rt.route(a, c).unwrap_err(),
+            IxpError::NoRoute { from: a, to: c }
+        );
+    }
+
+    #[test]
+    fn peer_route_not_exported_upward() {
+        // C buys from A; A peers with B. C can reach B through A (provider
+        // route extends A's peer route downward). But B's provider T must
+        // not route to A's peer... construct: does T reach C? via customer
+        // chain only.
+        let mut t = AsTopology::new();
+        let a = t.add_as("A", AsKind::Access, r(), 1.0);
+        let b = t.add_as("B", AsKind::Access, r(), 1.0);
+        let c = t.add_as("C", AsKind::Access, r(), 1.0);
+        t.add_provider(c, a).unwrap();
+        t.add_peering(a, b, None).unwrap();
+        let rt = RoutingTable::compute(&t).unwrap();
+        // Down-export of peer routes: C -> A -peer-> B is valid.
+        let route = rt.route(c, b).unwrap();
+        assert_eq!(route.path, vec![c, a, b]);
+        // But B cannot reach C: B's only neighbor is peer A, and A's route
+        // to C is a customer route — exported to peers! So B -> A -> C valid.
+        let back = rt.route(b, c).unwrap();
+        assert_eq!(back.kind, RouteKind::Peer);
+        assert_eq!(back.path, vec![b, a, c]);
+    }
+
+    #[test]
+    fn customer_preference_overrides_length() {
+        // D can reach X via a 1-hop peer route or a 3-hop customer
+        // route; Gao–Rexford picks the customer route despite length.
+        let mut t = AsTopology::new();
+        let d = t.add_as("D", AsKind::Transit, r(), 1.0);
+        let x = t.add_as("X", AsKind::Access, r(), 1.0);
+        let m1 = t.add_as("M1", AsKind::Access, r(), 1.0);
+        let m2 = t.add_as("M2", AsKind::Access, r(), 1.0);
+        // customer chain: d <- m1 <- m2 <- x  (x buys from m2, etc.)
+        t.add_provider(m1, d).unwrap();
+        t.add_provider(m2, m1).unwrap();
+        t.add_provider(x, m2).unwrap();
+        // and D also peers directly with X (1-hop peer route).
+        t.add_peering(d, x, None).unwrap();
+        let rt = RoutingTable::compute(&t).unwrap();
+        let route = rt.route(d, x).unwrap();
+        assert_eq!(route.kind, RouteKind::Customer);
+        assert_eq!(route.path, vec![d, m1, m2, x]);
+    }
+
+    #[test]
+    fn unreachable_when_no_common_hierarchy() {
+        let mut t = AsTopology::new();
+        let a = t.add_as("A", AsKind::Access, r(), 1.0);
+        let b = t.add_as("B", AsKind::Access, r(), 1.0);
+        let rt = RoutingTable::compute(&t).unwrap();
+        assert!(!rt.reachable(a, b));
+        assert!(rt.reachable(a, a));
+    }
+
+    #[test]
+    fn cyclic_hierarchy_rejected() {
+        let mut t = AsTopology::new();
+        let a = t.add_as("A", AsKind::Transit, r(), 1.0);
+        let b = t.add_as("B", AsKind::Transit, r(), 1.0);
+        let c = t.add_as("C", AsKind::Transit, r(), 1.0);
+        t.add_provider(a, b).unwrap();
+        t.add_provider(b, c).unwrap();
+        t.add_provider(c, a).unwrap();
+        assert!(RoutingTable::compute(&t).is_err());
+    }
+
+    #[test]
+    fn invalid_ids_rejected() {
+        let (t, _) = diamond();
+        let rt = RoutingTable::compute(&t).unwrap();
+        assert!(rt.route(99, 0).is_err());
+        assert!(rt.route(0, 99).is_err());
+    }
+
+    #[test]
+    fn shortest_path_tiebreak_is_deterministic() {
+        // Two equal-length peer options: lowest id wins.
+        let mut t = AsTopology::new();
+        let s = t.add_as("S", AsKind::Access, r(), 1.0);
+        let p1 = t.add_as("P1", AsKind::Access, r(), 1.0);
+        let p2 = t.add_as("P2", AsKind::Access, r(), 1.0);
+        let d = t.add_as("D", AsKind::Access, r(), 1.0);
+        t.add_peering(s, p1, None).unwrap();
+        t.add_peering(s, p2, None).unwrap();
+        t.add_provider(d, p1).unwrap();
+        t.add_provider(d, p2).unwrap();
+        let rt = RoutingTable::compute(&t).unwrap();
+        let route = rt.route(s, d).unwrap();
+        assert_eq!(route.path, vec![s, p1, d]);
+    }
+}

@@ -1,0 +1,424 @@
+//! AS-level topology with business relationships and IXPs.
+
+use crate::{IxpError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an autonomous system (dense index).
+pub type AsId = usize;
+
+/// Identifier of an IXP (dense index).
+pub type IxpId = usize;
+
+/// Coarse role of an AS in the interconnection ecosystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsKind {
+    /// National incumbent operator (large customer cone, market power).
+    Incumbent,
+    /// Transit provider.
+    Transit,
+    /// Access/eyeball ISP.
+    Access,
+    /// Content/cloud provider.
+    Content,
+    /// Community network.
+    Community,
+}
+
+/// Region label for locality accounting. The string names a country or
+/// macro-region; `global_south` tags the Global South for the F4 metrics.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegionTag {
+    /// Region name (e.g. "MX", "BR", "DE").
+    pub name: String,
+    /// Whether this region is in the Global South.
+    pub global_south: bool,
+}
+
+impl RegionTag {
+    /// Convenience constructor.
+    pub fn new(name: &str, global_south: bool) -> Self {
+        RegionTag {
+            name: name.to_owned(),
+            global_south,
+        }
+    }
+}
+
+/// Metadata for one AS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsInfo {
+    /// Dense id.
+    pub id: AsId,
+    /// Display name.
+    pub name: String,
+    /// Role.
+    pub kind: AsKind,
+    /// Home region.
+    pub region: RegionTag,
+    /// Relative size (users or content weight) for the gravity traffic model.
+    pub size: f64,
+}
+
+/// Metadata for one IXP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IxpInfo {
+    /// Dense id.
+    pub id: IxpId,
+    /// Display name.
+    pub name: String,
+    /// Region where the exchange is located.
+    pub region: RegionTag,
+    /// Member ASes.
+    pub members: Vec<AsId>,
+}
+
+/// A bilateral peering link, possibly located at an IXP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerLink {
+    /// One endpoint.
+    pub a: AsId,
+    /// Other endpoint.
+    pub b: AsId,
+    /// IXP where the session is established (None = private peering).
+    pub ixp: Option<IxpId>,
+}
+
+/// The full topology: ASes, provider relationships, peer links, IXPs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AsTopology {
+    ases: Vec<AsInfo>,
+    /// `providers[c]` = list of providers of AS `c` (c pays them).
+    providers: Vec<Vec<AsId>>,
+    /// `customers[p]` = list of customers of AS `p`.
+    customers: Vec<Vec<AsId>>,
+    peers: Vec<PeerLink>,
+    ixps: Vec<IxpInfo>,
+}
+
+impl AsTopology {
+    /// Create an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of ASes.
+    pub fn as_count(&self) -> usize {
+        self.ases.len()
+    }
+
+    /// Number of IXPs.
+    pub fn ixp_count(&self) -> usize {
+        self.ixps.len()
+    }
+
+    /// Add an AS; returns its id.
+    pub fn add_as(&mut self, name: &str, kind: AsKind, region: RegionTag, size: f64) -> AsId {
+        let id = self.ases.len();
+        self.ases.push(AsInfo {
+            id,
+            name: name.to_owned(),
+            kind,
+            region,
+            size: size.max(0.0),
+        });
+        self.providers.push(Vec::new());
+        self.customers.push(Vec::new());
+        id
+    }
+
+    /// AS metadata.
+    pub fn as_info(&self, id: AsId) -> Result<&AsInfo> {
+        self.ases.get(id).ok_or(IxpError::InvalidAs(id))
+    }
+
+    /// All AS infos.
+    pub fn ases(&self) -> &[AsInfo] {
+        &self.ases
+    }
+
+    /// All IXP infos.
+    pub fn ixps(&self) -> &[IxpInfo] {
+        &self.ixps
+    }
+
+    /// All bilateral peer links.
+    pub fn peer_links(&self) -> &[PeerLink] {
+        &self.peers
+    }
+
+    /// Record that `customer` buys transit from `provider`.
+    pub fn add_provider(&mut self, customer: AsId, provider: AsId) -> Result<()> {
+        self.check(customer)?;
+        self.check(provider)?;
+        if customer == provider {
+            return Err(IxpError::InconsistentRelationship("self-provider"));
+        }
+        if self.providers[provider].contains(&customer) {
+            return Err(IxpError::InconsistentRelationship(
+                "A provides for B and B provides for A",
+            ));
+        }
+        if !self.providers[customer].contains(&provider) {
+            self.providers[customer].push(provider);
+            self.customers[provider].push(customer);
+        }
+        Ok(())
+    }
+
+    /// Record a settlement-free bilateral peering, optionally at an IXP.
+    pub fn add_peering(&mut self, a: AsId, b: AsId, ixp: Option<IxpId>) -> Result<()> {
+        self.check(a)?;
+        self.check(b)?;
+        if a == b {
+            return Err(IxpError::InconsistentRelationship("self-peering"));
+        }
+        if let Some(x) = ixp {
+            if x >= self.ixps.len() {
+                return Err(IxpError::InvalidIxp(x));
+            }
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        if !self
+            .peers
+            .iter()
+            .any(|p| p.a == lo && p.b == hi && p.ixp == ixp)
+        {
+            self.peers.push(PeerLink { a: lo, b: hi, ixp });
+        }
+        Ok(())
+    }
+
+    /// Add an IXP; returns its id.
+    pub fn add_ixp(&mut self, name: &str, region: RegionTag) -> IxpId {
+        let id = self.ixps.len();
+        self.ixps.push(IxpInfo {
+            id,
+            name: name.to_owned(),
+            region,
+            members: Vec::new(),
+        });
+        id
+    }
+
+    /// Join an AS to an IXP (membership only; call
+    /// [`AsTopology::multilateral_peering`] to establish route-server
+    /// sessions).
+    pub fn join_ixp(&mut self, asn: AsId, ixp: IxpId) -> Result<()> {
+        self.check(asn)?;
+        let info = self.ixps.get_mut(ixp).ok_or(IxpError::InvalidIxp(ixp))?;
+        if !info.members.contains(&asn) {
+            info.members.push(asn);
+        }
+        Ok(())
+    }
+
+    /// Establish route-server style multilateral peering: every pair of
+    /// members of the IXP peers bilaterally at the exchange. Existing
+    /// provider relationships between members are left in place (the peer
+    /// route will win by local preference anyway).
+    pub fn multilateral_peering(&mut self, ixp: IxpId) -> Result<()> {
+        let members = self
+            .ixps
+            .get(ixp)
+            .ok_or(IxpError::InvalidIxp(ixp))?
+            .members
+            .clone();
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                self.add_peering(members[i], members[j], Some(ixp))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Providers of an AS.
+    pub fn providers_of(&self, id: AsId) -> &[AsId] {
+        &self.providers[id]
+    }
+
+    /// Customers of an AS.
+    pub fn customers_of(&self, id: AsId) -> &[AsId] {
+        &self.customers[id]
+    }
+
+    /// Peers of an AS with the IXP (if any) of each session.
+    pub fn peers_of(&self, id: AsId) -> Vec<(AsId, Option<IxpId>)> {
+        self.peers
+            .iter()
+            .filter_map(|p| {
+                if p.a == id {
+                    Some((p.b, p.ixp))
+                } else if p.b == id {
+                    Some((p.a, p.ixp))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// The customer cone of an AS: itself plus all (transitive) customers.
+    pub fn customer_cone(&self, id: AsId) -> Result<Vec<AsId>> {
+        self.check(id)?;
+        let mut seen = vec![false; self.ases.len()];
+        let mut stack = vec![id];
+        seen[id] = true;
+        let mut cone = Vec::new();
+        while let Some(u) = stack.pop() {
+            cone.push(u);
+            for &c in &self.customers[u] {
+                if !seen[c] {
+                    seen[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        cone.sort_unstable();
+        Ok(cone)
+    }
+
+    /// Detect provider cycles (A transitively provides for itself), which
+    /// would break valley-free routing. Returns true when the
+    /// customer→provider graph is acyclic.
+    pub fn is_hierarchy_acyclic(&self) -> bool {
+        // Kahn's algorithm over customer -> provider edges.
+        let n = self.ases.len();
+        let mut indeg = vec![0usize; n];
+        for provs in &self.providers {
+            for &p in provs {
+                indeg[p] += 1;
+            }
+        }
+        let mut queue: Vec<AsId> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &p in &self.providers[u] {
+                indeg[p] -= 1;
+                if indeg[p] == 0 {
+                    queue.push(p);
+                }
+            }
+        }
+        seen == n
+    }
+
+    fn check(&self, id: AsId) -> Result<()> {
+        if id < self.ases.len() {
+            Ok(())
+        } else {
+            Err(IxpError::InvalidAs(id))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> RegionTag {
+        RegionTag::new("MX", true)
+    }
+
+    fn small() -> AsTopology {
+        let mut t = AsTopology::new();
+        let incumbent = t.add_as("Incumbent", AsKind::Incumbent, region(), 100.0);
+        let isp_a = t.add_as("ISP-A", AsKind::Access, region(), 10.0);
+        let isp_b = t.add_as("ISP-B", AsKind::Access, region(), 8.0);
+        t.add_provider(isp_a, incumbent).unwrap();
+        t.add_provider(isp_b, incumbent).unwrap();
+        t
+    }
+
+    #[test]
+    fn add_as_assigns_dense_ids() {
+        let t = small();
+        assert_eq!(t.as_count(), 3);
+        assert_eq!(t.as_info(1).unwrap().name, "ISP-A");
+        assert!(t.as_info(9).is_err());
+    }
+
+    #[test]
+    fn provider_relationships_recorded_both_ways() {
+        let t = small();
+        assert_eq!(t.providers_of(1), &[0]);
+        assert_eq!(t.customers_of(0), &[1, 2]);
+        assert!(t.providers_of(0).is_empty());
+    }
+
+    #[test]
+    fn self_and_mutual_provider_rejected() {
+        let mut t = small();
+        assert!(t.add_provider(0, 0).is_err());
+        assert!(t.add_provider(0, 1).is_err(), "1 already buys from 0");
+    }
+
+    #[test]
+    fn duplicate_provider_is_idempotent() {
+        let mut t = small();
+        t.add_provider(1, 0).unwrap();
+        assert_eq!(t.providers_of(1), &[0]);
+    }
+
+    #[test]
+    fn peering_dedup_and_lookup() {
+        let mut t = small();
+        t.add_peering(1, 2, None).unwrap();
+        t.add_peering(2, 1, None).unwrap();
+        assert_eq!(t.peer_links().len(), 1);
+        assert_eq!(t.peers_of(1), vec![(2, None)]);
+        assert!(t.add_peering(1, 1, None).is_err());
+    }
+
+    #[test]
+    fn ixp_membership_and_multilateral_peering() {
+        let mut t = small();
+        let ixp = t.add_ixp("IXP-MX", region());
+        t.join_ixp(1, ixp).unwrap();
+        t.join_ixp(2, ixp).unwrap();
+        t.join_ixp(1, ixp).unwrap(); // idempotent
+        assert_eq!(t.ixps()[0].members, vec![1, 2]);
+        t.multilateral_peering(ixp).unwrap();
+        assert_eq!(t.peers_of(1), vec![(2, Some(ixp))]);
+    }
+
+    #[test]
+    fn invalid_ixp_references_rejected() {
+        let mut t = small();
+        assert!(t.join_ixp(0, 5).is_err());
+        assert!(t.add_peering(1, 2, Some(9)).is_err());
+        assert!(t.multilateral_peering(3).is_err());
+    }
+
+    #[test]
+    fn customer_cone_transitive() {
+        let mut t = small();
+        let reseller = t.add_as("Reseller", AsKind::Access, region(), 2.0);
+        t.add_provider(reseller, 1).unwrap(); // reseller buys from ISP-A
+        assert_eq!(t.customer_cone(0).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(t.customer_cone(1).unwrap(), vec![1, 3]);
+        assert_eq!(t.customer_cone(2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn acyclic_hierarchy_detected() {
+        let t = small();
+        assert!(t.is_hierarchy_acyclic());
+        // Build a 3-cycle: 0 -> 1 -> 2 -> 0 (providers).
+        let mut c = AsTopology::new();
+        let a = c.add_as("a", AsKind::Transit, region(), 1.0);
+        let b = c.add_as("b", AsKind::Transit, region(), 1.0);
+        let d = c.add_as("c", AsKind::Transit, region(), 1.0);
+        c.add_provider(a, b).unwrap();
+        c.add_provider(b, d).unwrap();
+        c.add_provider(d, a).unwrap();
+        assert!(!c.is_hierarchy_acyclic());
+    }
+
+    #[test]
+    fn negative_size_clamped() {
+        let mut t = AsTopology::new();
+        let id = t.add_as("x", AsKind::Access, region(), -5.0);
+        assert_eq!(t.as_info(id).unwrap().size, 0.0);
+    }
+}

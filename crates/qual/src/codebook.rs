@@ -1,0 +1,262 @@
+//! Codebooks: the evolving vocabulary of a qualitative analysis.
+
+use crate::{QualError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A single code: a named analytic category with a definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Code {
+    /// Dense id within the codebook.
+    pub id: usize,
+    /// Short name, unique within the codebook (e.g. "maintenance-labor").
+    pub name: String,
+    /// Definition / inclusion criteria for coders.
+    pub definition: String,
+    /// Optional parent code (hierarchical codebooks).
+    pub parent: Option<usize>,
+    /// Whether this code has been retired by a refinement round.
+    pub retired: bool,
+}
+
+/// A codebook: codes plus a refinement-round counter.
+///
+/// Codebooks in real studies evolve: codes are added, split, merged, and
+/// given crisper definitions across rounds, which is precisely the process
+/// experiment **T2** models. The codebook records how many refinement
+/// rounds it has been through.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Codebook {
+    codes: Vec<Code>,
+    rounds: u32,
+}
+
+impl Codebook {
+    /// Create an empty codebook.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of codes, including retired ones.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when no codes exist.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Number of refinement rounds recorded.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Active (non-retired) codes.
+    pub fn active(&self) -> Vec<&Code> {
+        self.codes.iter().filter(|c| !c.retired).collect()
+    }
+
+    /// Add a top-level code. Errors if the name already exists.
+    pub fn add(&mut self, name: &str, definition: &str) -> Result<usize> {
+        self.add_child(name, definition, None)
+    }
+
+    /// Add a code with an optional parent. Errors on duplicate names or a
+    /// dangling/retired parent.
+    pub fn add_child(
+        &mut self,
+        name: &str,
+        definition: &str,
+        parent: Option<usize>,
+    ) -> Result<usize> {
+        if name.trim().is_empty() {
+            return Err(QualError::InvalidParameter("code name must be nonempty"));
+        }
+        if self.codes.iter().any(|c| c.name == name && !c.retired) {
+            return Err(QualError::InvalidParameter("duplicate code name"));
+        }
+        if let Some(p) = parent {
+            match self.codes.get(p) {
+                None => return Err(QualError::UnknownCode(format!("parent #{p}"))),
+                Some(code) if code.retired => {
+                    return Err(QualError::InvalidParameter("parent code is retired"))
+                }
+                Some(_) => {}
+            }
+        }
+        let id = self.codes.len();
+        self.codes.push(Code {
+            id,
+            name: name.to_owned(),
+            definition: definition.to_owned(),
+            parent,
+            retired: false,
+        });
+        Ok(id)
+    }
+
+    /// Look up a code by id.
+    pub fn get(&self, id: usize) -> Option<&Code> {
+        self.codes.get(id)
+    }
+
+    /// Look up an active code id by name.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.codes
+            .iter()
+            .find(|c| c.name == name && !c.retired)
+            .map(|c| c.id)
+    }
+
+    /// Sharpen a code's definition (a refinement-round action).
+    pub fn redefine(&mut self, id: usize, definition: &str) -> Result<()> {
+        match self.codes.get_mut(id) {
+            Some(code) => {
+                code.definition = definition.to_owned();
+                Ok(())
+            }
+            None => Err(QualError::UnknownCode(format!("#{id}"))),
+        }
+    }
+
+    /// Merge code `from` into code `into`: `from` is retired; callers are
+    /// expected to re-map coded segments. Errors on identical or missing
+    /// ids.
+    pub fn merge(&mut self, from: usize, into: usize) -> Result<()> {
+        if from == into {
+            return Err(QualError::InvalidParameter("cannot merge a code into itself"));
+        }
+        if self.codes.get(into).is_none() {
+            return Err(QualError::UnknownCode(format!("#{into}")));
+        }
+        match self.codes.get_mut(from) {
+            Some(code) => {
+                code.retired = true;
+                Ok(())
+            }
+            None => Err(QualError::UnknownCode(format!("#{from}"))),
+        }
+    }
+
+    /// Record the completion of a refinement round.
+    pub fn complete_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Children of a code.
+    pub fn children(&self, id: usize) -> Vec<&Code> {
+        self.codes
+            .iter()
+            .filter(|c| c.parent == Some(id) && !c.retired)
+            .collect()
+    }
+
+    /// Depth of a code in the hierarchy (0 for top-level). Cycles are
+    /// impossible by construction (parents must exist before children).
+    pub fn depth(&self, id: usize) -> Result<usize> {
+        let mut depth = 0;
+        let mut current = self
+            .codes
+            .get(id)
+            .ok_or_else(|| QualError::UnknownCode(format!("#{id}")))?;
+        while let Some(p) = current.parent {
+            depth += 1;
+            current = &self.codes[p];
+        }
+        Ok(depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn book() -> Codebook {
+        let mut cb = Codebook::new();
+        let labor = cb.add("labor", "work needed to keep the network running").unwrap();
+        cb.add_child("volunteer-labor", "unpaid maintenance work", Some(labor))
+            .unwrap();
+        cb.add("governance", "decision-making structures").unwrap();
+        cb
+    }
+
+    #[test]
+    fn add_and_find() {
+        let cb = book();
+        assert_eq!(cb.len(), 3);
+        assert_eq!(cb.find("labor"), Some(0));
+        assert_eq!(cb.find("governance"), Some(2));
+        assert_eq!(cb.find("nope"), None);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut cb = book();
+        assert!(cb.add("labor", "again").is_err());
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        let mut cb = Codebook::new();
+        assert!(cb.add("  ", "blank").is_err());
+    }
+
+    #[test]
+    fn hierarchy_depth_and_children() {
+        let cb = book();
+        assert_eq!(cb.depth(0).unwrap(), 0);
+        assert_eq!(cb.depth(1).unwrap(), 1);
+        assert_eq!(cb.children(0).len(), 1);
+        assert!(cb.children(2).is_empty());
+        assert!(cb.depth(99).is_err());
+    }
+
+    #[test]
+    fn dangling_parent_rejected() {
+        let mut cb = Codebook::new();
+        assert!(cb.add_child("x", "d", Some(5)).is_err());
+    }
+
+    #[test]
+    fn merge_retires_source() {
+        let mut cb = book();
+        cb.merge(1, 0).unwrap();
+        assert!(cb.get(1).unwrap().retired);
+        assert_eq!(cb.find("volunteer-labor"), None);
+        assert_eq!(cb.active().len(), 2);
+    }
+
+    #[test]
+    fn merge_edge_cases() {
+        let mut cb = book();
+        assert!(cb.merge(0, 0).is_err());
+        assert!(cb.merge(0, 99).is_err());
+        assert!(cb.merge(99, 0).is_err());
+    }
+
+    #[test]
+    fn retired_parent_rejected() {
+        let mut cb = book();
+        cb.merge(0, 2).unwrap(); // retire "labor"
+        assert!(cb.add_child("new", "d", Some(0)).is_err());
+    }
+
+    #[test]
+    fn name_reusable_after_retire() {
+        let mut cb = book();
+        cb.merge(0, 2).unwrap();
+        // "labor" retired; the name can be reused.
+        assert!(cb.add("labor", "fresh definition").is_ok());
+    }
+
+    #[test]
+    fn redefine_and_rounds() {
+        let mut cb = book();
+        cb.redefine(0, "sharper definition").unwrap();
+        assert_eq!(cb.get(0).unwrap().definition, "sharper definition");
+        assert!(cb.redefine(42, "x").is_err());
+        assert_eq!(cb.rounds(), 0);
+        cb.complete_round();
+        assert_eq!(cb.rounds(), 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! Coded segments and coding sessions.
+
+use crate::codebook::Codebook;
+use crate::{QualError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A code applied to a span of a transcript by one coder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodedSegment {
+    /// Transcript id.
+    pub transcript: String,
+    /// Index of the first turn covered.
+    pub start_turn: usize,
+    /// Index one past the last turn covered.
+    pub end_turn: usize,
+    /// Code id (into the study codebook).
+    pub code: usize,
+}
+
+impl CodedSegment {
+    /// True if the segment covers the given turn.
+    pub fn covers(&self, turn: usize) -> bool {
+        (self.start_turn..self.end_turn).contains(&turn)
+    }
+}
+
+/// All segments applied by one coder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodingSession {
+    /// Coder label (e.g. "coder-A").
+    pub coder: String,
+    /// Segments applied, in application order.
+    pub segments: Vec<CodedSegment>,
+}
+
+impl CodingSession {
+    /// Create an empty session for a coder.
+    pub fn new(coder: impl Into<String>) -> Self {
+        CodingSession {
+            coder: coder.into(),
+            segments: Vec::new(),
+        }
+    }
+
+    /// Apply a code to a turn range. Errors on an empty range or a code
+    /// that is missing/retired in the codebook.
+    pub fn apply(
+        &mut self,
+        codebook: &Codebook,
+        transcript: &str,
+        start_turn: usize,
+        end_turn: usize,
+        code: usize,
+    ) -> Result<()> {
+        if start_turn >= end_turn {
+            return Err(QualError::InvalidParameter("segment range must be nonempty"));
+        }
+        match codebook.get(code) {
+            None => return Err(QualError::UnknownCode(format!("#{code}"))),
+            Some(c) if c.retired => {
+                return Err(QualError::InvalidParameter("cannot apply a retired code"))
+            }
+            Some(_) => {}
+        }
+        self.segments.push(CodedSegment {
+            transcript: transcript.to_owned(),
+            start_turn,
+            end_turn,
+            code,
+        });
+        Ok(())
+    }
+
+    /// The code (if any) this session assigned to a given turn of a given
+    /// transcript. When multiple segments overlap a turn, the latest
+    /// application wins (matching how coders revise earlier passes).
+    pub fn code_at(&self, transcript: &str, turn: usize) -> Option<usize> {
+        self.segments
+            .iter()
+            .rev()
+            .find(|s| s.transcript == transcript && s.covers(turn))
+            .map(|s| s.code)
+    }
+
+    /// Count of segments per code id.
+    pub fn code_counts(&self, codebook: &Codebook) -> Vec<(usize, usize)> {
+        let mut counts = vec![0usize; codebook.len()];
+        for s in &self.segments {
+            if s.code < counts.len() {
+                counts[s.code] += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .collect()
+    }
+}
+
+/// Build per-unit label vectors for reliability analysis: for each
+/// `(transcript, turn)` unit in `units`, extract each session's assigned
+/// code (`None` = uncoded). The result is one label vector per session.
+pub fn label_matrix(
+    sessions: &[CodingSession],
+    units: &[(String, usize)],
+) -> Vec<Vec<Option<usize>>> {
+    sessions
+        .iter()
+        .map(|s| {
+            units
+                .iter()
+                .map(|(t, turn)| s.code_at(t, *turn))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codebook::Codebook;
+
+    fn setup() -> (Codebook, CodingSession) {
+        let mut cb = Codebook::new();
+        cb.add("labor", "d").unwrap();
+        cb.add("governance", "d").unwrap();
+        (cb, CodingSession::new("coder-A"))
+    }
+
+    #[test]
+    fn apply_and_lookup() {
+        let (cb, mut s) = setup();
+        s.apply(&cb, "T1", 0, 2, 0).unwrap();
+        s.apply(&cb, "T1", 3, 4, 1).unwrap();
+        assert_eq!(s.code_at("T1", 0), Some(0));
+        assert_eq!(s.code_at("T1", 1), Some(0));
+        assert_eq!(s.code_at("T1", 2), None);
+        assert_eq!(s.code_at("T1", 3), Some(1));
+        assert_eq!(s.code_at("T2", 0), None);
+    }
+
+    #[test]
+    fn later_application_wins_overlap() {
+        let (cb, mut s) = setup();
+        s.apply(&cb, "T1", 0, 3, 0).unwrap();
+        s.apply(&cb, "T1", 1, 2, 1).unwrap();
+        assert_eq!(s.code_at("T1", 0), Some(0));
+        assert_eq!(s.code_at("T1", 1), Some(1));
+        assert_eq!(s.code_at("T1", 2), Some(0));
+    }
+
+    #[test]
+    fn invalid_applications_rejected() {
+        let (cb, mut s) = setup();
+        assert!(s.apply(&cb, "T1", 2, 2, 0).is_err());
+        assert!(s.apply(&cb, "T1", 3, 2, 0).is_err());
+        assert!(s.apply(&cb, "T1", 0, 1, 99).is_err());
+    }
+
+    #[test]
+    fn retired_code_rejected() {
+        let (mut cb, mut s) = setup();
+        cb.merge(0, 1).unwrap();
+        assert!(s.apply(&cb, "T1", 0, 1, 0).is_err());
+    }
+
+    #[test]
+    fn code_counts() {
+        let (cb, mut s) = setup();
+        s.apply(&cb, "T1", 0, 1, 0).unwrap();
+        s.apply(&cb, "T1", 1, 2, 0).unwrap();
+        s.apply(&cb, "T2", 0, 1, 1).unwrap();
+        assert_eq!(s.code_counts(&cb), vec![(0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn label_matrix_shape() {
+        let (cb, mut a) = setup();
+        let mut b = CodingSession::new("coder-B");
+        a.apply(&cb, "T1", 0, 2, 0).unwrap();
+        b.apply(&cb, "T1", 0, 1, 1).unwrap();
+        let units = vec![("T1".to_string(), 0), ("T1".to_string(), 1)];
+        let m = label_matrix(&[a, b], &units);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0], vec![Some(0), Some(0)]);
+        assert_eq!(m[1], vec![Some(1), None]);
+    }
+
+    #[test]
+    fn covers_boundaries() {
+        let seg = CodedSegment {
+            transcript: "T".into(),
+            start_turn: 2,
+            end_turn: 5,
+            code: 0,
+        };
+        assert!(!seg.covers(1));
+        assert!(seg.covers(2));
+        assert!(seg.covers(4));
+        assert!(!seg.covers(5));
+    }
+}

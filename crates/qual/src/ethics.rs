@@ -1,0 +1,243 @@
+//! Consent records, IRB metadata, and export guardrails.
+//!
+//! §6.2.3 of the paper: "Formalizing interviewing and data collection
+//! protocols should involve the inclusion of guardrails for maintaining
+//! ethical research practices." These types make the guardrails executable:
+//! a transcript cannot be exported through [`EthicsPolicy::check_export`]
+//! unless every participant has current consent and the transcript has been
+//! anonymized.
+
+use crate::transcript::{Speaker, Transcript};
+use crate::{QualError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A participant's consent state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConsentStatus {
+    /// Informed consent given and current.
+    Granted,
+    /// Consent explicitly withdrawn — data must not be used.
+    Withdrawn,
+    /// Consent never collected.
+    Missing,
+}
+
+/// A consent record for one participant in one study.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConsentRecord {
+    /// Participant label as used in transcripts.
+    pub participant: String,
+    /// Current status.
+    pub status: ConsentStatus,
+    /// Whether the participant agreed to direct quotation.
+    pub allows_quotes: bool,
+}
+
+/// A study-level ethics policy: IRB registration plus consent ledger.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EthicsPolicy {
+    /// IRB / ethics-board protocol identifier, if registered.
+    pub irb_protocol: Option<String>,
+    /// Consent ledger.
+    pub consents: Vec<ConsentRecord>,
+    /// Whether the study involves a community the paper flags as requiring
+    /// heightened care (e.g. Indigenous communities, §6.2.3).
+    pub heightened_care: bool,
+}
+
+impl EthicsPolicy {
+    /// Create a policy with an IRB protocol id.
+    pub fn with_irb(protocol: impl Into<String>) -> Self {
+        EthicsPolicy {
+            irb_protocol: Some(protocol.into()),
+            ..Default::default()
+        }
+    }
+
+    /// Record consent for a participant (replaces any prior record).
+    pub fn record_consent(&mut self, participant: &str, status: ConsentStatus, allows_quotes: bool) {
+        if let Some(existing) = self
+            .consents
+            .iter_mut()
+            .find(|c| c.participant == participant)
+        {
+            existing.status = status;
+            existing.allows_quotes = allows_quotes;
+        } else {
+            self.consents.push(ConsentRecord {
+                participant: participant.to_owned(),
+                status,
+                allows_quotes,
+            });
+        }
+    }
+
+    /// Consent status for a participant ([`ConsentStatus::Missing`] when no
+    /// record exists).
+    pub fn status_of(&self, participant: &str) -> ConsentStatus {
+        self.consents
+            .iter()
+            .find(|c| c.participant == participant)
+            .map(|c| c.status)
+            .unwrap_or(ConsentStatus::Missing)
+    }
+
+    /// Guardrail: may this transcript be exported (e.g. into a paper
+    /// artifact)? Requirements:
+    ///
+    /// 1. an IRB protocol is registered (always required under heightened
+    ///    care; otherwise a policy without IRB fails too — the paper tells
+    ///    researchers to "consult your institutional review board");
+    /// 2. every participant in the transcript has granted, unwithdrawn
+    ///    consent;
+    /// 3. the transcript looks anonymized: participant labels must be
+    ///    pseudonymous (`P<number>`).
+    pub fn check_export(&self, transcript: &Transcript) -> Result<()> {
+        if self.irb_protocol.is_none() {
+            return Err(QualError::EthicsViolation(
+                "no IRB/ethics protocol registered".into(),
+            ));
+        }
+        for turn in &transcript.turns {
+            if let Speaker::Participant(label) = &turn.speaker {
+                match self.status_of(label) {
+                    ConsentStatus::Granted => {}
+                    ConsentStatus::Withdrawn => {
+                        return Err(QualError::EthicsViolation(format!(
+                            "participant {label} withdrew consent"
+                        )))
+                    }
+                    ConsentStatus::Missing => {
+                        return Err(QualError::EthicsViolation(format!(
+                            "no consent on file for participant {label}"
+                        )))
+                    }
+                }
+                if !is_pseudonym(label) {
+                    return Err(QualError::EthicsViolation(format!(
+                        "participant label '{label}' is not pseudonymized; \
+                         call Transcript::anonymize first"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Guardrail: may this participant be quoted directly?
+    pub fn check_quote(&self, participant: &str) -> Result<()> {
+        let record = self
+            .consents
+            .iter()
+            .find(|c| c.participant == participant)
+            .ok_or_else(|| {
+                QualError::EthicsViolation(format!("no consent on file for {participant}"))
+            })?;
+        if record.status != ConsentStatus::Granted {
+            return Err(QualError::EthicsViolation(format!(
+                "{participant} has not granted consent"
+            )));
+        }
+        if !record.allows_quotes {
+            return Err(QualError::EthicsViolation(format!(
+                "{participant} did not consent to direct quotation; paraphrase instead"
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn is_pseudonym(label: &str) -> bool {
+    label.len() >= 2
+        && label.starts_with('P')
+        && label[1..].chars().all(|c| c.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transcript::Transcript;
+
+    fn anon_transcript() -> Transcript {
+        let mut t = Transcript::new("T1", "call");
+        t.participant("Maria", "we fix the tower ourselves");
+        t.anonymize(&["Maria"])
+    }
+
+    fn policy_granting(p: &str) -> EthicsPolicy {
+        let mut pol = EthicsPolicy::with_irb("IRB-2025-017");
+        pol.record_consent(p, ConsentStatus::Granted, true);
+        pol
+    }
+
+    #[test]
+    fn export_allowed_when_all_guardrails_pass() {
+        let t = anon_transcript();
+        let pol = policy_granting("P1");
+        pol.check_export(&t).unwrap();
+    }
+
+    #[test]
+    fn export_blocked_without_irb() {
+        let t = anon_transcript();
+        let mut pol = EthicsPolicy::default();
+        pol.record_consent("P1", ConsentStatus::Granted, true);
+        assert!(matches!(
+            pol.check_export(&t),
+            Err(QualError::EthicsViolation(_))
+        ));
+    }
+
+    #[test]
+    fn export_blocked_without_consent() {
+        let t = anon_transcript();
+        let pol = EthicsPolicy::with_irb("IRB-1");
+        assert!(pol.check_export(&t).is_err());
+    }
+
+    #[test]
+    fn export_blocked_after_withdrawal() {
+        let t = anon_transcript();
+        let mut pol = policy_granting("P1");
+        pol.record_consent("P1", ConsentStatus::Withdrawn, true);
+        let err = pol.check_export(&t).unwrap_err();
+        assert!(format!("{err}").contains("withdrew"));
+    }
+
+    #[test]
+    fn export_blocked_for_unanonymized_transcript() {
+        let mut t = Transcript::new("T1", "call");
+        t.participant("Maria", "hello");
+        let pol = policy_granting("Maria");
+        let err = pol.check_export(&t).unwrap_err();
+        assert!(format!("{err}").contains("pseudonymized"));
+    }
+
+    #[test]
+    fn quote_guardrails() {
+        let mut pol = policy_granting("P1");
+        pol.check_quote("P1").unwrap();
+        pol.record_consent("P2", ConsentStatus::Granted, false);
+        assert!(pol.check_quote("P2").is_err());
+        assert!(pol.check_quote("P9").is_err());
+    }
+
+    #[test]
+    fn consent_record_replacement() {
+        let mut pol = EthicsPolicy::with_irb("IRB-1");
+        pol.record_consent("P1", ConsentStatus::Granted, true);
+        pol.record_consent("P1", ConsentStatus::Withdrawn, false);
+        assert_eq!(pol.consents.len(), 1);
+        assert_eq!(pol.status_of("P1"), ConsentStatus::Withdrawn);
+        assert_eq!(pol.status_of("P2"), ConsentStatus::Missing);
+    }
+
+    #[test]
+    fn pseudonym_detection() {
+        assert!(is_pseudonym("P1"));
+        assert!(is_pseudonym("P42"));
+        assert!(!is_pseudonym("Maria"));
+        assert!(!is_pseudonym("P"));
+        assert!(!is_pseudonym("Px"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Focus groups (§6.1's "other methods"): multi-participant discussion
+//! dynamics and their best-known measurement hazard, dominance.
+//!
+//! A focus group is efficient — one session, many voices — but its data
+//! quality depends on moderation: a dominant participant can crowd out
+//! quieter ones, and what looks like consensus is sometimes one person's
+//! opinion echoed. This module simulates turn-taking under a simple
+//! speaking-propensity model with optional moderator intervention, and
+//! measures floor share, Gini of airtime, and how many distinct opinions
+//! actually surfaced.
+
+use crate::{QualError, Result};
+use humnet_stats::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One focus-group participant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FocusParticipant {
+    /// Label (e.g. "P3").
+    pub label: String,
+    /// Baseline propensity to take the floor (relative weight).
+    pub assertiveness: f64,
+    /// The latent opinion cluster this participant would voice (0-based).
+    pub opinion: usize,
+}
+
+/// Configuration of a focus-group session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FocusGroupConfig {
+    /// The participants.
+    pub participants: Vec<FocusParticipant>,
+    /// Number of speaking turns in the session.
+    pub turns: u32,
+    /// Moderator strength in `[0, 1]`: 0 = hands-off, 1 = strict
+    /// round-robin facilitation. Intermediate values damp assertiveness
+    /// differences.
+    pub moderation: f64,
+    /// Conformity pressure in `[0, 1]`: probability a speaker echoes the
+    /// *most-voiced* opinion so far instead of their own.
+    pub conformity: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for FocusGroupConfig {
+    fn default() -> Self {
+        FocusGroupConfig {
+            participants: vec![
+                FocusParticipant {
+                    label: "P1".into(),
+                    assertiveness: 5.0,
+                    opinion: 0,
+                },
+                FocusParticipant {
+                    label: "P2".into(),
+                    assertiveness: 1.0,
+                    opinion: 1,
+                },
+                FocusParticipant {
+                    label: "P3".into(),
+                    assertiveness: 1.0,
+                    opinion: 1,
+                },
+                FocusParticipant {
+                    label: "P4".into(),
+                    assertiveness: 0.6,
+                    opinion: 2,
+                },
+                FocusParticipant {
+                    label: "P5".into(),
+                    assertiveness: 0.4,
+                    opinion: 3,
+                },
+            ],
+            turns: 60,
+            moderation: 0.0,
+            conformity: 0.35,
+            seed: 1,
+        }
+    }
+}
+
+impl FocusGroupConfig {
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.participants.len() < 2 {
+            return Err(QualError::InvalidParameter("need >= 2 participants"));
+        }
+        if self.turns == 0 {
+            return Err(QualError::InvalidParameter("turns must be >= 1"));
+        }
+        if !(0.0..=1.0).contains(&self.moderation) || !(0.0..=1.0).contains(&self.conformity) {
+            return Err(QualError::InvalidParameter(
+                "moderation and conformity must be in [0,1]",
+            ));
+        }
+        for p in &self.participants {
+            if p.assertiveness <= 0.0 {
+                return Err(QualError::InvalidParameter("assertiveness must be positive"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a focus-group session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FocusGroupOutcome {
+    /// Turns taken per participant.
+    pub turns_by_participant: Vec<u32>,
+    /// Voiced opinion per turn.
+    pub voiced: Vec<usize>,
+    /// Gini of airtime across participants.
+    pub airtime_gini: f64,
+    /// Share of turns taken by the single most-talkative participant.
+    pub dominance: f64,
+    /// Number of distinct opinion clusters actually voiced.
+    pub opinions_surfaced: usize,
+    /// Number of distinct opinion clusters present in the room.
+    pub opinions_present: usize,
+}
+
+/// Simulate a focus-group session.
+pub fn simulate_focus_group(config: &FocusGroupConfig) -> Result<FocusGroupOutcome> {
+    config.validate()?;
+    let mut rng = Rng::new(config.seed);
+    let n = config.participants.len();
+    let mut turns_by = vec![0u32; n];
+    let mut voiced = Vec::with_capacity(config.turns as usize);
+    let mut opinion_counts: std::collections::HashMap<usize, u32> =
+        std::collections::HashMap::new();
+    let mut rr = 0usize;
+    for _ in 0..config.turns {
+        // Moderation interpolates between assertiveness-weighted choice and
+        // strict round-robin.
+        let speaker = if rng.chance(config.moderation) {
+            let s = rr;
+            rr = (rr + 1) % n;
+            s
+        } else {
+            let weights: Vec<f64> =
+                config.participants.iter().map(|p| p.assertiveness).collect();
+            rng.choose_weighted(&weights)
+        };
+        turns_by[speaker] += 1;
+        // Conformity: echo the room's leading opinion instead of one's own.
+        let own = config.participants[speaker].opinion;
+        let leading = opinion_counts
+            .iter()
+            .max_by_key(|&(op, &c)| (c, std::cmp::Reverse(*op)))
+            .map(|(&op, _)| op);
+        let spoken = match leading {
+            Some(lead) if lead != own && rng.chance(config.conformity) => lead,
+            _ => own,
+        };
+        *opinion_counts.entry(spoken).or_insert(0) += 1;
+        voiced.push(spoken);
+    }
+    let airtime: Vec<f64> = turns_by.iter().map(|&t| t as f64).collect();
+    let airtime_gini = humnet_stats::gini(&airtime)
+        .map_err(|_| QualError::Degenerate("no turns taken"))?;
+    let dominance =
+        turns_by.iter().copied().max().unwrap_or(0) as f64 / config.turns as f64;
+    let mut surfaced: Vec<usize> = voiced.clone();
+    surfaced.sort_unstable();
+    surfaced.dedup();
+    let mut present: Vec<usize> = config.participants.iter().map(|p| p.opinion).collect();
+    present.sort_unstable();
+    present.dedup();
+    Ok(FocusGroupOutcome {
+        turns_by_participant: turns_by,
+        voiced,
+        airtime_gini,
+        dominance,
+        opinions_surfaced: surfaced.len(),
+        opinions_present: present.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        let mut c = FocusGroupConfig::default();
+        c.participants.truncate(1);
+        assert!(simulate_focus_group(&c).is_err());
+        let mut c = FocusGroupConfig::default();
+        c.turns = 0;
+        assert!(simulate_focus_group(&c).is_err());
+        let mut c = FocusGroupConfig::default();
+        c.moderation = 1.5;
+        assert!(simulate_focus_group(&c).is_err());
+        let mut c = FocusGroupConfig::default();
+        c.participants[0].assertiveness = 0.0;
+        assert!(simulate_focus_group(&c).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = FocusGroupConfig::default();
+        assert_eq!(
+            simulate_focus_group(&c).unwrap(),
+            simulate_focus_group(&c).unwrap()
+        );
+    }
+
+    #[test]
+    fn turns_conserved() {
+        let c = FocusGroupConfig::default();
+        let out = simulate_focus_group(&c).unwrap();
+        assert_eq!(out.turns_by_participant.iter().sum::<u32>(), c.turns);
+        assert_eq!(out.voiced.len(), 60);
+    }
+
+    #[test]
+    fn unmoderated_session_is_dominated() {
+        let c = FocusGroupConfig::default();
+        let out = simulate_focus_group(&c).unwrap();
+        assert!(out.dominance > 0.4, "dominance = {}", out.dominance);
+        assert!(out.airtime_gini > 0.3);
+    }
+
+    #[test]
+    fn moderation_flattens_airtime() {
+        let mut strict = FocusGroupConfig::default();
+        strict.moderation = 1.0;
+        let out = simulate_focus_group(&strict).unwrap();
+        assert!(out.airtime_gini < 0.05, "gini = {}", out.airtime_gini);
+        assert!(out.dominance <= 0.25);
+        let free = simulate_focus_group(&FocusGroupConfig::default()).unwrap();
+        assert!(free.airtime_gini > out.airtime_gini);
+    }
+
+    #[test]
+    fn moderation_surfaces_more_opinions() {
+        // Average over seeds: moderated sessions voice at least as many
+        // distinct opinions as unmoderated ones.
+        let mut mod_sum = 0usize;
+        let mut free_sum = 0usize;
+        for seed in 0..10 {
+            let mut m = FocusGroupConfig::default();
+            m.moderation = 1.0;
+            m.seed = seed;
+            mod_sum += simulate_focus_group(&m).unwrap().opinions_surfaced;
+            let mut f = FocusGroupConfig::default();
+            f.seed = seed;
+            free_sum += simulate_focus_group(&f).unwrap().opinions_surfaced;
+        }
+        assert!(mod_sum >= free_sum, "moderated {mod_sum} vs free {free_sum}");
+    }
+
+    #[test]
+    fn conformity_hides_minority_opinions() {
+        let mut high = FocusGroupConfig::default();
+        high.conformity = 0.95;
+        high.moderation = 0.0;
+        let mut low = FocusGroupConfig::default();
+        low.conformity = 0.0;
+        low.moderation = 1.0; // give everyone the floor
+        let h = simulate_focus_group(&high).unwrap();
+        let l = simulate_focus_group(&low).unwrap();
+        assert!(l.opinions_surfaced >= h.opinions_surfaced);
+        assert_eq!(l.opinions_surfaced, l.opinions_present);
+    }
+}

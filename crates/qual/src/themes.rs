@@ -1,0 +1,234 @@
+//! Theme extraction and quote selection.
+//!
+//! After coding, analysts group related codes into themes. This module
+//! derives themes mechanically from code co-occurrence (codes that mark the
+//! same turns belong together), and selects representative quotes per code
+//! the way §5.2 recommends ("often with direct quotes if available").
+
+use crate::codebook::Codebook;
+use crate::coding::CodingSession;
+use crate::transcript::Transcript;
+use crate::{QualError, Result};
+use humnet_graph::{label_propagation, Graph};
+use humnet_stats::Rng;
+
+/// A theme: a named cluster of codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Theme {
+    /// Theme label (derived from its most frequent member code).
+    pub label: String,
+    /// Member code ids.
+    pub codes: Vec<usize>,
+    /// Number of coded segments supporting the theme.
+    pub support: usize,
+}
+
+/// Cluster codes into themes by co-occurrence across coded turns.
+///
+/// Two codes co-occur when (possibly different) coders assign them to the
+/// same `(transcript, turn)` unit. The co-occurrence graph is clustered by
+/// label propagation, seeded for determinism. Codes that never co-occur
+/// with others become singleton themes.
+pub fn extract_themes(
+    codebook: &Codebook,
+    sessions: &[CodingSession],
+    seed: u64,
+) -> Result<Vec<Theme>> {
+    if sessions.is_empty() {
+        return Err(QualError::EmptyInput);
+    }
+    let n = codebook.len();
+    if n == 0 {
+        return Err(QualError::EmptyInput);
+    }
+    // Collect per-unit code sets.
+    use std::collections::{HashMap, HashSet};
+    let mut unit_codes: HashMap<(String, usize), HashSet<usize>> = HashMap::new();
+    let mut support = vec![0usize; n];
+    for s in sessions {
+        for seg in &s.segments {
+            for turn in seg.start_turn..seg.end_turn {
+                unit_codes
+                    .entry((seg.transcript.clone(), turn))
+                    .or_default()
+                    .insert(seg.code);
+            }
+            if seg.code < n {
+                support[seg.code] += 1;
+            }
+        }
+    }
+    // Build weighted co-occurrence graph.
+    let mut g = Graph::undirected(n);
+    let mut weights: HashMap<(usize, usize), f64> = HashMap::new();
+    for codes in unit_codes.values() {
+        let list: Vec<usize> = {
+            let mut v: Vec<usize> = codes.iter().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        for i in 0..list.len() {
+            for j in (i + 1)..list.len() {
+                *weights.entry((list[i], list[j])).or_insert(0.0) += 1.0;
+            }
+        }
+    }
+    let mut pairs: Vec<((usize, usize), f64)> = weights.into_iter().collect();
+    pairs.sort_by_key(|&((a, b), _)| (a, b));
+    for ((a, b), w) in pairs {
+        g.add_weighted_edge(a, b, w)
+            .map_err(|_| QualError::InvalidParameter("bad code id in segments"))?;
+    }
+    let mut rng = Rng::new(seed);
+    let partition = label_propagation(&g, &mut rng, 50)
+        .map_err(|_| QualError::InvalidParameter("label propagation failed"))?;
+    // Build themes.
+    let mut themes: Vec<Theme> = Vec::new();
+    for c in 0..partition.community_count() {
+        let members = partition.members(c);
+        // Label by the member code with the highest support.
+        let &rep = members
+            .iter()
+            .max_by_key(|&&m| (support[m], std::cmp::Reverse(m)))
+            .expect("nonempty community");
+        let label = codebook
+            .get(rep)
+            .map(|code| code.name.clone())
+            .unwrap_or_else(|| format!("theme-{c}"));
+        let total: usize = members.iter().map(|&m| support[m]).sum();
+        themes.push(Theme {
+            label,
+            codes: members,
+            support: total,
+        });
+    }
+    // Most supported themes first.
+    themes.sort_by(|a, b| b.support.cmp(&a.support).then_with(|| a.label.cmp(&b.label)));
+    Ok(themes)
+}
+
+/// Pick up to `k` representative quotes for a code: the longest participant
+/// turns covered by segments carrying that code, across all sessions.
+pub fn representative_quotes<'a>(
+    transcripts: &'a [Transcript],
+    sessions: &[CodingSession],
+    code: usize,
+    k: usize,
+) -> Vec<&'a str> {
+    let mut candidates: Vec<&'a str> = Vec::new();
+    for s in sessions {
+        for seg in &s.segments {
+            if seg.code != code {
+                continue;
+            }
+            if let Some(t) = transcripts.iter().find(|t| t.id == seg.transcript) {
+                for turn in seg.start_turn..seg.end_turn.min(t.turns.len()) {
+                    let text = t.turns[turn].text.as_str();
+                    if !candidates.contains(&text) {
+                        candidates.push(text);
+                    }
+                }
+            }
+        }
+    }
+    candidates.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    candidates.truncate(k);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codebook::Codebook;
+    use crate::coding::CodingSession;
+    use crate::transcript::Transcript;
+
+    fn setup() -> (Codebook, Vec<Transcript>, Vec<CodingSession>) {
+        let mut cb = Codebook::new();
+        cb.add("labor", "d").unwrap(); // 0
+        cb.add("repair", "d").unwrap(); // 1
+        cb.add("funding", "d").unwrap(); // 2
+        cb.add("dues", "d").unwrap(); // 3
+        let mut t = Transcript::new("T1", "site visit");
+        for i in 0..8 {
+            t.participant("P", format!("turn number {i} about the network and its upkeep"));
+        }
+        // labor+repair co-occur on turns 0-3; funding+dues on turns 4-7.
+        let mut a = CodingSession::new("A");
+        a.apply(&cb, "T1", 0, 4, 0).unwrap();
+        a.apply(&cb, "T1", 4, 8, 2).unwrap();
+        let mut b = CodingSession::new("B");
+        b.apply(&cb, "T1", 0, 4, 1).unwrap();
+        b.apply(&cb, "T1", 4, 8, 3).unwrap();
+        (cb, vec![t], vec![a, b])
+    }
+
+    #[test]
+    fn themes_cluster_cooccurring_codes() {
+        let (cb, _t, sessions) = setup();
+        let themes = extract_themes(&cb, &sessions, 7).unwrap();
+        // Expect two themes of two codes each.
+        assert_eq!(themes.len(), 2, "themes: {themes:?}");
+        for th in &themes {
+            assert_eq!(th.codes.len(), 2);
+        }
+        let find = |code: usize| themes.iter().position(|t| t.codes.contains(&code)).unwrap();
+        assert_eq!(find(0), find(1));
+        assert_eq!(find(2), find(3));
+        assert_ne!(find(0), find(2));
+    }
+
+    #[test]
+    fn themes_deterministic() {
+        let (cb, _t, sessions) = setup();
+        let t1 = extract_themes(&cb, &sessions, 7).unwrap();
+        let t2 = extract_themes(&cb, &sessions, 7).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn themes_empty_inputs_error() {
+        let cb = Codebook::new();
+        assert!(extract_themes(&cb, &[], 1).is_err());
+        let (cb2, _t, sessions) = setup();
+        let _ = cb2;
+        assert!(extract_themes(&Codebook::new(), &sessions, 1).is_err());
+    }
+
+    #[test]
+    fn singleton_codes_get_own_theme() {
+        let mut cb = Codebook::new();
+        cb.add("only", "d").unwrap();
+        let mut s = CodingSession::new("A");
+        s.apply(&cb, "T1", 0, 1, 0).unwrap();
+        let themes = extract_themes(&cb, &[s], 1).unwrap();
+        assert_eq!(themes.len(), 1);
+        assert_eq!(themes[0].label, "only");
+        assert_eq!(themes[0].support, 1);
+    }
+
+    #[test]
+    fn quotes_come_from_coded_turns() {
+        let (_cb, transcripts, sessions) = setup();
+        let quotes = representative_quotes(&transcripts, &sessions, 0, 2);
+        assert_eq!(quotes.len(), 2);
+        for q in &quotes {
+            assert!(q.contains("about the network"));
+            // Code 0 covers turns 0..4.
+            let n: usize = q
+                .split_whitespace()
+                .nth(2)
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(n < 4, "quote from uncoded turn: {q}");
+        }
+    }
+
+    #[test]
+    fn quotes_respect_k_and_missing_code() {
+        let (_cb, transcripts, sessions) = setup();
+        assert!(representative_quotes(&transcripts, &sessions, 99, 3).is_empty());
+        assert_eq!(representative_quotes(&transcripts, &sessions, 0, 1).len(), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Interview and conversation transcripts.
+
+use serde::{Deserialize, Serialize};
+
+/// Who is speaking in an utterance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Speaker {
+    /// The researcher/interviewer.
+    Researcher,
+    /// A participant, identified by a study-local label (e.g. "P3").
+    Participant(String),
+}
+
+/// One speaker turn.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Utterance {
+    /// Who spoke.
+    pub speaker: Speaker,
+    /// What was said.
+    pub text: String,
+}
+
+/// A transcript: an ordered sequence of utterances plus metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transcript {
+    /// Study-local identifier.
+    pub id: String,
+    /// Free-form setting description ("site visit", "IXP operator call").
+    pub setting: String,
+    /// The utterances, in order.
+    pub turns: Vec<Utterance>,
+}
+
+impl Transcript {
+    /// Create an empty transcript.
+    pub fn new(id: impl Into<String>, setting: impl Into<String>) -> Self {
+        Transcript {
+            id: id.into(),
+            setting: setting.into(),
+            turns: Vec::new(),
+        }
+    }
+
+    /// Append a researcher turn.
+    pub fn researcher(&mut self, text: impl Into<String>) -> &mut Self {
+        self.turns.push(Utterance {
+            speaker: Speaker::Researcher,
+            text: text.into(),
+        });
+        self
+    }
+
+    /// Append a participant turn.
+    pub fn participant(&mut self, label: impl Into<String>, text: impl Into<String>) -> &mut Self {
+        self.turns.push(Utterance {
+            speaker: Speaker::Participant(label.into()),
+            text: text.into(),
+        });
+        self
+    }
+
+    /// Number of turns.
+    pub fn len(&self) -> usize {
+        self.turns.len()
+    }
+
+    /// True when the transcript has no turns.
+    pub fn is_empty(&self) -> bool {
+        self.turns.is_empty()
+    }
+
+    /// Distinct participant labels, in order of first appearance.
+    pub fn participants(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for turn in &self.turns {
+            if let Speaker::Participant(label) = &turn.speaker {
+                if !out.contains(&label.as_str()) {
+                    out.push(label);
+                }
+            }
+        }
+        out
+    }
+
+    /// Produce an anonymized copy: participant labels are replaced with
+    /// `P1, P2, ...` in order of first appearance, and every occurrence of
+    /// each name in `real_names` is replaced with `[redacted]` in the turn
+    /// text (case-insensitive whole-word-ish matching on the raw string).
+    pub fn anonymize(&self, real_names: &[&str]) -> Transcript {
+        let participants = self.participants();
+        let pseudonym = |label: &str| -> String {
+            let idx = participants.iter().position(|&p| p == label).unwrap_or(0);
+            format!("P{}", idx + 1)
+        };
+        let redact = |text: &str| -> String {
+            let mut out = text.to_owned();
+            for name in real_names {
+                if name.is_empty() {
+                    continue;
+                }
+                // Case-insensitive replace.
+                let lower_out = out.to_lowercase();
+                let lower_name = name.to_lowercase();
+                let mut result = String::with_capacity(out.len());
+                let mut pos = 0;
+                while let Some(found) = lower_out[pos..].find(&lower_name) {
+                    let at = pos + found;
+                    result.push_str(&out[pos..at]);
+                    result.push_str("[redacted]");
+                    pos = at + lower_name.len();
+                }
+                result.push_str(&out[pos..]);
+                out = result;
+            }
+            out
+        };
+        Transcript {
+            id: self.id.clone(),
+            setting: self.setting.clone(),
+            turns: self
+                .turns
+                .iter()
+                .map(|t| Utterance {
+                    speaker: match &t.speaker {
+                        Speaker::Researcher => Speaker::Researcher,
+                        Speaker::Participant(label) => Speaker::Participant(pseudonym(label)),
+                    },
+                    text: redact(&t.text),
+                })
+                .collect(),
+        }
+    }
+
+    /// Concatenated participant text (used for tokenization / coding).
+    pub fn participant_text(&self) -> String {
+        self.turns
+            .iter()
+            .filter_map(|t| match t.speaker {
+                Speaker::Participant(_) => Some(t.text.as_str()),
+                Speaker::Researcher => None,
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Transcript {
+        let mut t = Transcript::new("T1", "community network site visit");
+        t.researcher("How do you maintain the tower?")
+            .participant("Maria", "Maria climbs it monthly. Jose helps with the radios.")
+            .researcher("Who pays for parts?")
+            .participant("Jose", "The cooperative collects dues.");
+        t
+    }
+
+    #[test]
+    fn builder_accumulates_turns() {
+        let t = sample();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.participants(), vec!["Maria", "Jose"]);
+    }
+
+    #[test]
+    fn anonymize_replaces_labels_in_order() {
+        let t = sample().anonymize(&[]);
+        assert_eq!(t.participants(), vec!["P1", "P2"]);
+        // Researcher turns untouched.
+        assert_eq!(t.turns[0].speaker, Speaker::Researcher);
+    }
+
+    #[test]
+    fn anonymize_redacts_names_case_insensitive() {
+        let t = sample().anonymize(&["maria", "Jose"]);
+        for turn in &t.turns {
+            assert!(
+                !turn.text.to_lowercase().contains("maria"),
+                "text leaked: {}",
+                turn.text
+            );
+            assert!(!turn.text.to_lowercase().contains("jose"));
+        }
+        assert!(t.turns[1].text.contains("[redacted]"));
+    }
+
+    #[test]
+    fn anonymize_preserves_surrounding_text() {
+        let t = sample().anonymize(&["Maria"]);
+        assert!(t.turns[1].text.contains("climbs it monthly"));
+    }
+
+    #[test]
+    fn anonymize_handles_empty_name_list_entries() {
+        let t = sample().anonymize(&[""]);
+        assert_eq!(t.turns[1].text, sample().turns[1].text);
+    }
+
+    #[test]
+    fn participant_text_excludes_researcher() {
+        let text = sample().participant_text();
+        assert!(text.contains("cooperative"));
+        assert!(!text.contains("How do you"));
+    }
+
+    #[test]
+    fn empty_transcript() {
+        let t = Transcript::new("T0", "none");
+        assert!(t.is_empty());
+        assert!(t.participants().is_empty());
+        assert_eq!(t.participant_text(), "");
+    }
+}

@@ -1,0 +1,169 @@
+//! Resampling methods: bootstrap confidence intervals and permutation tests.
+//!
+//! All resampling is driven by the deterministic [`crate::rng::Rng`], so the
+//! intervals reported in `EXPERIMENTS.md` are reproducible.
+
+use crate::rng::Rng;
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapCi {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower bound of the interval.
+    pub lo: f64,
+    /// Upper bound of the interval.
+    pub hi: f64,
+    /// Confidence level used (e.g. 0.95).
+    pub level: f64,
+    /// Number of bootstrap replicates drawn.
+    pub replicates: usize,
+}
+
+/// Percentile bootstrap CI for an arbitrary statistic.
+///
+/// `statistic` is applied to the original sample for the point estimate and
+/// to `replicates` resamples (with replacement) for the interval. The
+/// statistic must be well-defined on any resample of the data.
+pub fn bootstrap_ci<F>(
+    data: &[f64],
+    statistic: F,
+    replicates: usize,
+    level: f64,
+    rng: &mut Rng,
+) -> Result<BootstrapCi>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if replicates < 10 {
+        return Err(StatsError::InvalidParameter("bootstrap needs >= 10 replicates"));
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter("confidence level must be in (0, 1)"));
+    }
+    let estimate = statistic(data);
+    let mut stats = Vec::with_capacity(replicates);
+    let mut resample = vec![0.0; data.len()];
+    for _ in 0..replicates {
+        for slot in resample.iter_mut() {
+            *slot = data[rng.range(0, data.len())];
+        }
+        stats.push(statistic(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let alpha = (1.0 - level) / 2.0;
+    let lo = crate::descriptive::quantile(&stats, alpha)?;
+    let hi = crate::descriptive::quantile(&stats, 1.0 - alpha)?;
+    Ok(BootstrapCi {
+        estimate,
+        lo,
+        hi,
+        level,
+        replicates,
+    })
+}
+
+/// Two-sided permutation test for a difference in means between two groups.
+///
+/// Returns the p-value: the fraction of label permutations whose absolute
+/// mean difference is at least as extreme as the observed one (with the +1
+/// small-sample correction so the p-value is never exactly zero).
+pub fn permutation_test(a: &[f64], b: &[f64], permutations: usize, rng: &mut Rng) -> Result<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if permutations == 0 {
+        return Err(StatsError::InvalidParameter("need >= 1 permutation"));
+    }
+    let observed = (crate::descriptive::mean(a)? - crate::descriptive::mean(b)?).abs();
+    let mut pooled: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+    let na = a.len();
+    let mut extreme = 0usize;
+    for _ in 0..permutations {
+        rng.shuffle(&mut pooled);
+        let ma: f64 = pooled[..na].iter().sum::<f64>() / na as f64;
+        let mb: f64 = pooled[na..].iter().sum::<f64>() / (pooled.len() - na) as f64;
+        if (ma - mb).abs() >= observed - 1e-15 {
+            extreme += 1;
+        }
+    }
+    Ok((extreme + 1) as f64 / (permutations + 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::mean;
+
+    #[test]
+    fn ci_contains_point_estimate_for_mean() {
+        let data: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let mut rng = Rng::new(1);
+        let ci = bootstrap_ci(&data, |d| mean(d).unwrap(), 500, 0.95, &mut rng).unwrap();
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!((ci.estimate - 4.5).abs() < 1e-12);
+        // Interval should be reasonably tight for n = 100.
+        assert!(ci.hi - ci.lo < 2.0);
+    }
+
+    #[test]
+    fn ci_is_deterministic_given_seed() {
+        let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let run = |seed| {
+            let mut rng = Rng::new(seed);
+            bootstrap_ci(&data, |d| mean(d).unwrap(), 200, 0.9, &mut rng).unwrap()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn ci_widens_with_confidence_level() {
+        let data: Vec<f64> = (0..60).map(|i| ((i * 37) % 23) as f64).collect();
+        let mut rng1 = Rng::new(3);
+        let mut rng2 = Rng::new(3);
+        let narrow = bootstrap_ci(&data, |d| mean(d).unwrap(), 500, 0.5, &mut rng1).unwrap();
+        let wide = bootstrap_ci(&data, |d| mean(d).unwrap(), 500, 0.99, &mut rng2).unwrap();
+        assert!(wide.hi - wide.lo > narrow.hi - narrow.lo);
+    }
+
+    #[test]
+    fn ci_rejects_bad_params() {
+        let mut rng = Rng::new(1);
+        assert!(bootstrap_ci(&[], |_| 0.0, 100, 0.95, &mut rng).is_err());
+        assert!(bootstrap_ci(&[1.0], |_| 0.0, 5, 0.95, &mut rng).is_err());
+        assert!(bootstrap_ci(&[1.0], |_| 0.0, 100, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn permutation_test_detects_separation() {
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..20).map(|i| i as f64 + 100.0).collect();
+        let mut rng = Rng::new(5);
+        let p = permutation_test(&a, &b, 500, &mut rng).unwrap();
+        assert!(p < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn permutation_test_null_is_large() {
+        let a: Vec<f64> = (0..20).map(|i| (i % 7) as f64).collect();
+        let b = a.clone();
+        let mut rng = Rng::new(5);
+        let p = permutation_test(&a, &b, 500, &mut rng).unwrap();
+        assert!(p > 0.5, "p = {p}");
+    }
+
+    #[test]
+    fn permutation_p_never_zero() {
+        let a = [0.0, 0.0];
+        let b = [1000.0, 1000.0];
+        let mut rng = Rng::new(9);
+        let p = permutation_test(&a, &b, 100, &mut rng).unwrap();
+        assert!(p > 0.0);
+    }
+}

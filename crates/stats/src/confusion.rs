@@ -1,0 +1,198 @@
+//! Binary-classification metrics.
+//!
+//! Used to evaluate the positionality detector (experiment **F7** reports
+//! its recall and precision) and any other classifier in the toolkit.
+
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A 2×2 confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Predicted positive, actually positive.
+    pub tp: u64,
+    /// Predicted positive, actually negative.
+    pub fp: u64,
+    /// Predicted negative, actually positive.
+    pub fn_: u64,
+    /// Predicted negative, actually negative.
+    pub tn: u64,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tally one prediction.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Build from paired prediction/truth slices.
+    pub fn from_pairs(predicted: &[bool], actual: &[bool]) -> Result<Self> {
+        if predicted.len() != actual.len() {
+            return Err(StatsError::LengthMismatch {
+                left: predicted.len(),
+                right: actual.len(),
+            });
+        }
+        if predicted.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let mut m = Self::new();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            m.record(p, a);
+        }
+        Ok(m)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Accuracy: (tp + tn) / total.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return f64::NAN;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Precision: tp / (tp + fp). NaN when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            f64::NAN
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall: tp / (tp + fn). NaN when nothing is actually positive.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            f64::NAN
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1: harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p.is_nan() || r.is_nan() || p + r == 0.0 {
+            f64::NAN
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Matthews correlation coefficient in `[−1, 1]`; NaN on degenerate
+    /// marginals.
+    pub fn mcc(&self) -> f64 {
+        let (tp, fp, fn_, tn) = (
+            self.tp as f64,
+            self.fp as f64,
+            self.fn_ as f64,
+            self.tn as f64,
+        );
+        let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+        if denom == 0.0 {
+            f64::NAN
+        } else {
+            (tp * tn - fp * fn_) / denom
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> ConfusionMatrix {
+        // 8 TP, 2 FP, 2 FN, 8 TN.
+        ConfusionMatrix {
+            tp: 8,
+            fp: 2,
+            fn_: 2,
+            tn: 8,
+        }
+    }
+
+    #[test]
+    fn metrics_known_values() {
+        let m = matrix();
+        assert_eq!(m.total(), 20);
+        assert!((m.accuracy() - 0.8).abs() < 1e-12);
+        assert!((m.precision() - 0.8).abs() < 1e-12);
+        assert!((m.recall() - 0.8).abs() < 1e-12);
+        assert!((m.f1() - 0.8).abs() < 1e-12);
+        assert!((m.mcc() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let m = ConfusionMatrix {
+            tp: 5,
+            fp: 0,
+            fn_: 0,
+            tn: 5,
+        };
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert!((m.mcc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_classifier_has_negative_mcc() {
+        let m = ConfusionMatrix {
+            tp: 0,
+            fp: 5,
+            fn_: 5,
+            tn: 0,
+        };
+        assert!((m.mcc() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_metrics_are_nan() {
+        let m = ConfusionMatrix {
+            tp: 0,
+            fp: 0,
+            fn_: 0,
+            tn: 10,
+        };
+        assert!(m.precision().is_nan());
+        assert!(m.recall().is_nan());
+        assert!(m.f1().is_nan());
+        assert!(m.mcc().is_nan());
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn from_pairs_and_record_agree() {
+        let predicted = [true, true, false, false, true];
+        let actual = [true, false, false, true, true];
+        let m = ConfusionMatrix::from_pairs(&predicted, &actual).unwrap();
+        assert_eq!(m.tp, 2);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.fn_, 1);
+        assert_eq!(m.tn, 1);
+    }
+
+    #[test]
+    fn from_pairs_validation() {
+        assert!(ConfusionMatrix::from_pairs(&[true], &[]).is_err());
+        assert!(ConfusionMatrix::from_pairs(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Correlation measures: Pearson, Spearman, Kendall.
+
+use crate::{Result, StatsError};
+
+fn check_pair(x: &[f64], y: &[f64]) -> Result<()> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::InvalidParameter("correlation needs >= 2 points"));
+    }
+    Ok(())
+}
+
+/// Pearson product-moment correlation coefficient in `[-1, 1]`.
+/// Errors when either variable has zero variance.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
+    check_pair(x, y)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return Err(StatsError::Degenerate("zero variance in correlation input"));
+    }
+    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Assign midranks (average rank for ties) to a sample; ranks start at 1.
+pub fn midranks(data: &[f64]) -> Vec<f64> {
+    let n = data.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && data[idx[j + 1]] == data[idx[i]] {
+            j += 1;
+        }
+        let midrank = (i + j + 2) as f64 / 2.0;
+        for &k in idx.iter().take(j + 1).skip(i) {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation: Pearson correlation of midranks.
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64> {
+    check_pair(x, y)?;
+    pearson(&midranks(x), &midranks(y))
+}
+
+/// Kendall's tau-b (tie-corrected), computed by the O(n²) pair scan — the
+/// humnet samples are small enough that the simplicity is worth it.
+pub fn kendall_tau(x: &[f64], y: &[f64]) -> Result<f64> {
+    check_pair(x, y)?;
+    let n = x.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            if dx == 0.0 && dy == 0.0 {
+                // tie in both: counted in both correction terms
+                ties_x += 1;
+                ties_y += 1;
+            } else if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if dx * dy > 0.0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as f64;
+    let denom = ((n0 - ties_x as f64) * (n0 - ties_y as f64)).sqrt();
+    if denom <= 0.0 {
+        return Err(StatsError::Degenerate("all pairs tied"));
+    }
+    Ok(((concordant - discordant) as f64 / denom).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_orthogonal() {
+        let x = [1.0, -1.0, 1.0, -1.0];
+        let y = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_rejects_constant() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn midranks_with_ties() {
+        let r = midranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|&v: &f64| v.exp()).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_known_value() {
+        // Simple reversal of one pair.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 2.0, 3.0, 5.0, 4.0];
+        let rho = spearman(&x, &y).unwrap();
+        // d² = [0,0,0,1,1] sum 2; rho = 1 - 6*2/(5*24) = 0.9
+        assert!((rho - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_with_ties_reference() {
+        // Midranks: x -> [1, 2.5, 2.5, 4]; Pearson over ranks = 0.9486833.
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 2.0, 4.0];
+        let rho = spearman(&x, &y).unwrap();
+        assert!((rho - 0.948_683_298_050_513_8).abs() < 1e-12, "rho = {rho}");
+    }
+
+    #[test]
+    fn kendall_perfect_and_reversed() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        assert!((kendall_tau(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let rev = [40.0, 30.0, 20.0, 10.0];
+        assert!((kendall_tau(&x, &rev).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_with_ties_stays_bounded() {
+        let x = [1.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        let t = kendall_tau(&x, &y).unwrap();
+        assert!((-1.0..=1.0).contains(&t));
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(spearman(&[1.0, 2.0, 3.0], &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,427 @@
+//! Descriptive statistics: moments, order statistics, summaries, histograms.
+
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean. Errors on empty input.
+pub fn mean(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Unbiased sample variance (n − 1 denominator), computed with Welford's
+/// streaming algorithm for numerical stability. Requires at least two points.
+pub fn variance(data: &[f64]) -> Result<f64> {
+    if data.len() < 2 {
+        return Err(StatsError::Degenerate("variance requires at least 2 points"));
+    }
+    let mut count = 0.0;
+    let mut m = 0.0;
+    let mut m2 = 0.0;
+    for &x in data {
+        count += 1.0;
+        let delta = x - m;
+        m += delta / count;
+        m2 += delta * (x - m);
+    }
+    Ok(m2 / (count - 1.0))
+}
+
+/// Sample standard deviation (square root of [`variance`]).
+pub fn stddev(data: &[f64]) -> Result<f64> {
+    variance(data).map(f64::sqrt)
+}
+
+/// Minimum value. Errors on empty input; NaNs are ignored unless all inputs
+/// are NaN, in which case the result is NaN.
+pub fn min(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    Ok(data.iter().copied().fold(f64::NAN, |a, b| {
+        if a.is_nan() {
+            b
+        } else if b.is_nan() {
+            a
+        } else {
+            a.min(b)
+        }
+    }))
+}
+
+/// Maximum value, with the same NaN handling as [`min`].
+pub fn max(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    Ok(data.iter().copied().fold(f64::NAN, |a, b| {
+        if a.is_nan() {
+            b
+        } else if b.is_nan() {
+            a
+        } else {
+            a.max(b)
+        }
+    }))
+}
+
+/// Quantile using linear interpolation between order statistics
+/// (the "type 7" definition used by R and NumPy). `q` must lie in `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter("quantile q must be in [0, 1]"));
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = h - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Median (the 0.5 quantile).
+pub fn median(data: &[f64]) -> Result<f64> {
+    quantile(data, 0.5)
+}
+
+/// Sample skewness (adjusted Fisher–Pearson, the `g1`-with-correction form
+/// used by most statistics packages). Requires ≥ 3 points and nonzero
+/// variance.
+pub fn skewness(data: &[f64]) -> Result<f64> {
+    if data.len() < 3 {
+        return Err(StatsError::InvalidParameter("skewness needs >= 3 points"));
+    }
+    let n = data.len() as f64;
+    let m = mean(data)?;
+    let m2: f64 = data.iter().map(|&x| (x - m).powi(2)).sum::<f64>() / n;
+    let m3: f64 = data.iter().map(|&x| (x - m).powi(3)).sum::<f64>() / n;
+    if m2 <= 0.0 {
+        return Err(StatsError::Degenerate("zero variance"));
+    }
+    let g1 = m3 / m2.powf(1.5);
+    Ok((n * (n - 1.0)).sqrt() / (n - 2.0) * g1)
+}
+
+/// Excess kurtosis (0 for a normal distribution), population form
+/// `m4 / m2² − 3`. Requires ≥ 4 points and nonzero variance.
+pub fn excess_kurtosis(data: &[f64]) -> Result<f64> {
+    if data.len() < 4 {
+        return Err(StatsError::InvalidParameter("kurtosis needs >= 4 points"));
+    }
+    let n = data.len() as f64;
+    let m = mean(data)?;
+    let m2: f64 = data.iter().map(|&x| (x - m).powi(2)).sum::<f64>() / n;
+    let m4: f64 = data.iter().map(|&x| (x - m).powi(4)).sum::<f64>() / n;
+    if m2 <= 0.0 {
+        return Err(StatsError::Degenerate("zero variance"));
+    }
+    Ok(m4 / (m2 * m2) - 3.0)
+}
+
+/// Geometric mean of a strictly positive sample.
+pub fn geometric_mean(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if data.iter().any(|&x| x <= 0.0) {
+        return Err(StatsError::InvalidParameter("geometric mean requires positive values"));
+    }
+    Ok((data.iter().map(|&x| x.ln()).sum::<f64>() / data.len() as f64).exp())
+}
+
+/// Harmonic mean of a strictly positive sample.
+pub fn harmonic_mean(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if data.iter().any(|&x| x <= 0.0) {
+        return Err(StatsError::InvalidParameter("harmonic mean requires positive values"));
+    }
+    Ok(data.len() as f64 / data.iter().map(|&x| 1.0 / x).sum::<f64>())
+}
+
+/// A five-number-plus summary of a sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 when `n < 2`).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Compute a [`Summary`] of a nonempty sample.
+pub fn summary(data: &[f64]) -> Result<Summary> {
+    Ok(Summary {
+        n: data.len(),
+        mean: mean(data)?,
+        stddev: if data.len() >= 2 { stddev(data)? } else { 0.0 },
+        min: min(data)?,
+        q1: quantile(data, 0.25)?,
+        median: median(data)?,
+        q3: quantile(data, 0.75)?,
+        max: max(data)?,
+    })
+}
+
+/// A fixed-width histogram over a closed interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Left edge of the first bin.
+    pub lo: f64,
+    /// Right edge of the last bin.
+    pub hi: f64,
+    /// Per-bin counts.
+    pub counts: Vec<u64>,
+    /// Observations below `lo`.
+    pub underflow: u64,
+    /// Observations above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Total observations recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Bin center for bin `i`.
+    pub fn center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Index of the most populated bin (first on ties).
+    pub fn mode_bin(&self) -> usize {
+        let mut best = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > self.counts[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Build a histogram with `bins` equal-width bins over `[lo, hi]`.
+/// A value exactly equal to `hi` is counted in the last bin.
+pub fn histogram(data: &[f64], lo: f64, hi: f64, bins: usize) -> Result<Histogram> {
+    if bins == 0 {
+        return Err(StatsError::InvalidParameter("histogram needs at least one bin"));
+    }
+    if !(hi > lo) {
+        return Err(StatsError::InvalidParameter("histogram needs hi > lo"));
+    }
+    let mut h = Histogram {
+        lo,
+        hi,
+        counts: vec![0; bins],
+        underflow: 0,
+        overflow: 0,
+    };
+    let width = (hi - lo) / bins as f64;
+    for &x in data {
+        if x < lo {
+            h.underflow += 1;
+        } else if x > hi {
+            h.overflow += 1;
+        } else {
+            let idx = (((x - lo) / width) as usize).min(bins - 1);
+            h.counts[idx] += 1;
+        }
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_sample() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn mean_empty_errors() {
+        assert_eq!(mean(&[]).unwrap_err(), StatsError::EmptyInput);
+    }
+
+    #[test]
+    fn variance_of_known_sample() {
+        // Sample variance of 2,4,4,4,5,5,7,9 with n-1 denominator is 32/7.
+        let v = variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_requires_two_points() {
+        assert!(variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn variance_is_shift_invariant() {
+        let base = [3.1, 4.1, 5.9, 2.6, 5.3];
+        let shifted: Vec<f64> = base.iter().map(|x| x + 1e9).collect();
+        let v0 = variance(&base).unwrap();
+        let v1 = variance(&shifted).unwrap();
+        assert!((v0 - v1).abs() < 1e-4, "Welford should resist catastrophic cancellation");
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&data, 1.0).unwrap(), 4.0);
+        assert!((quantile(&data, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        // Type-7: h = 0.25 * 3 = 0.75 -> 1 + 0.75*(2-1) = 1.75
+        assert!((quantile(&data, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_q() {
+        assert!(quantile(&[1.0], 1.5).is_err());
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let s = summary(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mean, 3.0);
+        assert!(s.q1 <= s.median && s.median <= s.q3);
+    }
+
+    #[test]
+    fn summary_single_point() {
+        let s = summary(&[7.0]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_edges() {
+        let h = histogram(&[0.0, 0.5, 1.0, 2.5, 9.9, 10.0, -1.0, 11.0], 0.0, 10.0, 10).unwrap();
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.counts[0], 2); // 0.0 and 0.5; 1.0 falls on the left edge of bin 1.
+        assert_eq!(h.counts[1], 1); // 1.0
+        assert_eq!(h.counts[2], 1); // 2.5
+        assert_eq!(h.total(), 8);
+        // Value exactly hi lands in last bin.
+        assert_eq!(h.counts[9], 2); // 9.9 and 10.0
+    }
+
+    #[test]
+    fn histogram_bin_geometry() {
+        let h = histogram(&[], 0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_width(), 2.0);
+        assert_eq!(h.center(0), 1.0);
+        assert_eq!(h.center(4), 9.0);
+    }
+
+    #[test]
+    fn histogram_mode_bin() {
+        let h = histogram(&[1.0, 1.1, 1.2, 5.0], 0.0, 10.0, 10).unwrap();
+        assert_eq!(h.mode_bin(), 1);
+    }
+
+    #[test]
+    fn skewness_symmetric_is_zero() {
+        let s = skewness(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert!(s.abs() < 1e-12, "s = {s}");
+    }
+
+    #[test]
+    fn skewness_right_tail_positive() {
+        let s = skewness(&[1.0, 1.0, 1.0, 1.0, 10.0]).unwrap();
+        assert!(s > 1.0, "s = {s}");
+        let left = skewness(&[-10.0, 1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(left < -1.0);
+    }
+
+    #[test]
+    fn skewness_validation() {
+        assert!(skewness(&[1.0, 2.0]).is_err());
+        assert!(skewness(&[3.0, 3.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn kurtosis_uniformish_is_negative() {
+        // Discrete uniform has excess kurtosis < 0 (platykurtic).
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let k = excess_kurtosis(&data).unwrap();
+        assert!(k < -1.0, "k = {k}");
+    }
+
+    #[test]
+    fn kurtosis_heavy_tail_positive() {
+        let mut data = vec![0.0; 96];
+        data.extend_from_slice(&[50.0, -50.0, 60.0, -60.0]);
+        // All-zero core breaks variance? variance > 0 due to tails.
+        let k = excess_kurtosis(&data).unwrap();
+        assert!(k > 3.0, "k = {k}");
+    }
+
+    #[test]
+    fn geometric_and_harmonic_means() {
+        let g = geometric_mean(&[1.0, 4.0, 16.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+        let h = harmonic_mean(&[1.0, 2.0, 4.0]).unwrap();
+        assert!((h - 3.0 / 1.75).abs() < 1e-12);
+        // AM >= GM >= HM.
+        let data = [2.0, 3.0, 7.0, 11.0];
+        let am = mean(&data).unwrap();
+        let gm = geometric_mean(&data).unwrap();
+        let hm = harmonic_mean(&data).unwrap();
+        assert!(am >= gm && gm >= hm);
+    }
+
+    #[test]
+    fn positive_mean_validation() {
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+        assert!(harmonic_mean(&[1.0, -1.0]).is_err());
+        assert!(geometric_mean(&[]).is_err());
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        let data = [f64::NAN, 2.0, 1.0, f64::NAN, 3.0];
+        assert_eq!(min(&data).unwrap(), 1.0);
+        assert_eq!(max(&data).unwrap(), 3.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Diversity indices over categorical count/weight distributions.
+//!
+//! Used to quantify topical breadth of research portfolios (experiments
+//! **T1** and **F7**): a method regime that only surfaces hyperscaler
+//! problems has low entropy over stakeholder classes.
+
+use crate::{Result, StatsError};
+
+fn normalize(counts: &[f64]) -> Result<Vec<f64>> {
+    if counts.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if counts.iter().any(|&c| c < 0.0 || !c.is_finite()) {
+        return Err(StatsError::InvalidParameter(
+            "diversity indices require finite nonnegative counts",
+        ));
+    }
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        return Err(StatsError::Degenerate("diversity undefined for zero total"));
+    }
+    Ok(counts.iter().map(|&c| c / total).collect())
+}
+
+/// Shannon entropy in nats of a count/weight vector, `H = −Σ p ln p`.
+/// Zero-count categories contribute zero.
+pub fn shannon_entropy(counts: &[f64]) -> Result<f64> {
+    let p = normalize(counts)?;
+    Ok(-p
+        .iter()
+        .filter(|&&pi| pi > 0.0)
+        .map(|&pi| pi * pi.ln())
+        .sum::<f64>())
+}
+
+/// Normalized Shannon entropy (Pielou's evenness) in `[0, 1]`:
+/// `H / ln k` where `k` is the number of categories. Returns 1 for a single
+/// category (a degenerate but conventionally "even" distribution).
+pub fn evenness(counts: &[f64]) -> Result<f64> {
+    let h = shannon_entropy(counts)?;
+    if counts.len() <= 1 {
+        return Ok(1.0);
+    }
+    Ok(h / (counts.len() as f64).ln())
+}
+
+/// Simpson's diversity index `1 − Σ p²` in `[0, 1)`: the probability two
+/// draws come from different categories.
+pub fn simpson_index(counts: &[f64]) -> Result<f64> {
+    let p = normalize(counts)?;
+    Ok(1.0 - p.iter().map(|&pi| pi * pi).sum::<f64>())
+}
+
+/// Effective number of species (Hill number of order 1): `exp(H)`.
+/// An intuitive "how many equally common categories is this equivalent to".
+pub fn effective_species(counts: &[f64]) -> Result<f64> {
+    shannon_entropy(counts).map(f64::exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_uniform_is_ln_k() {
+        let h = shannon_entropy(&[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!((h - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_degenerate_is_zero() {
+        let h = shannon_entropy(&[10.0, 0.0, 0.0]).unwrap();
+        assert!(h.abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_is_scale_invariant() {
+        let a = shannon_entropy(&[1.0, 2.0, 3.0]).unwrap();
+        let b = shannon_entropy(&[10.0, 20.0, 30.0]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evenness_bounds() {
+        let e = evenness(&[5.0, 3.0, 1.0]).unwrap();
+        assert!(e > 0.0 && e < 1.0);
+        assert!((evenness(&[2.0, 2.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(evenness(&[3.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn simpson_uniform() {
+        // 1 - k * (1/k)^2 = 1 - 1/k
+        let s = simpson_index(&[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!((s - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_degenerate_is_zero() {
+        assert!(simpson_index(&[7.0, 0.0]).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_species_uniform_equals_k() {
+        let e = effective_species(&[2.0, 2.0, 2.0]).unwrap();
+        assert!((e - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_negative_and_zero_total() {
+        assert!(shannon_entropy(&[-1.0, 2.0]).is_err());
+        assert!(shannon_entropy(&[0.0, 0.0]).is_err());
+        assert!(shannon_entropy(&[]).is_err());
+    }
+}

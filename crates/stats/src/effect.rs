@@ -1,0 +1,151 @@
+//! Effect sizes: how *big* a difference is, not merely whether it exists.
+//!
+//! The regime comparisons in experiment **T1** report p-values from
+//! [`crate::hypothesis`]; reviewers of quantitative work rightly ask for
+//! effect sizes alongside. Implemented: Cohen's d (pooled), Hedges' g
+//! (small-sample corrected), and Cliff's delta (ordinal, nonparametric).
+
+use crate::{Result, StatsError};
+
+/// Cohen's d with pooled standard deviation. Positive when `a`'s mean is
+/// larger. Requires ≥ 2 points per sample and nonzero pooled variance.
+pub fn cohen_d(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.len() < 2 || b.len() < 2 {
+        return Err(StatsError::InvalidParameter("cohen_d needs >= 2 points per sample"));
+    }
+    let ma = crate::descriptive::mean(a)?;
+    let mb = crate::descriptive::mean(b)?;
+    let va = crate::descriptive::variance(a)?;
+    let vb = crate::descriptive::variance(b)?;
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let pooled = ((na - 1.0) * va + (nb - 1.0) * vb) / (na + nb - 2.0);
+    if pooled <= 0.0 {
+        return Err(StatsError::Degenerate("zero pooled variance"));
+    }
+    Ok((ma - mb) / pooled.sqrt())
+}
+
+/// Hedges' g: Cohen's d with the small-sample bias correction
+/// `J = 1 − 3 / (4(n_a + n_b) − 9)`.
+pub fn hedges_g(a: &[f64], b: &[f64]) -> Result<f64> {
+    let d = cohen_d(a, b)?;
+    let n = (a.len() + b.len()) as f64;
+    let j = 1.0 - 3.0 / (4.0 * n - 9.0);
+    Ok(d * j)
+}
+
+/// Cliff's delta: `P(a > b) − P(a < b)` over all cross pairs, in `[−1, 1]`.
+/// Robust to non-normality; 0 means stochastic equality.
+pub fn cliff_delta(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mut more = 0i64;
+    let mut less = 0i64;
+    for &x in a {
+        for &y in b {
+            if x > y {
+                more += 1;
+            } else if x < y {
+                less += 1;
+            }
+        }
+    }
+    Ok((more - less) as f64 / (a.len() * b.len()) as f64)
+}
+
+/// Conventional qualitative magnitude for |d|-style effect sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Magnitude {
+    /// |d| < 0.2.
+    Negligible,
+    /// 0.2 ≤ |d| < 0.5.
+    Small,
+    /// 0.5 ≤ |d| < 0.8.
+    Medium,
+    /// |d| ≥ 0.8.
+    Large,
+}
+
+/// Classify a Cohen-style effect size by the conventional thresholds.
+pub fn magnitude(d: f64) -> Magnitude {
+    let a = d.abs();
+    if a < 0.2 {
+        Magnitude::Negligible
+    } else if a < 0.5 {
+        Magnitude::Small
+    } else if a < 0.8 {
+        Magnitude::Medium
+    } else {
+        Magnitude::Large
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohen_d_known_value() {
+        // a: mean 2, var 1; b: mean 0, var 1 (pooled sd = 1) -> d = 2.
+        let a = [1.0, 2.0, 3.0, 2.0];
+        let b = [-1.0, 0.0, 1.0, 0.0];
+        let d = cohen_d(&a, &b).unwrap();
+        // var(a) = var(b) = 2/3; pooled = 2/3; d = 2 / sqrt(2/3).
+        let expected = 2.0 / (2.0f64 / 3.0).sqrt();
+        assert!((d - expected).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn cohen_d_sign_and_zero() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert!(cohen_d(&a, &b).unwrap() < 0.0);
+        assert!(cohen_d(&b, &a).unwrap() > 0.0);
+        assert!(cohen_d(&a, &a).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn cohen_d_degenerate() {
+        assert!(cohen_d(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(cohen_d(&[1.0, 1.0], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn hedges_g_shrinks_d() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [3.0, 4.0, 5.0, 6.0];
+        let d = cohen_d(&a, &b).unwrap();
+        let g = hedges_g(&a, &b).unwrap();
+        assert!(g.abs() < d.abs());
+        assert!(g.signum() == d.signum());
+    }
+
+    #[test]
+    fn cliff_delta_extremes() {
+        let lo = [1.0, 2.0, 3.0];
+        let hi = [10.0, 11.0, 12.0];
+        assert_eq!(cliff_delta(&hi, &lo).unwrap(), 1.0);
+        assert_eq!(cliff_delta(&lo, &hi).unwrap(), -1.0);
+        assert_eq!(cliff_delta(&lo, &lo).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cliff_delta_partial_overlap() {
+        let a = [1.0, 3.0];
+        let b = [2.0, 2.0];
+        // pairs: (1,2)x2 less, (3,2)x2 more -> delta = 0.
+        assert_eq!(cliff_delta(&a, &b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn magnitude_thresholds() {
+        assert_eq!(magnitude(0.1), Magnitude::Negligible);
+        assert_eq!(magnitude(-0.3), Magnitude::Small);
+        assert_eq!(magnitude(0.6), Magnitude::Medium);
+        assert_eq!(magnitude(-1.5), Magnitude::Large);
+        assert_eq!(magnitude(0.2), Magnitude::Small);
+        assert_eq!(magnitude(0.8), Magnitude::Large);
+    }
+}

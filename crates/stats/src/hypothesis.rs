@@ -1,0 +1,452 @@
+//! Classical hypothesis tests with exact-enough p-values.
+//!
+//! humnet uses these to decide whether differences between method regimes
+//! (experiment **T1**), policies (**F5**), or coder pools (**T2**) are
+//! larger than seed noise.
+
+use crate::special::{chi_square_sf, normal_cdf, student_t_cdf};
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a hypothesis test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestResult {
+    /// Name of the test performed.
+    pub test: &'static str,
+    /// The test statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (if meaningful for the test, else 0).
+    pub df: f64,
+    /// Two-sided p-value (or upper-tail for the chi-square tests).
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// Whether the result is significant at the given level.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Chi-square goodness-of-fit test of observed counts against expected
+/// counts. Expected counts must be positive; the two slices must have equal
+/// length ≥ 2.
+pub fn chi_square_gof(observed: &[f64], expected: &[f64]) -> Result<TestResult> {
+    if observed.len() != expected.len() {
+        return Err(StatsError::LengthMismatch {
+            left: observed.len(),
+            right: expected.len(),
+        });
+    }
+    if observed.len() < 2 {
+        return Err(StatsError::InvalidParameter("chi-square needs >= 2 categories"));
+    }
+    if expected.iter().any(|&e| e <= 0.0) {
+        return Err(StatsError::InvalidParameter("expected counts must be positive"));
+    }
+    let stat: f64 = observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| (o - e) * (o - e) / e)
+        .sum();
+    let df = (observed.len() - 1) as f64;
+    Ok(TestResult {
+        test: "chi-square goodness-of-fit",
+        statistic: stat,
+        df,
+        p_value: chi_square_sf(stat, df),
+    })
+}
+
+/// Chi-square test of independence on an r×c contingency table (rows of
+/// equal length, all counts nonnegative, every marginal positive).
+pub fn chi_square_independence(table: &[Vec<f64>]) -> Result<TestResult> {
+    if table.len() < 2 {
+        return Err(StatsError::InvalidParameter("independence test needs >= 2 rows"));
+    }
+    let cols = table[0].len();
+    if cols < 2 {
+        return Err(StatsError::InvalidParameter("independence test needs >= 2 columns"));
+    }
+    if table.iter().any(|row| row.len() != cols) {
+        return Err(StatsError::InvalidParameter("ragged contingency table"));
+    }
+    if table.iter().flatten().any(|&x| x < 0.0 || !x.is_finite()) {
+        return Err(StatsError::InvalidParameter("counts must be finite and nonnegative"));
+    }
+    let row_sums: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
+    let col_sums: Vec<f64> = (0..cols)
+        .map(|j| table.iter().map(|r| r[j]).sum())
+        .collect();
+    let total: f64 = row_sums.iter().sum();
+    if row_sums.iter().any(|&s| s <= 0.0) || col_sums.iter().any(|&s| s <= 0.0) {
+        return Err(StatsError::Degenerate("zero marginal in contingency table"));
+    }
+    let mut stat = 0.0;
+    for (i, row) in table.iter().enumerate() {
+        for (j, &o) in row.iter().enumerate() {
+            let e = row_sums[i] * col_sums[j] / total;
+            stat += (o - e) * (o - e) / e;
+        }
+    }
+    let df = ((table.len() - 1) * (cols - 1)) as f64;
+    Ok(TestResult {
+        test: "chi-square independence",
+        statistic: stat,
+        df,
+        p_value: chi_square_sf(stat, df),
+    })
+}
+
+/// Welch's unequal-variance t-test (two-sided). Each sample needs ≥ 2 points
+/// and at least one sample must have positive variance.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<TestResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return Err(StatsError::InvalidParameter("welch t needs >= 2 points per sample"));
+    }
+    let ma = crate::descriptive::mean(a)?;
+    let mb = crate::descriptive::mean(b)?;
+    let va = crate::descriptive::variance(a)?;
+    let vb = crate::descriptive::variance(b)?;
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        return Err(StatsError::Degenerate("both samples have zero variance"));
+    }
+    let t = (ma - mb) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = se2 * se2
+        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
+    Ok(TestResult {
+        test: "welch t",
+        statistic: t,
+        df,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Mann–Whitney U test (two-sided, normal approximation with tie
+/// correction and continuity correction). Suitable for the sample sizes
+/// humnet produces (n ≥ 8 per group recommended).
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Result<TestResult> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    // Rank the pooled sample with midranks for ties.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&x| (x, 0usize))
+        .chain(b.iter().map(|&x| (x, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
+    let n = pooled.len();
+    let mut ranks = vec![0.0; n];
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let midrank = (i + j + 2) as f64 / 2.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = midrank;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let rank_sum_a: f64 = pooled
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, g), _)| *g == 0)
+        .map(|(_, &r)| r)
+        .sum();
+    let u_a = rank_sum_a - na * (na + 1.0) / 2.0;
+    let u = u_a.min(na * nb - u_a);
+    let mean_u = na * nb / 2.0;
+    let n_tot = na + nb;
+    let var_u =
+        na * nb / 12.0 * ((n_tot + 1.0) - tie_term / (n_tot * (n_tot - 1.0)));
+    if var_u <= 0.0 {
+        return Err(StatsError::Degenerate("all pooled values identical"));
+    }
+    // Continuity correction.
+    let z = (u - mean_u + 0.5) / var_u.sqrt();
+    let p = (2.0 * normal_cdf(z)).clamp(0.0, 1.0);
+    Ok(TestResult {
+        test: "mann-whitney u",
+        statistic: u,
+        df: 0.0,
+        p_value: p,
+    })
+}
+
+/// Kruskal–Wallis H test across `k ≥ 2` groups (rank-based one-way
+/// ANOVA), with tie correction and a chi-square approximation for the
+/// p-value (adequate for group sizes ≥ 5, which is how humnet uses it).
+pub fn kruskal_wallis(groups: &[Vec<f64>]) -> Result<TestResult> {
+    if groups.len() < 2 {
+        return Err(StatsError::InvalidParameter("kruskal-wallis needs >= 2 groups"));
+    }
+    if groups.iter().any(Vec::is_empty) {
+        return Err(StatsError::EmptyInput);
+    }
+    let n_total: usize = groups.iter().map(Vec::len).sum();
+    if n_total < 3 {
+        return Err(StatsError::InvalidParameter("kruskal-wallis needs >= 3 observations"));
+    }
+    // Pool and midrank.
+    let pooled: Vec<f64> = groups.iter().flatten().copied().collect();
+    let ranks = crate::correlation::midranks(&pooled);
+    // Tie correction factor.
+    let mut sorted = pooled.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let n = n_total as f64;
+    let correction = 1.0 - tie_term / (n * n * n - n);
+    if correction <= 0.0 {
+        return Err(StatsError::Degenerate("all observations identical"));
+    }
+    // Group rank sums.
+    let mut h = 0.0;
+    let mut offset = 0;
+    for g in groups {
+        let r: f64 = ranks[offset..offset + g.len()].iter().sum();
+        h += r * r / g.len() as f64;
+        offset += g.len();
+    }
+    let h = (12.0 / (n * (n + 1.0)) * h - 3.0 * (n + 1.0)) / correction;
+    let df = (groups.len() - 1) as f64;
+    Ok(TestResult {
+        test: "kruskal-wallis h",
+        statistic: h,
+        df,
+        p_value: chi_square_sf(h.max(0.0), df),
+    })
+}
+
+/// Fisher's exact test (two-sided, by summing the probabilities of all
+/// tables at least as extreme as observed) on a 2×2 table
+/// `[[a, b], [c, d]]` of counts.
+pub fn fisher_exact(a: u64, b: u64, c: u64, d: u64) -> Result<TestResult> {
+    let n = a + b + c + d;
+    if n == 0 {
+        return Err(StatsError::EmptyInput);
+    }
+    let row1 = a + b;
+    let col1 = a + c;
+    // Hypergeometric log-pmf for a given top-left cell x.
+    let ln_choose = |n: u64, k: u64| -> f64 {
+        crate::special::ln_gamma(n as f64 + 1.0)
+            - crate::special::ln_gamma(k as f64 + 1.0)
+            - crate::special::ln_gamma((n - k) as f64 + 1.0)
+    };
+    let log_pmf = |x: u64| -> f64 {
+        ln_choose(row1, x) + ln_choose(n - row1, col1 - x) - ln_choose(n, col1)
+    };
+    let x_min = col1.saturating_sub(n - row1);
+    let x_max = row1.min(col1);
+    let observed = log_pmf(a);
+    let mut p = 0.0;
+    for x in x_min..=x_max {
+        let lp = log_pmf(x);
+        if lp <= observed + 1e-9 {
+            p += lp.exp();
+        }
+    }
+    Ok(TestResult {
+        test: "fisher exact",
+        statistic: a as f64,
+        df: 0.0,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi_square_gof_perfect_fit() {
+        let r = chi_square_gof(&[10.0, 20.0, 30.0], &[10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_gof_known_example() {
+        // Classic fair-die example: observed [5,8,9,8,10,20], expected 10 each.
+        let obs = [5.0, 8.0, 9.0, 8.0, 10.0, 20.0];
+        let exp = [10.0; 6];
+        let r = chi_square_gof(&obs, &exp).unwrap();
+        assert!((r.statistic - 13.4).abs() < 1e-9);
+        assert_eq!(r.df, 5.0);
+        assert!(r.p_value < 0.05 && r.p_value > 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn chi_square_gof_length_mismatch() {
+        assert!(chi_square_gof(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn independence_on_independent_table() {
+        // Rows proportional -> statistic 0.
+        let table = vec![vec![10.0, 20.0], vec![30.0, 60.0]];
+        let r = chi_square_independence(&table).unwrap();
+        assert!(r.statistic.abs() < 1e-9);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn independence_detects_association() {
+        let table = vec![vec![50.0, 10.0], vec![10.0, 50.0]];
+        let r = chi_square_independence(&table).unwrap();
+        assert_eq!(r.df, 1.0);
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn independence_rejects_zero_marginal() {
+        let table = vec![vec![0.0, 0.0], vec![1.0, 2.0]];
+        assert!(chi_square_independence(&table).is_err());
+    }
+
+    #[test]
+    fn welch_same_distribution_not_significant() {
+        let a: Vec<f64> = (0..20).map(|i| (i as f64) * 0.5).collect();
+        let b: Vec<f64> = (0..20).map(|i| (i as f64) * 0.5 + 0.01).collect();
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.p_value > 0.9, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn welch_detects_shift() {
+        let a: Vec<f64> = (0..30).map(|i| (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| (i % 5) as f64 + 10.0).collect();
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.p_value < 1e-10);
+        assert!(r.statistic < 0.0, "a < b should give negative t");
+    }
+
+    #[test]
+    fn welch_known_value() {
+        // a = [1..5]: mean 3, var 2.5; b = [2,4,6,8,10]: mean 6, var 10.
+        // t = (3 - 6) / sqrt(2.5/5 + 10/5) = -3 / sqrt(2.5) = -1.897366...
+        // Welch df = 2.5^2 / (0.5^2/4 + 2^2/4) = 6.25 / 1.0625 ≈ 5.882.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!((r.statistic + 3.0 / 2.5f64.sqrt()).abs() < 1e-12, "t = {}", r.statistic);
+        assert!((r.df - 6.25 / 1.0625).abs() < 1e-9, "df = {}", r.df);
+        assert!((r.p_value - 0.107).abs() < 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn mann_whitney_detects_shift() {
+        let a: Vec<f64> = (0..15).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..15).map(|i| i as f64 + 100.0).collect();
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert_eq!(r.statistic, 0.0); // complete separation
+        assert!(r.p_value < 1e-5);
+    }
+
+    #[test]
+    fn mann_whitney_identical_groups() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let r = mann_whitney_u(&a, &a).unwrap();
+        assert!(r.p_value > 0.9, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn mann_whitney_all_ties_degenerate() {
+        let a = [1.0; 5];
+        assert!(mann_whitney_u(&a, &a).is_err());
+    }
+
+    #[test]
+    fn kruskal_wallis_detects_location_shift() {
+        let g1: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let g2: Vec<f64> = (0..12).map(|i| i as f64 + 20.0).collect();
+        let g3: Vec<f64> = (0..12).map(|i| i as f64 + 40.0).collect();
+        let r = kruskal_wallis(&[g1, g2, g3]).unwrap();
+        assert_eq!(r.df, 2.0);
+        assert!(r.p_value < 1e-5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn kruskal_wallis_hand_computed_h() {
+        // No ties: ranks 1..9 in three blocks; H = 7.2 exactly.
+        let g1 = vec![1.0, 2.0, 3.0];
+        let g2 = vec![4.0, 5.0, 6.0];
+        let g3 = vec![7.0, 8.0, 9.0];
+        let r = kruskal_wallis(&[g1, g2, g3]).unwrap();
+        assert!((r.statistic - 7.2).abs() < 1e-9, "H = {}", r.statistic);
+        assert_eq!(r.df, 2.0);
+    }
+
+    #[test]
+    fn kruskal_wallis_null_case() {
+        let g: Vec<f64> = (0..15).map(|i| (i % 7) as f64).collect();
+        let r = kruskal_wallis(&[g.clone(), g.clone(), g]).unwrap();
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn kruskal_wallis_validation() {
+        assert!(kruskal_wallis(&[vec![1.0, 2.0]]).is_err());
+        assert!(kruskal_wallis(&[vec![1.0], vec![]]).is_err());
+        assert!(kruskal_wallis(&[vec![1.0, 1.0], vec![1.0, 1.0]]).is_err());
+    }
+
+    #[test]
+    fn fisher_exact_tea_tasting() {
+        // Fisher's lady-tasting-tea table [[3,1],[1,3]]: two-sided p ≈ 0.4857.
+        let r = fisher_exact(3, 1, 1, 3).unwrap();
+        assert!((r.p_value - 0.485_714_285_714_285_7).abs() < 1e-9, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn fisher_exact_strong_association() {
+        let r = fisher_exact(10, 0, 0, 10).unwrap();
+        assert!(r.p_value < 1e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn fisher_exact_balanced_is_one() {
+        let r = fisher_exact(5, 5, 5, 5).unwrap();
+        assert!((r.p_value - 1.0).abs() < 1e-9, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn fisher_exact_empty_errors() {
+        assert!(fisher_exact(0, 0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn significant_at_threshold() {
+        let r = TestResult {
+            test: "x",
+            statistic: 0.0,
+            df: 1.0,
+            p_value: 0.03,
+        };
+        assert!(r.significant_at(0.05));
+        assert!(!r.significant_at(0.01));
+    }
+}

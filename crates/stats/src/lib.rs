@@ -1,0 +1,92 @@
+//! # humnet-stats
+//!
+//! Statistics substrate for the `humnet` toolkit.
+//!
+//! Every simulator and analysis pipeline in `humnet` leans on this crate for:
+//!
+//! * a small, fully deterministic pseudo-random number generator
+//!   ([`rng::Rng`]) so that every experiment is reproducible bit-for-bit
+//!   from a `u64` seed;
+//! * descriptive statistics ([`descriptive`]) including streaming moments
+//!   and histograms;
+//! * inequality and fairness indices ([`inequality`]) — Gini, Lorenz,
+//!   Theil, Jain — used to quantify concentration of research attention;
+//! * diversity indices ([`diversity`]) — Shannon, Simpson — used to
+//!   quantify topical breadth;
+//! * correlation and regression ([`correlation`], [`regression`]);
+//! * classical hypothesis tests ([`hypothesis`]) with real p-values backed
+//!   by the special functions in [`special`];
+//! * resampling methods ([`bootstrap`]) — bootstrap confidence intervals
+//!   and permutation tests.
+//!
+//! The crate is dependency-light and synchronous by design: the humnet
+//! simulators are CPU-bound discrete-event loops, and determinism is a core
+//! requirement for reproducing the experiment tables in `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bootstrap;
+pub mod confusion;
+pub mod correlation;
+pub mod descriptive;
+pub mod diversity;
+pub mod effect;
+pub mod hypothesis;
+pub mod inequality;
+pub mod regression;
+pub mod rng;
+pub mod special;
+
+pub use bootstrap::{bootstrap_ci, permutation_test, BootstrapCi};
+pub use confusion::ConfusionMatrix;
+pub use correlation::{kendall_tau, pearson, spearman};
+pub use descriptive::{
+    excess_kurtosis, geometric_mean, harmonic_mean, histogram, max, mean, median, min, quantile,
+    skewness, stddev, summary, variance, Histogram, Summary,
+};
+pub use diversity::{effective_species, evenness, shannon_entropy, simpson_index};
+pub use effect::{cliff_delta, cohen_d, hedges_g, magnitude, Magnitude};
+pub use hypothesis::{
+    chi_square_gof, chi_square_independence, fisher_exact, kruskal_wallis, mann_whitney_u,
+    welch_t_test, TestResult,
+};
+pub use inequality::{gini, jain_fairness, lorenz_curve, theil_index, top_share};
+pub use regression::{ols, OlsFit};
+pub use rng::Rng;
+
+/// Errors produced by statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// The input slice was empty but the statistic requires data.
+    EmptyInput,
+    /// Input slices that must have equal length did not.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// A parameter was outside its valid domain (e.g. a probability not in `[0, 1]`).
+    InvalidParameter(&'static str),
+    /// The statistic is undefined for the given data (e.g. zero variance).
+    Degenerate(&'static str),
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input data is empty"),
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "input length mismatch: {left} vs {right}")
+            }
+            StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            StatsError::Degenerate(what) => write!(f, "statistic undefined: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,134 @@
+//! Ordinary least squares (simple linear regression).
+
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A fitted simple linear regression `y = intercept + slope · x`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OlsFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+    /// Standard error of the slope estimate.
+    pub slope_se: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl OlsFit {
+    /// Predict `y` for a given `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fit a simple linear regression of `y` on `x` by ordinary least squares.
+/// Requires ≥ 3 points and nonzero variance in `x`.
+pub fn ols(x: &[f64], y: &[f64]) -> Result<OlsFit> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < 3 {
+        return Err(StatsError::InvalidParameter("ols needs >= 3 points"));
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 {
+        return Err(StatsError::Degenerate("x has zero variance"));
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    // Residual sum of squares.
+    let rss: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(&xi, &yi)| {
+            let e = yi - (intercept + slope * xi);
+            e * e
+        })
+        .sum();
+    let r_squared = if syy > 0.0 {
+        (1.0 - rss / syy).clamp(0.0, 1.0)
+    } else {
+        1.0 // y constant and perfectly fit by slope 0
+    };
+    let slope_se = if x.len() > 2 {
+        (rss / (n - 2.0) / sxx).sqrt()
+    } else {
+        f64::NAN
+    };
+    Ok(OlsFit {
+        slope,
+        intercept,
+        r_squared,
+        slope_se,
+        n: x.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let fit = ols(&x, &y).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(fit.slope_se.abs() < 1e-9);
+        assert_eq!(fit.predict(10.0), 21.0);
+    }
+
+    #[test]
+    fn noisy_line_recovers_approximately() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        // Deterministic "noise" via a fixed pattern.
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&xi| 3.0 * xi + 5.0 + if xi as u64 % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let fit = ols(&x, &y).unwrap();
+        assert!((fit.slope - 3.0).abs() < 0.01);
+        assert!((fit.intercept - 5.0).abs() < 0.3);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn constant_y_gives_zero_slope() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [5.0, 5.0, 5.0, 5.0];
+        let fit = ols(&x, &y).unwrap();
+        assert!(fit.slope.abs() < 1e-12);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn constant_x_rejected() {
+        assert!(ols(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(ols(&[1.0, 2.0], &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,376 @@
+//! Likert instruments, biased response simulation, Cronbach's α.
+
+use crate::{Result, SurveyError};
+use humnet_stats::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One Likert item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LikertItem {
+    /// Item prompt.
+    pub text: String,
+    /// Whether agreement indicates the *opposite* of the measured trait
+    /// (scored as `scale + 1 − raw`).
+    pub reverse_coded: bool,
+}
+
+/// A Likert instrument: items plus a scale size (e.g. 5 for 1–5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instrument {
+    /// The items.
+    pub items: Vec<LikertItem>,
+    /// Number of scale points (≥ 2).
+    pub scale: u8,
+}
+
+impl Instrument {
+    /// Create an instrument; errors on empty items or scale < 2.
+    pub fn new(items: Vec<LikertItem>, scale: u8) -> Result<Self> {
+        if items.is_empty() {
+            return Err(SurveyError::EmptyInput);
+        }
+        if scale < 2 {
+            return Err(SurveyError::InvalidParameter("scale must be >= 2"));
+        }
+        Ok(Instrument { items, scale })
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there are no items (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Apply reverse coding to a raw answer for item `i`.
+    pub fn coded(&self, item: usize, raw: u8) -> Result<f64> {
+        let it = self
+            .items
+            .get(item)
+            .ok_or(SurveyError::InvalidParameter("item index out of range"))?;
+        if raw < 1 || raw > self.scale {
+            return Err(SurveyError::InvalidParameter("raw answer out of scale"));
+        }
+        Ok(if it.reverse_coded {
+            (self.scale + 1 - raw) as f64
+        } else {
+            raw as f64
+        })
+    }
+
+    /// Simulate `n` respondents with a latent trait and response biases.
+    ///
+    /// Each respondent has a latent trait in `[0, 1]`; their ideal answer to
+    /// a (forward-coded) item is `1 + trait·(scale−1)` plus noise, shifted
+    /// by acquiescence (tendency to agree regardless of content) and
+    /// clamped to the scale. Reverse-coded items flip the ideal answer but
+    /// acquiescence still pushes toward agreement — which is exactly why
+    /// real instruments include reverse-coded items.
+    pub fn simulate(&self, n: usize, bias: &ResponseBias, rng: &mut Rng) -> Result<ResponseSet> {
+        if n == 0 {
+            return Err(SurveyError::EmptyInput);
+        }
+        bias.validate()?;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let trait_level = rng.next_f64();
+            let mut answers = Vec::with_capacity(self.items.len());
+            for item in &self.items {
+                let target = if item.reverse_coded {
+                    1.0 - trait_level
+                } else {
+                    trait_level
+                };
+                let ideal = 1.0 + target * (self.scale - 1) as f64;
+                let noisy = ideal
+                    + rng.normal(0.0, bias.noise)
+                    + bias.acquiescence * (self.scale - 1) as f64 * 0.5;
+                let clamped = noisy.round().clamp(1.0, self.scale as f64) as u8;
+                answers.push(clamped);
+            }
+            rows.push(answers);
+        }
+        Ok(ResponseSet {
+            answers: rows,
+            scale: self.scale,
+        })
+    }
+
+    /// Mean coded score per respondent.
+    pub fn score(&self, responses: &ResponseSet) -> Result<Vec<f64>> {
+        if responses.scale != self.scale {
+            return Err(SurveyError::InvalidParameter("scale mismatch"));
+        }
+        responses
+            .answers
+            .iter()
+            .map(|row| {
+                if row.len() != self.items.len() {
+                    return Err(SurveyError::LengthMismatch {
+                        left: row.len(),
+                        right: self.items.len(),
+                    });
+                }
+                let mut total = 0.0;
+                for (i, &raw) in row.iter().enumerate() {
+                    total += self.coded(i, raw)?;
+                }
+                Ok(total / row.len() as f64)
+            })
+            .collect()
+    }
+}
+
+/// Response-bias parameters for simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseBias {
+    /// Tendency to agree regardless of content, in `[0, 1]`.
+    pub acquiescence: f64,
+    /// Gaussian noise σ added to the ideal answer (scale points).
+    pub noise: f64,
+}
+
+impl Default for ResponseBias {
+    fn default() -> Self {
+        ResponseBias {
+            acquiescence: 0.0,
+            noise: 0.5,
+        }
+    }
+}
+
+impl ResponseBias {
+    fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.acquiescence) {
+            return Err(SurveyError::InvalidParameter("acquiescence must be in [0,1]"));
+        }
+        if self.noise < 0.0 {
+            return Err(SurveyError::InvalidParameter("noise must be >= 0"));
+        }
+        Ok(())
+    }
+}
+
+/// A respondents × items matrix of raw answers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseSet {
+    /// Raw answers, one row per respondent.
+    pub answers: Vec<Vec<u8>>,
+    /// Scale size the answers were given on.
+    pub scale: u8,
+}
+
+/// Cronbach's α over coded item scores: `α = k/(k−1)·(1 − Σσ²ᵢ/σ²ₜ)`.
+///
+/// `items[i][r]` is item `i`'s coded score for respondent `r`. Requires ≥ 2
+/// items, ≥ 2 respondents, and nonzero total-score variance.
+pub fn cronbach_alpha(items: &[Vec<f64>]) -> Result<f64> {
+    if items.len() < 2 {
+        return Err(SurveyError::InvalidParameter("alpha needs >= 2 items"));
+    }
+    let n = items[0].len();
+    if n < 2 {
+        return Err(SurveyError::InvalidParameter("alpha needs >= 2 respondents"));
+    }
+    for item in items {
+        if item.len() != n {
+            return Err(SurveyError::LengthMismatch {
+                left: n,
+                right: item.len(),
+            });
+        }
+    }
+    let k = items.len() as f64;
+    let item_vars: f64 = items
+        .iter()
+        .map(|item| humnet_stats::variance(item).unwrap_or(0.0))
+        .sum();
+    let totals: Vec<f64> = (0..n)
+        .map(|r| items.iter().map(|item| item[r]).sum())
+        .collect();
+    let total_var = humnet_stats::variance(&totals)
+        .map_err(|_| SurveyError::Degenerate("total variance undefined"))?;
+    if total_var <= 0.0 {
+        return Err(SurveyError::Degenerate("zero total-score variance"));
+    }
+    Ok(k / (k - 1.0) * (1.0 - item_vars / total_var))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instrument() -> Instrument {
+        Instrument::new(
+            vec![
+                LikertItem {
+                    text: "I trust the operators of my network".into(),
+                    reverse_coded: false,
+                },
+                LikertItem {
+                    text: "I understand who runs my connection".into(),
+                    reverse_coded: false,
+                },
+                LikertItem {
+                    text: "The network feels like a black box".into(),
+                    reverse_coded: true,
+                },
+            ],
+            5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Instrument::new(vec![], 5).is_err());
+        assert!(Instrument::new(
+            vec![LikertItem {
+                text: "x".into(),
+                reverse_coded: false
+            }],
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn reverse_coding() {
+        let inst = instrument();
+        assert_eq!(inst.coded(0, 5).unwrap(), 5.0);
+        assert_eq!(inst.coded(2, 5).unwrap(), 1.0);
+        assert_eq!(inst.coded(2, 1).unwrap(), 5.0);
+        assert!(inst.coded(0, 0).is_err());
+        assert!(inst.coded(0, 6).is_err());
+        assert!(inst.coded(9, 3).is_err());
+    }
+
+    #[test]
+    fn simulation_shape_and_range() {
+        let inst = instrument();
+        let mut rng = Rng::new(1);
+        let rs = inst.simulate(50, &ResponseBias::default(), &mut rng).unwrap();
+        assert_eq!(rs.answers.len(), 50);
+        for row in &rs.answers {
+            assert_eq!(row.len(), 3);
+            for &a in row {
+                assert!((1..=5).contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn acquiescence_raises_raw_agreement() {
+        let inst = instrument();
+        let unbiased = inst
+            .simulate(400, &ResponseBias::default(), &mut Rng::new(2))
+            .unwrap();
+        let biased = inst
+            .simulate(
+                400,
+                &ResponseBias {
+                    acquiescence: 0.6,
+                    noise: 0.5,
+                },
+                &mut Rng::new(2),
+            )
+            .unwrap();
+        let mean_raw = |rs: &ResponseSet| {
+            rs.answers
+                .iter()
+                .flatten()
+                .map(|&a| a as f64)
+                .sum::<f64>()
+                / (rs.answers.len() * 3) as f64
+        };
+        assert!(mean_raw(&biased) > mean_raw(&unbiased) + 0.5);
+    }
+
+    #[test]
+    fn scoring_uses_coded_values() {
+        let inst = instrument();
+        let rs = ResponseSet {
+            answers: vec![vec![5, 5, 1]], // reverse-coded 1 -> 5
+            scale: 5,
+        };
+        let scores = inst.score(&rs).unwrap();
+        assert_eq!(scores, vec![5.0]);
+    }
+
+    #[test]
+    fn scoring_rejects_mismatches() {
+        let inst = instrument();
+        let rs = ResponseSet {
+            answers: vec![vec![5, 5]],
+            scale: 5,
+        };
+        assert!(inst.score(&rs).is_err());
+        let rs = ResponseSet {
+            answers: vec![vec![5, 5, 5]],
+            scale: 7,
+        };
+        assert!(inst.score(&rs).is_err());
+    }
+
+    #[test]
+    fn cronbach_alpha_high_for_consistent_items() {
+        // Items perfectly parallel: total var = k² var_item; α = 1.
+        let base = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let items = vec![base.to_vec(), base.to_vec(), base.to_vec()];
+        let a = cronbach_alpha(&items).unwrap();
+        assert!((a - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cronbach_alpha_near_zero_for_independent_items() {
+        // Orthogonal patterns over 4 respondents.
+        let items = vec![
+            vec![1.0, 1.0, 5.0, 5.0],
+            vec![1.0, 5.0, 1.0, 5.0],
+        ];
+        let a = cronbach_alpha(&items).unwrap();
+        assert!(a.abs() < 0.5, "alpha = {a}");
+    }
+
+    #[test]
+    fn cronbach_alpha_known_value() {
+        // Hand-computed: items i1=[1,2,3], i2=[2,4,6].
+        // var(i1)=1, var(i2)=4, totals=[3,6,9], var=9.
+        // α = 2·(1 − 5/9) = 8/9.
+        let items = vec![vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0]];
+        let a = cronbach_alpha(&items).unwrap();
+        assert!((a - 8.0 / 9.0).abs() < 1e-12, "alpha = {a}");
+    }
+
+    #[test]
+    fn cronbach_alpha_edge_cases() {
+        assert!(cronbach_alpha(&[vec![1.0, 2.0]]).is_err());
+        assert!(cronbach_alpha(&[vec![1.0], vec![1.0]]).is_err());
+        assert!(cronbach_alpha(&[vec![1.0, 2.0], vec![1.0]]).is_err());
+        // Zero total variance.
+        assert!(cronbach_alpha(&[vec![1.0, 1.0], vec![2.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn simulated_instrument_is_internally_consistent() {
+        let inst = instrument();
+        let mut rng = Rng::new(5);
+        let rs = inst
+            .simulate(300, &ResponseBias { acquiescence: 0.0, noise: 0.4 }, &mut rng)
+            .unwrap();
+        // Build coded per-item score vectors.
+        let items: Vec<Vec<f64>> = (0..3)
+            .map(|i| {
+                rs.answers
+                    .iter()
+                    .map(|row| inst.coded(i, row[i]).unwrap())
+                    .collect()
+            })
+            .collect();
+        let a = cronbach_alpha(&items).unwrap();
+        assert!(a > 0.7, "simulated alpha = {a}");
+    }
+}

@@ -1,0 +1,360 @@
+//! Sampling designs and their representation biases.
+//!
+//! §1 of the paper: research agendas "reflect the views of those who are
+//! most easily reachable". Sampling design is where that bias enters. This
+//! module models a stakeholder population with *accessibility* (how easy a
+//! member is for researchers to reach) and *group* labels, implements four
+//! designs, and measures how far each sample's group composition drifts
+//! from the population's.
+
+use crate::{Result, SurveyError};
+use humnet_stats::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One member of a study population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationMember {
+    /// Group label (e.g. stakeholder class index).
+    pub group: usize,
+    /// How reachable this member is to researchers, in `(0, 1]`.
+    pub accessibility: f64,
+    /// Indices of social connections (for snowball sampling).
+    pub connections: Vec<usize>,
+}
+
+/// A sampling design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingDesign {
+    /// Uniform random sample.
+    SimpleRandom,
+    /// Proportional stratified sample over groups (the gold standard here).
+    Stratified,
+    /// Members drawn with probability proportional to accessibility
+    /// (what "we talked to whoever answered email" actually is).
+    Convenience,
+    /// Seeded by convenience, then grown along social connections.
+    Snowball {
+        /// Number of convenience-drawn seed members.
+        seeds: usize,
+    },
+}
+
+/// Draw a sample of `k` member indices from the population.
+pub fn draw_sample(
+    population: &[PopulationMember],
+    design: SamplingDesign,
+    k: usize,
+    rng: &mut Rng,
+) -> Result<Vec<usize>> {
+    if population.is_empty() {
+        return Err(SurveyError::EmptyInput);
+    }
+    if k == 0 || k > population.len() {
+        return Err(SurveyError::InvalidParameter("k must be in [1, population size]"));
+    }
+    for m in population {
+        if !(m.accessibility > 0.0 && m.accessibility <= 1.0) {
+            return Err(SurveyError::InvalidParameter("accessibility must be in (0,1]"));
+        }
+        if m.connections.iter().any(|&c| c >= population.len()) {
+            return Err(SurveyError::InvalidParameter("connection index out of range"));
+        }
+    }
+    match design {
+        SamplingDesign::SimpleRandom => Ok(rng.sample_indices(population.len(), k)),
+        SamplingDesign::Stratified => {
+            // Proportional allocation per group, largest-remainder rounding.
+            let max_group = population.iter().map(|m| m.group).max().unwrap_or(0);
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); max_group + 1];
+            for (i, m) in population.iter().enumerate() {
+                groups[m.group].push(i);
+            }
+            let n = population.len() as f64;
+            let mut quotas: Vec<(usize, usize, f64)> = groups
+                .iter()
+                .enumerate()
+                .map(|(g, members)| {
+                    let exact = k as f64 * members.len() as f64 / n;
+                    (g, exact.floor() as usize, exact - exact.floor())
+                })
+                .collect();
+            let mut allocated: usize = quotas.iter().map(|&(_, q, _)| q).sum();
+            // Distribute remainders to the largest fractional parts.
+            quotas.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+            let n_quotas = quotas.len();
+            let mut qi = 0;
+            while allocated < k {
+                let slot = qi % n_quotas;
+                let g = quotas[slot].0;
+                if quotas[slot].1 < groups[g].len() {
+                    quotas[slot].1 += 1;
+                    allocated += 1;
+                }
+                qi += 1;
+                if qi > 10 * n_quotas {
+                    break; // tiny groups exhausted; accept a smaller sample
+                }
+            }
+            let mut sample = Vec::with_capacity(k);
+            for &(g, quota, _) in &quotas {
+                let members = &groups[g];
+                if quota >= members.len() {
+                    sample.extend_from_slice(members);
+                } else if quota > 0 {
+                    let picks = rng.sample_indices(members.len(), quota);
+                    sample.extend(picks.into_iter().map(|i| members[i]));
+                }
+            }
+            Ok(sample)
+        }
+        SamplingDesign::Convenience => {
+            let weights: Vec<f64> = population.iter().map(|m| m.accessibility).collect();
+            let mut chosen = Vec::with_capacity(k);
+            let mut guard = 0;
+            while chosen.len() < k && guard < 100_000 {
+                let pick = rng.choose_weighted(&weights);
+                if !chosen.contains(&pick) {
+                    chosen.push(pick);
+                }
+                guard += 1;
+            }
+            Ok(chosen)
+        }
+        SamplingDesign::Snowball { seeds } => {
+            if seeds == 0 {
+                return Err(SurveyError::InvalidParameter("snowball needs >= 1 seed"));
+            }
+            let weights: Vec<f64> = population.iter().map(|m| m.accessibility).collect();
+            let mut chosen: Vec<usize> = Vec::with_capacity(k);
+            let mut guard = 0;
+            while chosen.len() < seeds.min(k) && guard < 100_000 {
+                let pick = rng.choose_weighted(&weights);
+                if !chosen.contains(&pick) {
+                    chosen.push(pick);
+                }
+                guard += 1;
+            }
+            // Grow along referrals: breadth-first through connections.
+            let mut frontier = 0;
+            while chosen.len() < k && frontier < chosen.len() {
+                let current = chosen[frontier];
+                frontier += 1;
+                let mut refs = population[current].connections.clone();
+                rng.shuffle(&mut refs);
+                for r in refs {
+                    if chosen.len() >= k {
+                        break;
+                    }
+                    if !chosen.contains(&r) {
+                        chosen.push(r);
+                    }
+                }
+            }
+            // If the component is exhausted, top up by convenience.
+            let mut guard = 0;
+            while chosen.len() < k && guard < 100_000 {
+                let pick = rng.choose_weighted(&weights);
+                if !chosen.contains(&pick) {
+                    chosen.push(pick);
+                }
+                guard += 1;
+            }
+            Ok(chosen)
+        }
+    }
+}
+
+/// Total-variation distance between the sample's group distribution and
+/// the population's, in `[0, 1]`. 0 = perfectly representative.
+pub fn representation_bias(
+    population: &[PopulationMember],
+    sample: &[usize],
+) -> Result<f64> {
+    if population.is_empty() || sample.is_empty() {
+        return Err(SurveyError::EmptyInput);
+    }
+    let max_group = population.iter().map(|m| m.group).max().unwrap_or(0);
+    let mut pop_counts = vec![0.0; max_group + 1];
+    for m in population {
+        pop_counts[m.group] += 1.0;
+    }
+    let mut sample_counts = vec![0.0; max_group + 1];
+    for &i in sample {
+        let m = population
+            .get(i)
+            .ok_or(SurveyError::InvalidParameter("sample index out of range"))?;
+        sample_counts[m.group] += 1.0;
+    }
+    let pn: f64 = pop_counts.iter().sum();
+    let sn: f64 = sample_counts.iter().sum();
+    let tv = pop_counts
+        .iter()
+        .zip(&sample_counts)
+        .map(|(&p, &s)| (p / pn - s / sn).abs())
+        .sum::<f64>()
+        / 2.0;
+    Ok(tv)
+}
+
+/// Build a synthetic stakeholder population: `groups.len()` groups with
+/// the given sizes and per-group mean accessibility; members are wired to
+/// ~`mean_degree` random same-group connections (homophily).
+pub fn synthetic_population(
+    groups: &[(usize, f64)],
+    mean_degree: f64,
+    rng: &mut Rng,
+) -> Result<Vec<PopulationMember>> {
+    if groups.is_empty() {
+        return Err(SurveyError::EmptyInput);
+    }
+    let mut population = Vec::new();
+    let mut group_members: Vec<Vec<usize>> = vec![Vec::new(); groups.len()];
+    for (g, &(size, access)) in groups.iter().enumerate() {
+        if !(0.0 < access && access <= 1.0) {
+            return Err(SurveyError::InvalidParameter("accessibility must be in (0,1]"));
+        }
+        for _ in 0..size {
+            let idx = population.len();
+            group_members[g].push(idx);
+            let jitter = (access + rng.range_f64(-0.1, 0.1)).clamp(0.05, 1.0);
+            population.push(PopulationMember {
+                group: g,
+                accessibility: jitter,
+                connections: Vec::new(),
+            });
+        }
+    }
+    // Wire same-group connections.
+    for members in &group_members {
+        if members.len() < 2 {
+            continue;
+        }
+        for &m in members {
+            let want = rng.poisson(mean_degree / 2.0) as usize;
+            for _ in 0..want {
+                let other = members[rng.range(0, members.len())];
+                if other != m && !population[m].connections.contains(&other) {
+                    population[m].connections.push(other);
+                    population[other].connections.push(m);
+                }
+            }
+        }
+    }
+    Ok(population)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3 groups: reachable majority, moderately reachable, hard-to-reach
+    /// minority (the marginalized operators of the paper's framing).
+    fn population(rng: &mut Rng) -> Vec<PopulationMember> {
+        synthetic_population(&[(100, 0.9), (60, 0.5), (40, 0.08)], 4.0, rng).unwrap()
+    }
+
+    #[test]
+    fn draw_validation() {
+        let mut rng = Rng::new(1);
+        let pop = population(&mut rng);
+        assert!(draw_sample(&[], SamplingDesign::SimpleRandom, 1, &mut rng).is_err());
+        assert!(draw_sample(&pop, SamplingDesign::SimpleRandom, 0, &mut rng).is_err());
+        assert!(draw_sample(&pop, SamplingDesign::SimpleRandom, 999, &mut rng).is_err());
+        assert!(draw_sample(&pop, SamplingDesign::Snowball { seeds: 0 }, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn samples_have_right_size_and_distinct_members() {
+        let mut rng = Rng::new(2);
+        let pop = population(&mut rng);
+        for design in [
+            SamplingDesign::SimpleRandom,
+            SamplingDesign::Stratified,
+            SamplingDesign::Convenience,
+            SamplingDesign::Snowball { seeds: 5 },
+        ] {
+            let s = draw_sample(&pop, design, 50, &mut rng).unwrap();
+            assert_eq!(s.len(), 50, "{design:?}");
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 50, "{design:?} must not repeat members");
+        }
+    }
+
+    #[test]
+    fn stratified_is_nearly_unbiased() {
+        let mut rng = Rng::new(3);
+        let pop = population(&mut rng);
+        let s = draw_sample(&pop, SamplingDesign::Stratified, 50, &mut rng).unwrap();
+        let bias = representation_bias(&pop, &s).unwrap();
+        assert!(bias < 0.03, "stratified bias = {bias}");
+    }
+
+    #[test]
+    fn convenience_underrepresents_hard_to_reach() {
+        let mut rng = Rng::new(4);
+        let pop = population(&mut rng);
+        // Average over draws.
+        let mut conv_bias = 0.0;
+        let mut random_bias = 0.0;
+        for _ in 0..10 {
+            let c = draw_sample(&pop, SamplingDesign::Convenience, 50, &mut rng).unwrap();
+            conv_bias += representation_bias(&pop, &c).unwrap();
+            let r = draw_sample(&pop, SamplingDesign::SimpleRandom, 50, &mut rng).unwrap();
+            random_bias += representation_bias(&pop, &r).unwrap();
+        }
+        assert!(
+            conv_bias > random_bias + 0.3,
+            "convenience bias {conv_bias} vs random {random_bias} (summed over 10 draws)"
+        );
+        // Specifically: group 2 (hard to reach) nearly absent.
+        let c = draw_sample(&pop, SamplingDesign::Convenience, 50, &mut rng).unwrap();
+        let hard = c.iter().filter(|&&i| pop[i].group == 2).count();
+        assert!(hard <= 3, "hard-to-reach sampled {hard} times");
+    }
+
+    #[test]
+    fn snowball_inherits_seed_bias_via_homophily() {
+        let mut rng = Rng::new(5);
+        let pop = population(&mut rng);
+        let mut snow = 0.0;
+        let mut strat = 0.0;
+        for _ in 0..10 {
+            let s = draw_sample(&pop, SamplingDesign::Snowball { seeds: 5 }, 50, &mut rng).unwrap();
+            snow += representation_bias(&pop, &s).unwrap();
+            let t = draw_sample(&pop, SamplingDesign::Stratified, 50, &mut rng).unwrap();
+            strat += representation_bias(&pop, &t).unwrap();
+        }
+        assert!(
+            snow > strat,
+            "snowball bias {snow} should exceed stratified {strat}"
+        );
+    }
+
+    #[test]
+    fn representation_bias_bounds() {
+        let mut rng = Rng::new(6);
+        let pop = population(&mut rng);
+        let all: Vec<usize> = (0..pop.len()).collect();
+        let b = representation_bias(&pop, &all).unwrap();
+        assert!(b.abs() < 1e-12, "full census has zero bias");
+        assert!(representation_bias(&pop, &[]).is_err());
+        assert!(representation_bias(&pop, &[9999]).is_err());
+    }
+
+    #[test]
+    fn synthetic_population_shape() {
+        let mut rng = Rng::new(7);
+        let pop = population(&mut rng);
+        assert_eq!(pop.len(), 200);
+        // Homophily: all connections are same-group.
+        for m in &pop {
+            for &c in &m.connections {
+                assert_eq!(pop[c].group, m.group);
+            }
+        }
+        assert!(synthetic_population(&[], 2.0, &mut rng).is_err());
+        assert!(synthetic_population(&[(5, 1.5)], 2.0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Post-stratification weighting: salvaging biased samples.
+//!
+//! §1's diagnosis is that researchers hear from "those who are most easily
+//! reachable". When group membership is known, survey methodology has a
+//! standard partial remedy: weight each respondent by how under- or
+//! over-represented their group is. This module computes post-stratification
+//! weights and weighted estimates, so the toolkit can quantify *how much*
+//! of a convenience sample's bias the correction recovers — and what it
+//! cannot (groups with zero respondents stay invisible: you cannot weight
+//! the absent).
+
+use crate::sampling::PopulationMember;
+use crate::{Result, SurveyError};
+
+/// Post-stratification weights for a sample: `w_i = (N_g/N) / (n_g/n)`
+/// where `g` is respondent `i`'s group. Respondents from unsampled groups
+/// cannot occur (weights are per sampled member). Returns one weight per
+/// sample entry, mean-normalized to 1.
+pub fn post_stratification_weights(
+    population: &[PopulationMember],
+    sample: &[usize],
+) -> Result<Vec<f64>> {
+    if population.is_empty() || sample.is_empty() {
+        return Err(SurveyError::EmptyInput);
+    }
+    let max_group = population.iter().map(|m| m.group).max().unwrap_or(0);
+    let mut pop_counts = vec![0.0; max_group + 1];
+    for m in population {
+        pop_counts[m.group] += 1.0;
+    }
+    let mut sample_counts = vec![0.0; max_group + 1];
+    for &i in sample {
+        let m = population
+            .get(i)
+            .ok_or(SurveyError::InvalidParameter("sample index out of range"))?;
+        sample_counts[m.group] += 1.0;
+    }
+    let n_pop: f64 = pop_counts.iter().sum();
+    let n_sample = sample.len() as f64;
+    let weights: Vec<f64> = sample
+        .iter()
+        .map(|&i| {
+            let g = population[i].group;
+            (pop_counts[g] / n_pop) / (sample_counts[g] / n_sample)
+        })
+        .collect();
+    Ok(weights)
+}
+
+/// Weighted mean of per-respondent values.
+pub fn weighted_mean(values: &[f64], weights: &[f64]) -> Result<f64> {
+    if values.len() != weights.len() {
+        return Err(SurveyError::LengthMismatch {
+            left: values.len(),
+            right: weights.len(),
+        });
+    }
+    if values.is_empty() {
+        return Err(SurveyError::EmptyInput);
+    }
+    let wsum: f64 = weights.iter().sum();
+    if wsum <= 0.0 {
+        return Err(SurveyError::Degenerate("nonpositive weight total"));
+    }
+    Ok(values
+        .iter()
+        .zip(weights)
+        .map(|(&v, &w)| v * w)
+        .sum::<f64>()
+        / wsum)
+}
+
+/// Design effect of a weight vector: `1 + cv²` (Kish). 1 means the
+/// weighting costs no effective sample size; large values mean the
+/// correction is expensive in variance.
+pub fn design_effect(weights: &[f64]) -> Result<f64> {
+    if weights.is_empty() {
+        return Err(SurveyError::EmptyInput);
+    }
+    let n = weights.len() as f64;
+    let mean = weights.iter().sum::<f64>() / n;
+    if mean <= 0.0 {
+        return Err(SurveyError::Degenerate("nonpositive mean weight"));
+    }
+    let var = weights.iter().map(|&w| (w - mean) * (w - mean)).sum::<f64>() / n;
+    Ok(1.0 + var / (mean * mean))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::{draw_sample, synthetic_population, SamplingDesign};
+    use humnet_stats::Rng;
+
+    /// Population where the outcome depends strongly on group: group 0
+    /// (reachable) answers 1.0, group 1 answers 3.0, group 2 (hard to
+    /// reach) answers 8.0.
+    fn outcome(m: &PopulationMember) -> f64 {
+        match m.group {
+            0 => 1.0,
+            1 => 3.0,
+            _ => 8.0,
+        }
+    }
+
+    #[test]
+    fn weights_correct_convenience_bias() {
+        let mut rng = Rng::new(1);
+        let pop = synthetic_population(&[(100, 0.9), (60, 0.5), (40, 0.15)], 3.0, &mut rng)
+            .unwrap();
+        let pop_mean: f64 =
+            pop.iter().map(outcome).sum::<f64>() / pop.len() as f64;
+        // Average the estimates over several draws.
+        let mut naive_err = 0.0;
+        let mut weighted_err = 0.0;
+        let draws = 10;
+        for _ in 0..draws {
+            let sample = draw_sample(&pop, SamplingDesign::Convenience, 60, &mut rng).unwrap();
+            let values: Vec<f64> = sample.iter().map(|&i| outcome(&pop[i])).collect();
+            let naive = values.iter().sum::<f64>() / values.len() as f64;
+            let weights = post_stratification_weights(&pop, &sample).unwrap();
+            let corrected = weighted_mean(&values, &weights).unwrap();
+            naive_err += (naive - pop_mean).abs();
+            weighted_err += (corrected - pop_mean).abs();
+        }
+        assert!(
+            weighted_err < naive_err * 0.5,
+            "weighted error {weighted_err} should be far below naive {naive_err}"
+        );
+    }
+
+    #[test]
+    fn weights_cannot_recover_unsampled_groups() {
+        let mut rng = Rng::new(2);
+        // Group 2 nearly unreachable: some convenience samples miss it
+        // entirely; for those, the weighted estimate still misses its
+        // contribution entirely.
+        let pop =
+            synthetic_population(&[(100, 0.9), (60, 0.5), (40, 0.01)], 3.0, &mut rng).unwrap();
+        let sample = draw_sample(&pop, SamplingDesign::Convenience, 30, &mut rng).unwrap();
+        if sample.iter().all(|&i| pop[i].group != 2) {
+            let values: Vec<f64> = sample.iter().map(|&i| outcome(&pop[i])).collect();
+            let weights = post_stratification_weights(&pop, &sample).unwrap();
+            let corrected = weighted_mean(&values, &weights).unwrap();
+            let pop_mean: f64 = pop.iter().map(outcome).sum::<f64>() / pop.len() as f64;
+            assert!(
+                corrected < pop_mean,
+                "the absent group's high outcome stays invisible"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_mean_normalized_on_balanced_sample() {
+        let mut rng = Rng::new(3);
+        let pop = synthetic_population(&[(50, 0.9), (50, 0.9)], 2.0, &mut rng).unwrap();
+        let sample = draw_sample(&pop, SamplingDesign::Stratified, 20, &mut rng).unwrap();
+        let weights = post_stratification_weights(&pop, &sample).unwrap();
+        for &w in &weights {
+            assert!((w - 1.0).abs() < 1e-9, "balanced sample -> unit weights");
+        }
+        assert!((design_effect(&weights).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn design_effect_grows_with_imbalance() {
+        let balanced = vec![1.0; 10];
+        let skewed = vec![0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 0.2, 5.0];
+        assert!(
+            design_effect(&skewed).unwrap() > design_effect(&balanced).unwrap() + 1.0
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(post_stratification_weights(&[], &[0]).is_err());
+        let mut rng = Rng::new(4);
+        let pop = synthetic_population(&[(10, 0.5)], 1.0, &mut rng).unwrap();
+        assert!(post_stratification_weights(&pop, &[]).is_err());
+        assert!(post_stratification_weights(&pop, &[99]).is_err());
+        assert!(weighted_mean(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(weighted_mean(&[], &[]).is_err());
+        assert!(weighted_mean(&[1.0], &[0.0]).is_err());
+        assert!(design_effect(&[]).is_err());
+    }
+}

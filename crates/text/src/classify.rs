@@ -1,0 +1,202 @@
+//! Multinomial naive Bayes with Laplace smoothing.
+//!
+//! Used by the corpus auditor to classify synthetic papers into method
+//! categories, and as the baseline "venue gatekeeper" text model in
+//! experiment **T5**.
+
+use crate::vocab::Vocabulary;
+use crate::{Result, TextError};
+use std::collections::HashMap;
+
+/// A fitted multinomial naive-Bayes classifier over tokenized documents.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    vocab: Vocabulary,
+    classes: Vec<String>,
+    /// Per-class log prior.
+    log_prior: Vec<f64>,
+    /// Per-class, per-term counts.
+    counts: Vec<Vec<f64>>,
+    /// Per-class total token counts.
+    totals: Vec<f64>,
+    /// Laplace smoothing constant.
+    alpha: f64,
+}
+
+impl NaiveBayes {
+    /// Train on `(tokens, label)` pairs with smoothing constant `alpha > 0`.
+    pub fn fit(examples: &[(Vec<String>, String)], alpha: f64) -> Result<Self> {
+        if examples.is_empty() {
+            return Err(TextError::EmptyInput);
+        }
+        if alpha <= 0.0 {
+            return Err(TextError::InvalidParameter("alpha must be positive"));
+        }
+        let mut vocab = Vocabulary::new();
+        let mut class_ids: HashMap<String, usize> = HashMap::new();
+        let mut classes: Vec<String> = Vec::new();
+        // First pass: vocabulary and class list.
+        for (tokens, label) in examples {
+            vocab.observe_document(tokens);
+            if !class_ids.contains_key(label) {
+                class_ids.insert(label.clone(), classes.len());
+                classes.push(label.clone());
+            }
+        }
+        let k = classes.len();
+        let v = vocab.len();
+        let mut counts = vec![vec![0.0; v]; k];
+        let mut totals = vec![0.0; k];
+        let mut class_docs = vec![0.0; k];
+        for (tokens, label) in examples {
+            let c = class_ids[label];
+            class_docs[c] += 1.0;
+            for t in tokens {
+                let id = vocab.id(t).expect("observed above");
+                counts[c][id] += 1.0;
+                totals[c] += 1.0;
+            }
+        }
+        let n = examples.len() as f64;
+        let log_prior = class_docs.iter().map(|&d| (d / n).ln()).collect();
+        Ok(NaiveBayes {
+            vocab,
+            classes,
+            log_prior,
+            counts,
+            totals,
+            alpha,
+        })
+    }
+
+    /// The class labels, in training-discovery order.
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// Log-probability scores (unnormalized joint log-likelihoods) per class.
+    /// Unknown tokens are skipped.
+    pub fn scores(&self, tokens: &[String]) -> Vec<f64> {
+        let v = self.vocab.len() as f64;
+        let mut scores = self.log_prior.clone();
+        for t in tokens {
+            if let Some(id) = self.vocab.id(t) {
+                for (c, score) in scores.iter_mut().enumerate() {
+                    let p = (self.counts[c][id] + self.alpha)
+                        / (self.totals[c] + self.alpha * v);
+                    *score += p.ln();
+                }
+            }
+        }
+        scores
+    }
+
+    /// Predict the most likely class for a tokenized document
+    /// (first class on exact ties, which is deterministic).
+    pub fn predict(&self, tokens: &[String]) -> &str {
+        let scores = self.scores(tokens);
+        let mut best = 0;
+        for (c, &s) in scores.iter().enumerate() {
+            if s > scores[best] {
+                best = c;
+            }
+        }
+        &self.classes[best]
+    }
+
+    /// Posterior probabilities per class (softmax of the log scores).
+    pub fn predict_proba(&self, tokens: &[String]) -> Vec<f64> {
+        let scores = self.scores(tokens);
+        let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exp: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
+        let z: f64 = exp.iter().sum();
+        exp.into_iter().map(|e| e / z).collect()
+    }
+
+    /// Accuracy on a labelled test set.
+    pub fn accuracy(&self, examples: &[(Vec<String>, String)]) -> Result<f64> {
+        if examples.is_empty() {
+            return Err(TextError::EmptyInput);
+        }
+        let correct = examples
+            .iter()
+            .filter(|(tokens, label)| self.predict(tokens) == label)
+            .count();
+        Ok(correct as f64 / examples.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    fn training_set() -> Vec<(Vec<String>, String)> {
+        let systems = [
+            "we measure throughput and latency of the datacenter fabric",
+            "a congestion control algorithm for low latency datacenter networks",
+            "scalable load balancing improves tail latency in the fabric",
+            "kernel bypass improves datacenter throughput",
+        ];
+        let human = [
+            "interviews with community operators reveal maintenance practices",
+            "an ethnographic study of network operators and their communities",
+            "participatory design with rural community members",
+            "positionality shapes how operators experience their networks and interviews",
+        ];
+        let mut out = Vec::new();
+        for s in systems {
+            out.push((tokenize(s), "systems".to_string()));
+        }
+        for h in human {
+            out.push((tokenize(h), "human".to_string()));
+        }
+        out
+    }
+
+    #[test]
+    fn fit_rejects_bad_input() {
+        assert!(NaiveBayes::fit(&[], 1.0).is_err());
+        assert!(NaiveBayes::fit(&training_set(), 0.0).is_err());
+    }
+
+    #[test]
+    fn classifies_held_out_documents() {
+        let nb = NaiveBayes::fit(&training_set(), 1.0).unwrap();
+        assert_eq!(nb.predict(&tokenize("latency of the congestion fabric")), "systems");
+        assert_eq!(
+            nb.predict(&tokenize("community interviews about maintenance")),
+            "human"
+        );
+    }
+
+    #[test]
+    fn training_accuracy_is_high() {
+        let set = training_set();
+        let nb = NaiveBayes::fit(&set, 1.0).unwrap();
+        assert_eq!(nb.accuracy(&set).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let nb = NaiveBayes::fit(&training_set(), 1.0).unwrap();
+        let p = nb.predict_proba(&tokenize("datacenter interviews"));
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn unknown_tokens_fall_back_to_prior() {
+        let nb = NaiveBayes::fit(&training_set(), 1.0).unwrap();
+        let p = nb.predict_proba(&tokenize("xylophone zeppelin"));
+        // Equal priors -> equal posteriors.
+        assert!((p[0] - 0.5).abs() < 1e-9, "p = {p:?}");
+    }
+
+    #[test]
+    fn classes_discovered_in_order() {
+        let nb = NaiveBayes::fit(&training_set(), 1.0).unwrap();
+        assert_eq!(nb.classes(), &["systems".to_string(), "human".to_string()]);
+    }
+}

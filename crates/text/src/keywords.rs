@@ -1,0 +1,138 @@
+//! RAKE-style keyword extraction.
+//!
+//! Rapid Automatic Keyword Extraction (Rose et al. 2010): candidate phrases
+//! are maximal runs of non-stopwords; each word is scored by
+//! `degree / frequency` over the co-occurrence graph of candidate phrases,
+//! and a phrase's score is the sum of its word scores.
+
+use crate::tokenize::{is_stopword, sentences, tokenize};
+use std::collections::HashMap;
+
+/// A scored keyword phrase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Keyword {
+    /// The phrase (lowercased, space-joined).
+    pub phrase: String,
+    /// RAKE score (higher = more salient).
+    pub score: f64,
+}
+
+/// Extract the top `k` keyword phrases from free text.
+///
+/// Deterministic: ties are broken alphabetically. Returns fewer than `k`
+/// phrases when the text is short.
+pub fn extract_keywords(text: &str, k: usize) -> Vec<Keyword> {
+    // 1. Candidate phrases: stopword-delimited runs within sentences.
+    let mut phrases: Vec<Vec<String>> = Vec::new();
+    for sentence in sentences(text) {
+        let mut current: Vec<String> = Vec::new();
+        for tok in tokenize(&sentence) {
+            if is_stopword(&tok) {
+                if !current.is_empty() {
+                    phrases.push(std::mem::take(&mut current));
+                }
+            } else {
+                current.push(tok);
+            }
+        }
+        if !current.is_empty() {
+            phrases.push(current);
+        }
+    }
+    if phrases.is_empty() {
+        return Vec::new();
+    }
+    // 2. Word scores: degree / frequency.
+    let mut freq: HashMap<&str, f64> = HashMap::new();
+    let mut degree: HashMap<&str, f64> = HashMap::new();
+    for phrase in &phrases {
+        let deg = phrase.len() as f64 - 1.0;
+        for w in phrase {
+            *freq.entry(w).or_insert(0.0) += 1.0;
+            *degree.entry(w).or_insert(0.0) += deg;
+        }
+    }
+    // 3. Phrase scores: sum of word scores, dedup phrases.
+    let mut scored: HashMap<String, f64> = HashMap::new();
+    for phrase in &phrases {
+        let score: f64 = phrase
+            .iter()
+            .map(|w| {
+                let f = freq[w.as_str()];
+                let d = degree[w.as_str()] + f; // degree includes self
+                d / f
+            })
+            .sum();
+        let key = phrase.join(" ");
+        scored.entry(key).or_insert(score);
+    }
+    let mut out: Vec<Keyword> = scored
+        .into_iter()
+        .map(|(phrase, score)| Keyword { phrase, score })
+        .collect();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.phrase.cmp(&b.phrase))
+    });
+    out.truncate(k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "Community networks are built by local operators. \
+        Local operators maintain community networks with volunteer labor. \
+        The Internet is experienced by people.";
+
+    #[test]
+    fn extracts_multiword_phrases() {
+        let kws = extract_keywords(SAMPLE, 5);
+        assert!(!kws.is_empty());
+        let phrases: Vec<&str> = kws.iter().map(|k| k.phrase.as_str()).collect();
+        assert!(
+            phrases.contains(&"community networks"),
+            "phrases = {phrases:?}"
+        );
+        assert!(phrases.contains(&"local operators"), "phrases = {phrases:?}");
+    }
+
+    #[test]
+    fn longer_phrases_outscore_single_words() {
+        let kws = extract_keywords(SAMPLE, 10);
+        let multi = kws
+            .iter()
+            .find(|kw| kw.phrase == "community networks")
+            .unwrap();
+        let single = kws.iter().find(|kw| kw.phrase == "people").unwrap();
+        assert!(multi.score > single.score);
+    }
+
+    #[test]
+    fn respects_k() {
+        let kws = extract_keywords(SAMPLE, 2);
+        assert_eq!(kws.len(), 2);
+    }
+
+    #[test]
+    fn empty_text_yields_nothing() {
+        assert!(extract_keywords("", 5).is_empty());
+        assert!(extract_keywords("the of and", 5).is_empty());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        assert_eq!(extract_keywords(SAMPLE, 5), extract_keywords(SAMPLE, 5));
+    }
+
+    #[test]
+    fn scores_are_sorted_descending() {
+        let kws = extract_keywords(SAMPLE, 10);
+        for w in kws.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! N-gram and collocation extraction.
+
+use std::collections::HashMap;
+
+/// All contiguous `n`-grams of a token sequence, joined with spaces.
+/// Returns empty when `n == 0` or the sequence is shorter than `n`.
+pub fn ngrams(tokens: &[String], n: usize) -> Vec<String> {
+    if n == 0 || tokens.len() < n {
+        return Vec::new();
+    }
+    tokens.windows(n).map(|w| w.join(" ")).collect()
+}
+
+/// Bigrams of a token sequence.
+pub fn bigrams(tokens: &[String]) -> Vec<String> {
+    ngrams(tokens, 2)
+}
+
+/// Count n-gram occurrences across many documents, returning pairs sorted
+/// by descending count (alphabetical tiebreak).
+pub fn ngram_counts(documents: &[Vec<String>], n: usize) -> Vec<(String, u64)> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for doc in documents {
+        for gram in ngrams(doc, n) {
+            *counts.entry(gram).or_insert(0) += 1;
+        }
+    }
+    let mut pairs: Vec<(String, u64)> = counts.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    pairs
+}
+
+/// Pointwise mutual information of bigrams across a corpus:
+/// `pmi(a b) = ln( p(a b) / (p(a) p(b)) )`, computed over token and bigram
+/// frequencies. Only bigrams with count ≥ `min_count` are scored. Returns
+/// pairs sorted by descending PMI.
+pub fn collocations(documents: &[Vec<String>], min_count: u64) -> Vec<(String, f64)> {
+    let mut unigram: HashMap<&str, u64> = HashMap::new();
+    let mut bigram: HashMap<(String, String), u64> = HashMap::new();
+    let mut total_tokens = 0u64;
+    let mut total_bigrams = 0u64;
+    for doc in documents {
+        for t in doc {
+            *unigram.entry(t.as_str()).or_insert(0) += 1;
+            total_tokens += 1;
+        }
+        for w in doc.windows(2) {
+            *bigram.entry((w[0].clone(), w[1].clone())).or_insert(0) += 1;
+            total_bigrams += 1;
+        }
+    }
+    if total_tokens == 0 || total_bigrams == 0 {
+        return Vec::new();
+    }
+    let mut scored: Vec<(String, f64)> = bigram
+        .into_iter()
+        .filter(|&(_, c)| c >= min_count)
+        .map(|((a, b), c)| {
+            let p_ab = c as f64 / total_bigrams as f64;
+            let p_a = unigram[a.as_str()] as f64 / total_tokens as f64;
+            let p_b = unigram[b.as_str()] as f64 / total_tokens as f64;
+            (format!("{a} {b}"), (p_ab / (p_a * p_b)).ln())
+        })
+        .collect();
+    scored.sort_by(|x, y| {
+        y.1.partial_cmp(&x.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.0.cmp(&y.0))
+    });
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    #[test]
+    fn ngrams_basic() {
+        let toks = tokenize("a b c d");
+        assert_eq!(ngrams(&toks, 2), vec!["a b", "b c", "c d"]);
+        assert_eq!(ngrams(&toks, 3), vec!["a b c", "b c d"]);
+        assert_eq!(ngrams(&toks, 4), vec!["a b c d"]);
+    }
+
+    #[test]
+    fn ngrams_degenerate() {
+        let toks = tokenize("a b");
+        assert!(ngrams(&toks, 0).is_empty());
+        assert!(ngrams(&toks, 3).is_empty());
+        assert!(ngrams(&[], 1).is_empty());
+    }
+
+    #[test]
+    fn bigram_shortcut() {
+        let toks = tokenize("packet switched networks");
+        assert_eq!(bigrams(&toks), vec!["packet switched", "switched networks"]);
+    }
+
+    #[test]
+    fn ngram_counts_sorted() {
+        let docs = vec![tokenize("a b a b"), tokenize("a b c")];
+        let counts = ngram_counts(&docs, 2);
+        assert_eq!(counts[0], ("a b".to_string(), 3));
+    }
+
+    #[test]
+    fn collocations_rank_fixed_phrases() {
+        // "route server" always co-occurs; "the network" is diluted by
+        // independent uses of both words.
+        let docs: Vec<Vec<String>> = vec![
+            tokenize("the route server at the exchange"),
+            tokenize("a route server for the network"),
+            tokenize("the network measured the network again route server"),
+        ];
+        let colls = collocations(&docs, 2);
+        let rs = colls.iter().find(|(g, _)| g == "route server").unwrap();
+        let tn = colls.iter().find(|(g, _)| g == "the network").unwrap();
+        assert!(rs.1 > tn.1, "route server PMI {} vs the network {}", rs.1, tn.1);
+    }
+
+    #[test]
+    fn collocations_empty_corpus() {
+        assert!(collocations(&[], 1).is_empty());
+        assert!(collocations(&[vec![]], 1).is_empty());
+    }
+}

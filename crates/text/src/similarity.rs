@@ -1,0 +1,98 @@
+//! String and set similarity measures.
+
+/// Levenshtein edit distance between two strings (char-level), classic
+//  dynamic-programming with two rows.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized Levenshtein similarity in `[0, 1]`: `1 − d / max_len`.
+/// Two empty strings are fully similar.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Jaccard similarity of the token *sets* of two token sequences.
+/// Two empty sequences are fully similar.
+pub fn jaccard(a: &[String], b: &[String]) -> f64 {
+    use std::collections::HashSet;
+    let sa: HashSet<&str> = a.iter().map(String::as_str).collect();
+    let sb: HashSet<&str> = b.iter().map(String::as_str).collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    #[test]
+    fn levenshtein_classics() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        for (a, b) in [("peering", "peer"), ("bgp", "gbp"), ("", "x")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn levenshtein_unicode() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn levenshtein_similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("network", "networks");
+        assert!(s > 0.8 && s < 1.0);
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        let a = tokenize("the community runs the network");
+        let b = tokenize("the network serves the community");
+        let j = jaccard(&a, &b);
+        // sets: {the, community, runs, network} vs {the, network, serves,
+        // community}: inter 3 (the, community, network), union 5.
+        assert!((j - 3.0 / 5.0).abs() < 1e-12, "j = {j}");
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+        assert_eq!(jaccard(&a, &[]), 0.0);
+    }
+}

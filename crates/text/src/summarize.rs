@@ -1,0 +1,93 @@
+//! Extractive summarization: pick the sentences closest to the document
+//! centroid (a classic TF-IDF centroid summarizer).
+//!
+//! The qual crate uses this to condense long interview transcripts into
+//! memo-sized digests; the corpus tooling uses it to skim abstracts.
+
+use crate::tfidf::{cosine_similarity, TfIdf};
+use crate::tokenize::{sentences, tokenize};
+use crate::{Result, TextError};
+
+/// Summarize free text by extracting the `k` sentences most similar to the
+/// whole-document TF-IDF centroid, returned in original order.
+///
+/// Deterministic; returns fewer sentences when the text is short. Errors
+/// on text with no sentences.
+pub fn summarize(text: &str, k: usize) -> Result<Vec<String>> {
+    if k == 0 {
+        return Err(TextError::InvalidParameter("k must be >= 1"));
+    }
+    let sents = sentences(text);
+    if sents.is_empty() {
+        return Err(TextError::EmptyInput);
+    }
+    if sents.len() <= k {
+        return Ok(sents);
+    }
+    let docs: Vec<Vec<String>> = sents.iter().map(|s| tokenize(s)).collect();
+    let model = TfIdf::fit(&docs)?;
+    // Document centroid: transform of all tokens pooled.
+    let pooled: Vec<String> = docs.iter().flatten().cloned().collect();
+    let centroid = model.transform(&pooled);
+    let mut scored: Vec<(usize, f64)> = docs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (i, cosine_similarity(&model.transform(d), &centroid)))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    let mut chosen: Vec<usize> = scored.iter().take(k).map(|&(i, _)| i).collect();
+    chosen.sort_unstable();
+    Ok(chosen.into_iter().map(|i| sents[i].clone()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEXT: &str = "The cooperative maintains the wireless network. \
+        Volunteers repair radios and climb towers for the network. \
+        The network cooperative collects monthly dues from member households. \
+        Yesterday it rained heavily. \
+        Dues pay for the backhaul connection of the cooperative network.";
+
+    #[test]
+    fn summary_prefers_on_topic_sentences() {
+        let summary = summarize(TEXT, 3).unwrap();
+        assert_eq!(summary.len(), 3);
+        assert!(
+            !summary.iter().any(|s| s.contains("rained")),
+            "off-topic sentence should be dropped: {summary:?}"
+        );
+    }
+
+    #[test]
+    fn summary_preserves_original_order() {
+        let summary = summarize(TEXT, 3).unwrap();
+        let positions: Vec<usize> = summary
+            .iter()
+            .map(|s| TEXT.find(s.as_str()).unwrap())
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn short_text_returned_whole() {
+        let summary = summarize("One sentence only.", 3).unwrap();
+        assert_eq!(summary, vec!["One sentence only"]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(summarize("", 2).is_err());
+        assert!(summarize("Some text.", 0).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(summarize(TEXT, 2).unwrap(), summarize(TEXT, 2).unwrap());
+    }
+}

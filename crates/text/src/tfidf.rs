@@ -1,0 +1,173 @@
+//! TF-IDF vectorization and cosine similarity over sparse vectors.
+
+use crate::vocab::Vocabulary;
+use crate::{Result, TextError};
+use std::collections::HashMap;
+
+/// A sparse vector: sorted `(term_id, weight)` pairs.
+pub type SparseVec = Vec<(usize, f64)>;
+
+/// A fitted TF-IDF model: a vocabulary with inverse-document-frequency
+/// weights learned from a corpus.
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    vocab: Vocabulary,
+    idf: Vec<f64>,
+}
+
+impl TfIdf {
+    /// Fit on a corpus of tokenized documents. Errors on an empty corpus.
+    ///
+    /// IDF uses the smoothed form `ln((1 + N) / (1 + df)) + 1`, which keeps
+    /// weights positive and finite even for terms present in every document.
+    pub fn fit(documents: &[Vec<String>]) -> Result<Self> {
+        if documents.is_empty() {
+            return Err(TextError::EmptyInput);
+        }
+        let mut vocab = Vocabulary::new();
+        for doc in documents {
+            vocab.observe_document(doc);
+        }
+        let n = documents.len() as f64;
+        let idf: Vec<f64> = (0..vocab.len())
+            .map(|id| {
+                let term = vocab.term(id).expect("dense ids");
+                let df = vocab.document_frequency(term) as f64;
+                ((1.0 + n) / (1.0 + df)).ln() + 1.0
+            })
+            .collect();
+        Ok(TfIdf { vocab, idf })
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// IDF weight of a term (None if the term was never seen).
+    pub fn idf(&self, term: &str) -> Option<f64> {
+        self.vocab.id(term).map(|id| self.idf[id])
+    }
+
+    /// Transform a tokenized document into an L2-normalized sparse TF-IDF
+    /// vector. Unseen terms are ignored. An empty or all-unseen document
+    /// yields an empty vector.
+    pub fn transform(&self, tokens: &[String]) -> SparseVec {
+        let mut counts: HashMap<usize, f64> = HashMap::new();
+        for t in tokens {
+            if let Some(id) = self.vocab.id(t) {
+                *counts.entry(id).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut vec: SparseVec = counts
+            .into_iter()
+            .map(|(id, tf)| (id, tf * self.idf[id]))
+            .collect();
+        vec.sort_by_key(|&(id, _)| id);
+        let norm: f64 = vec.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for (_, w) in vec.iter_mut() {
+                *w /= norm;
+            }
+        }
+        vec
+    }
+}
+
+/// Cosine similarity between two sparse vectors (sorted by id).
+/// Empty vectors have similarity 0.
+pub fn cosine_similarity(a: &SparseVec, b: &SparseVec) -> f64 {
+    let mut dot = 0.0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                dot += a[i].1 * b[j].1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let na: f64 = a.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+    if na > 0.0 && nb > 0.0 {
+        (dot / (na * nb)).clamp(-1.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    fn corpus() -> Vec<Vec<String>> {
+        vec![
+            tokenize("bgp peering at the exchange"),
+            tokenize("community networks and mesh routing"),
+            tokenize("bgp routing policies and peering disputes"),
+        ]
+    }
+
+    #[test]
+    fn fit_rejects_empty() {
+        assert_eq!(TfIdf::fit(&[]).unwrap_err(), TextError::EmptyInput);
+    }
+
+    #[test]
+    fn rare_terms_get_higher_idf() {
+        let model = TfIdf::fit(&corpus()).unwrap();
+        let idf_bgp = model.idf("bgp").unwrap(); // df = 2
+        let idf_mesh = model.idf("mesh").unwrap(); // df = 1
+        assert!(idf_mesh > idf_bgp);
+        assert!(model.idf("nonexistent").is_none());
+    }
+
+    #[test]
+    fn transform_is_normalized() {
+        let model = TfIdf::fit(&corpus()).unwrap();
+        let v = model.transform(&tokenize("bgp peering policies"));
+        let norm: f64 = v.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transform_unknown_tokens_empty() {
+        let model = TfIdf::fit(&corpus()).unwrap();
+        let v = model.transform(&tokenize("zebra quark"));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn similar_documents_score_higher() {
+        let model = TfIdf::fit(&corpus()).unwrap();
+        let q = model.transform(&tokenize("bgp peering"));
+        let d0 = model.transform(&corpus()[0]);
+        let d1 = model.transform(&corpus()[1]);
+        assert!(cosine_similarity(&q, &d0) > cosine_similarity(&q, &d1));
+    }
+
+    #[test]
+    fn cosine_self_similarity_is_one() {
+        let model = TfIdf::fit(&corpus()).unwrap();
+        let v = model.transform(&corpus()[2]);
+        assert!((cosine_similarity(&v, &v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_disjoint_is_zero() {
+        let a: SparseVec = vec![(0, 1.0), (2, 1.0)];
+        let b: SparseVec = vec![(1, 1.0), (3, 1.0)];
+        assert_eq!(cosine_similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn cosine_empty_is_zero() {
+        let a: SparseVec = vec![];
+        let b: SparseVec = vec![(0, 1.0)];
+        assert_eq!(cosine_similarity(&a, &b), 0.0);
+    }
+}

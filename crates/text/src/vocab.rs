@@ -1,0 +1,163 @@
+//! Vocabularies: term ↔ dense-id maps with frequency bookkeeping.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A growable vocabulary assigning dense ids to terms, tracking total and
+/// document frequencies.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    term_to_id: HashMap<String, usize>,
+    id_to_term: Vec<String>,
+    /// Total occurrences of each term across all observed documents.
+    term_freq: Vec<u64>,
+    /// Number of documents each term appeared in at least once.
+    doc_freq: Vec<u64>,
+    /// Number of documents observed.
+    docs: u64,
+}
+
+impl Vocabulary {
+    /// Create an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.id_to_term.len()
+    }
+
+    /// True if no terms have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_term.is_empty()
+    }
+
+    /// Number of documents observed via [`Vocabulary::observe_document`].
+    pub fn document_count(&self) -> u64 {
+        self.docs
+    }
+
+    /// Intern a term, returning its id (existing or new). Does not touch
+    /// frequency counters.
+    pub fn intern(&mut self, term: &str) -> usize {
+        if let Some(&id) = self.term_to_id.get(term) {
+            return id;
+        }
+        let id = self.id_to_term.len();
+        self.term_to_id.insert(term.to_owned(), id);
+        self.id_to_term.push(term.to_owned());
+        self.term_freq.push(0);
+        self.doc_freq.push(0);
+        id
+    }
+
+    /// Look up a term's id without inserting.
+    pub fn id(&self, term: &str) -> Option<usize> {
+        self.term_to_id.get(term).copied()
+    }
+
+    /// Look up the term for an id.
+    pub fn term(&self, id: usize) -> Option<&str> {
+        self.id_to_term.get(id).map(String::as_str)
+    }
+
+    /// Total occurrences of a term across observed documents.
+    pub fn term_frequency(&self, term: &str) -> u64 {
+        self.id(term).map_or(0, |id| self.term_freq[id])
+    }
+
+    /// Number of observed documents containing the term.
+    pub fn document_frequency(&self, term: &str) -> u64 {
+        self.id(term).map_or(0, |id| self.doc_freq[id])
+    }
+
+    /// Record one document's tokens: updates term, document, and corpus
+    /// counters. Returns the token ids in order.
+    pub fn observe_document(&mut self, tokens: &[String]) -> Vec<usize> {
+        self.docs += 1;
+        let ids: Vec<usize> = tokens.iter().map(|t| self.intern(t)).collect();
+        let mut seen: Vec<usize> = Vec::new();
+        for &id in &ids {
+            self.term_freq[id] += 1;
+            if !seen.contains(&id) {
+                self.doc_freq[id] += 1;
+                seen.push(id);
+            }
+        }
+        ids
+    }
+
+    /// The `k` most frequent terms with their counts, ties broken
+    /// alphabetically for determinism.
+    pub fn top_terms(&self, k: usize) -> Vec<(String, u64)> {
+        let mut pairs: Vec<(String, u64)> = self
+            .id_to_term
+            .iter()
+            .cloned()
+            .zip(self.term_freq.iter().copied())
+            .collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("network");
+        let b = v.intern("network");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_in_order() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern("a"), 0);
+        assert_eq!(v.intern("b"), 1);
+        assert_eq!(v.intern("c"), 2);
+        assert_eq!(v.term(1), Some("b"));
+        assert_eq!(v.id("c"), Some(2));
+        assert_eq!(v.id("d"), None);
+        assert_eq!(v.term(99), None);
+    }
+
+    #[test]
+    fn observe_counts_term_and_doc_freq() {
+        let mut v = Vocabulary::new();
+        v.observe_document(&toks(&["bgp", "bgp", "peering"]));
+        v.observe_document(&toks(&["peering", "ixp"]));
+        assert_eq!(v.document_count(), 2);
+        assert_eq!(v.term_frequency("bgp"), 2);
+        assert_eq!(v.document_frequency("bgp"), 1);
+        assert_eq!(v.term_frequency("peering"), 2);
+        assert_eq!(v.document_frequency("peering"), 2);
+        assert_eq!(v.term_frequency("missing"), 0);
+    }
+
+    #[test]
+    fn top_terms_ordering() {
+        let mut v = Vocabulary::new();
+        v.observe_document(&toks(&["b", "b", "a", "a", "c"]));
+        let top = v.top_terms(2);
+        // a and b tie at 2; alphabetical tiebreak puts a first.
+        assert_eq!(top, vec![("a".into(), 2), ("b".into(), 2)]);
+    }
+
+    #[test]
+    fn empty_vocab() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert!(v.top_terms(5).is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! A complete qualitative-analysis workflow (the paper's §5.2 made
+//! executable): transcripts → consent guardrails → anonymization →
+//! codebook → multi-coder coding → reliability → themes → quotes.
+//!
+//! ```text
+//! cargo run --example coding_session
+//! ```
+
+use humnet::qual::{
+    coding::label_matrix, extract_themes, fleiss_kappa, krippendorff_alpha,
+    representative_quotes, Codebook, CodingSession, ConsentStatus, EthicsPolicy, Transcript,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Field data: a site-visit conversation with two operators.
+    let mut raw = Transcript::new("T1", "community network site visit");
+    raw.researcher("How does the network stay up?")
+        .participant("Maria", "Maria climbs the tower when the radio fails. Nobody pays us.")
+        .researcher("Who decides on upgrades?")
+        .participant("Jose", "The cooperative votes. Jose counts the ballots at the meeting.")
+        .participant("Maria", "And we argue about the backhaul bill every month.")
+        .researcher("What would help most?")
+        .participant("Jose", "Spare radios. The vendor takes months to ship to us.");
+
+    // 2. Ethics guardrails BEFORE anything leaves the field notebook.
+    let mut policy = EthicsPolicy::with_irb("IRB-2026-042");
+    policy.record_consent("P1", ConsentStatus::Granted, true);
+    policy.record_consent("P2", ConsentStatus::Granted, false); // no direct quotes
+    let transcript = raw.anonymize(&["Maria", "Jose"]);
+    policy.check_export(&transcript)?;
+    println!("consent + anonymization guardrails: OK");
+    println!("P1 quotable: {}", policy.check_quote("P1").is_ok());
+    println!("P2 quotable: {} (paraphrase instead)\n", policy.check_quote("P2").is_ok());
+
+    // 3. A codebook with definitions coders can apply.
+    let mut codebook = Codebook::new();
+    let labor = codebook.add("maintenance-labor", "unpaid physical upkeep work")?;
+    let governance = codebook.add("governance", "collective decision processes")?;
+    let supply = codebook.add("supply-chain", "parts, vendors, and shipping")?;
+
+    // 4. Three coders code the participant turns (turns 1, 3, 4, 6).
+    let participant_turns = [1usize, 3, 4, 6];
+    let truth = [labor, governance, governance, supply];
+    let mut sessions = Vec::new();
+    // Coder A agrees with the consensus everywhere.
+    let mut a = CodingSession::new("A");
+    for (&turn, &code) in participant_turns.iter().zip(&truth) {
+        a.apply(&codebook, "T1", turn, turn + 1, code)?;
+    }
+    sessions.push(a);
+    // Coder B reads turn 4 (the backhaul-bill argument) as labor.
+    let mut b = CodingSession::new("B");
+    for (&turn, &code) in participant_turns.iter().zip(&[labor, governance, labor, supply]) {
+        b.apply(&codebook, "T1", turn, turn + 1, code)?;
+    }
+    sessions.push(b);
+    // Coder C agrees with A.
+    let mut c = CodingSession::new("C");
+    for (&turn, &code) in participant_turns.iter().zip(&truth) {
+        c.apply(&codebook, "T1", turn, turn + 1, code)?;
+    }
+    sessions.push(c);
+
+    // 5. Reliability.
+    let units: Vec<(String, usize)> = participant_turns
+        .iter()
+        .map(|&t| ("T1".to_string(), t))
+        .collect();
+    let matrix = label_matrix(&sessions, &units);
+    println!("Fleiss' kappa over 3 coders: {:.3}", fleiss_kappa(&matrix)?);
+    println!("Krippendorff's alpha:        {:.3}\n", krippendorff_alpha(&matrix)?);
+
+    // 6. Themes and quotes for the paper.
+    let themes = extract_themes(&codebook, &sessions, 7)?;
+    println!("themes found:");
+    for theme in &themes {
+        let names: Vec<&str> = theme
+            .codes
+            .iter()
+            .filter_map(|&id| codebook.get(id).map(|code| code.name.as_str()))
+            .collect();
+        println!("  [{}] support={} codes={:?}", theme.label, theme.support, names);
+    }
+    let transcripts = vec![transcript];
+    println!("\nrepresentative quotes for 'maintenance-labor':");
+    for quote in representative_quotes(&transcripts, &sessions, labor, 2) {
+        println!("  \"{quote}\"");
+    }
+    Ok(())
+}

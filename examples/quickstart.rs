@@ -1,0 +1,83 @@
+//! Quickstart: a ten-minute tour of the humnet toolkit.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks through one small use of each layer: statistics, the agenda
+//! simulator, the qualitative-coding engine, the IXP scenario builders,
+//! and the methods auditor.
+
+use humnet::agenda::{AgendaConfig, AgendaSim, MethodRegime};
+use humnet::core::experiments;
+use humnet::corpus::CorpusConfig;
+use humnet::ixp::{CircumventionStrategy, MexicoConfig, MexicoScenario};
+use humnet::qual::{cohen_kappa, Codebook, CodingSession};
+use humnet::stats::{gini, Rng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Deterministic statistics -------------------------------------
+    let mut rng = Rng::new(2025);
+    let sample: Vec<f64> = (0..200).map(|_| rng.pareto(1.0, 1.3)).collect();
+    println!("1. A Pareto sample of 200 'citation counts' has Gini {:.3}", gini(&sample)?);
+
+    // 2. The agenda feedback loop -------------------------------------
+    let mut cfg = AgendaConfig::default();
+    cfg.regime = MethodRegime::DataDriven;
+    let mut sim = AgendaSim::new(cfg)?;
+    sim.run()?;
+    let last = sim.history().last().expect("ran");
+    println!(
+        "2. Data-driven regime: {} publications, {} of {} marginalized problems surfaced",
+        last.publications,
+        last.surfaced_marginalized,
+        sim.marginalized_total()
+    );
+
+    // 3. Qualitative coding --------------------------------------------
+    let mut codebook = Codebook::new();
+    let labor = codebook.add("maintenance-labor", "who fixes the network and how")?;
+    let gov = codebook.add("governance", "how decisions get made")?;
+    let mut alice = CodingSession::new("alice");
+    let mut bob = CodingSession::new("bob");
+    // Both coders code the same six turns of transcript "T1".
+    for (turn, &code) in [labor, labor, gov, gov, labor, gov].iter().enumerate() {
+        alice.apply(&codebook, "T1", turn, turn + 1, code)?;
+    }
+    for (turn, &code) in [labor, labor, gov, labor, labor, gov].iter().enumerate() {
+        bob.apply(&codebook, "T1", turn, turn + 1, code)?;
+    }
+    let units: Vec<(String, usize)> = (0..6).map(|t| ("T1".to_string(), t)).collect();
+    let matrix = humnet::qual::coding::label_matrix(&[alice, bob], &units);
+    println!(
+        "3. Two coders over six turns: Cohen's kappa = {:.3}",
+        cohen_kappa(&matrix[0], &matrix[1])?
+    );
+
+    // 4. The Telmex maneuver -------------------------------------------
+    let mut mx = MexicoConfig::default();
+    mx.strategy = CircumventionStrategy::AsnSplitting;
+    let circumvented = MexicoScenario::run(&mx)?;
+    mx.strategy = CircumventionStrategy::ComplyFully;
+    let complied = MexicoScenario::run(&mx)?;
+    println!(
+        "4. Competitor traffic exchanged at the IXP: {:.0}% complying vs {:.0}% with ASN splitting",
+        100.0 * complied.competitor_ixp_share()?,
+        100.0 * circumvented.competitor_ixp_share()?
+    );
+
+    // 5. Auditing a corpus against the paper's §5 ----------------------
+    let corpus = CorpusConfig::default().generate(7)?;
+    let report = humnet::core::MethodsAuditor::new().audit(&corpus)?;
+    println!(
+        "5. Across {} synthetic papers, {:.1}% fully adopt the paper's §5 recommendations",
+        corpus.papers.len(),
+        100.0 * report.full_adoption_rate
+    );
+
+    // 6. And the whole experiment suite is one call away ---------------
+    let f1 = experiments::f1_attention(42)?;
+    println!("6. Experiment F1 regenerated: attention gini = {:.3}", f1.gini);
+    println!("\nRun `cargo run --bin experiments` for every table and figure.");
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! Who gets heard? Sampling designs, representation bias, and what
+//! weighting can (and cannot) fix — the paper's §1 claim about
+//! reachability, made measurable.
+//!
+//! ```text
+//! cargo run --example survey_bias
+//! ```
+
+use humnet::stats::Rng;
+use humnet::survey::{
+    cronbach_alpha, design_effect, post_stratification_weights, weighted_mean, Instrument,
+    LikertItem, ResponseBias,
+};
+use humnet::survey::sampling::{
+    draw_sample, representation_bias, synthetic_population, SamplingDesign,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = Rng::new(2026);
+    // A stakeholder population: reachable hyperscaler engineers, moderately
+    // reachable ISP operators, hard-to-reach community-network operators.
+    let population = synthetic_population(
+        &[(120, 0.9), (80, 0.5), (50, 0.08)],
+        4.0,
+        &mut rng,
+    )?;
+    // The quantity we want to estimate: "how many hours a week do you spend
+    // on unpaid maintenance?" — strongly group-dependent.
+    let hours = |group: usize| -> f64 {
+        match group {
+            0 => 1.0,
+            1 => 4.0,
+            _ => 15.0,
+        }
+    };
+    let pop_mean: f64 =
+        population.iter().map(|m| hours(m.group)).sum::<f64>() / population.len() as f64;
+    println!("population mean unpaid-maintenance hours: {pop_mean:.2}\n");
+
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>12}",
+        "design", "bias (TV)", "naive est.", "weighted", "design eff."
+    );
+    for design in [
+        SamplingDesign::SimpleRandom,
+        SamplingDesign::Stratified,
+        SamplingDesign::Convenience,
+        SamplingDesign::Snowball { seeds: 5 },
+    ] {
+        // Average over ten draws.
+        let (mut bias, mut naive, mut weighted, mut deff) = (0.0, 0.0, 0.0, 0.0);
+        for _ in 0..10 {
+            let sample = draw_sample(&population, design, 60, &mut rng)?;
+            bias += representation_bias(&population, &sample)?;
+            let values: Vec<f64> = sample.iter().map(|&i| hours(population[i].group)).collect();
+            naive += values.iter().sum::<f64>() / values.len() as f64;
+            let w = post_stratification_weights(&population, &sample)?;
+            weighted += weighted_mean(&values, &w)?;
+            deff += design_effect(&w)?;
+        }
+        println!(
+            "{:<22} {:>10.3} {:>12.2} {:>12.2} {:>12.2}",
+            format!("{design:?}").split_whitespace().next().unwrap_or("?"),
+            bias / 10.0,
+            naive / 10.0,
+            weighted / 10.0,
+            deff / 10.0,
+        );
+    }
+    println!(
+        "\nReading: convenience sampling talks to whoever answers email and\n\
+         underestimates unpaid labour by ~3x; post-stratification claws much\n\
+         of it back *if* at least some hard-to-reach members were sampled —\n\
+         at a real variance cost (design effect)."
+    );
+
+    // Instrument reliability: the survey itself must be coherent.
+    let instrument = Instrument::new(
+        vec![
+            LikertItem {
+                text: "I spend significant time maintaining the network".into(),
+                reverse_coded: false,
+            },
+            LikertItem {
+                text: "Network upkeep is part of my weekly routine".into(),
+                reverse_coded: false,
+            },
+            LikertItem {
+                text: "The network runs itself without my attention".into(),
+                reverse_coded: true,
+            },
+        ],
+        5,
+    )?;
+    let responses = instrument.simulate(200, &ResponseBias::default(), &mut rng)?;
+    let items: Vec<Vec<f64>> = (0..instrument.len())
+        .map(|i| {
+            responses
+                .answers
+                .iter()
+                .map(|row| instrument.coded(i, row[i]).unwrap())
+                .collect()
+        })
+        .collect();
+    println!(
+        "\ninstrument internal consistency (Cronbach's alpha, n=200): {:.3}",
+        cronbach_alpha(&items)?
+    );
+    Ok(())
+}

@@ -1,0 +1,193 @@
+//! Regenerates every table and figure recorded in `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin experiments            # run everything
+//! cargo run --release --bin experiments -- f3 t1   # run a subset
+//! ```
+//!
+//! Output is plain text: each experiment prints its rendered tables and
+//! series (with ASCII sparklines standing in for figures).
+
+use humnet::core::experiments as exp;
+
+fn wanted(args: &[String], id: &str) -> bool {
+    args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ran = 0;
+
+    if wanted(&args, "f1") {
+        banner("F1 — Lorenz curve of research attention (paper §1)");
+        match exp::f1_attention(42) {
+            Ok(r) => {
+                println!("{}", r.lorenz.render());
+                println!("attention gini = {:.3}\n", r.gini);
+                println!("{}", r.by_class.render());
+            }
+            Err(e) => eprintln!("F1 failed: {e}"),
+        }
+        ran += 1;
+    }
+    if wanted(&args, "t1") {
+        banner("T1 — method-regime comparison (paper §2, §5.1)");
+        match exp::t1_regimes(&[1, 2, 3, 4, 5]) {
+            Ok((_, table)) => println!("{}", table.render()),
+            Err(e) => eprintln!("T1 failed: {e}"),
+        }
+        ran += 1;
+    }
+    if wanted(&args, "f2") {
+        banner("F2 — positionality prevalence by venue (paper §4, §6.4)");
+        match exp::f2_positionality(7) {
+            Ok((table, series)) => {
+                println!("{}", table.render());
+                for s in series {
+                    println!("{}", s.render());
+                }
+            }
+            Err(e) => eprintln!("F2 failed: {e}"),
+        }
+        ran += 1;
+    }
+    if wanted(&args, "t2") {
+        banner("T2 — inter-rater reliability vs codebook refinement (paper §5.2)");
+        match exp::t2_irr(5, 6) {
+            Ok(table) => println!("{}", table.render()),
+            Err(e) => eprintln!("T2 failed: {e}"),
+        }
+        ran += 1;
+    }
+    if wanted(&args, "f3") {
+        banner("F3 — Telmex: mandatory peering vs ASN splitting (paper §3, [38])");
+        match exp::f3_telmex(11) {
+            Ok((comply, split, table)) => {
+                println!("{}", comply.render());
+                println!("{}", split.render());
+                println!("{}", table.render());
+            }
+            Err(e) => eprintln!("F3 failed: {e}"),
+        }
+        ran += 1;
+    }
+    if wanted(&args, "f4") {
+        banner("F4 — IXP gravity: Brazil vs Germany (paper §3, [39])");
+        match exp::f4_gravity(11) {
+            Ok((foreign, local)) => {
+                println!("{}", foreign.render());
+                println!("{}", local.render());
+            }
+            Err(e) => eprintln!("F4 failed: {e}"),
+        }
+        ran += 1;
+    }
+    if wanted(&args, "t3") {
+        banner("T3 — community-network sustainability (paper §4, [23])");
+        match exp::t3_sustainability(&[1, 2, 3, 4, 5]) {
+            Ok(table) => println!("{}", table.render()),
+            Err(e) => eprintln!("T3 failed: {e}"),
+        }
+        ran += 1;
+    }
+    if wanted(&args, "f5") {
+        banner("F5 — common-pool congestion management (paper §4, [28])");
+        match exp::f5_congestion(1) {
+            Ok(table) => println!("{}", table.render()),
+            Err(e) => eprintln!("F5 failed: {e}"),
+        }
+        ran += 1;
+    }
+    if wanted(&args, "t4") {
+        banner("T4 — participation-ladder audit (paper §2, §5.1)");
+        match exp::t4_ladder() {
+            Ok(table) => println!("{}", table.render()),
+            Err(e) => eprintln!("T4 failed: {e}"),
+        }
+        ran += 1;
+    }
+    if wanted(&args, "f6") {
+        banner("F6 — patchwork vs traditional ethnography (paper §3, [17])");
+        match exp::f6_patchwork() {
+            Ok(table) => println!("{}", table.render()),
+            Err(e) => eprintln!("F6 failed: {e}"),
+        }
+        ran += 1;
+    }
+    if wanted(&args, "t5") {
+        banner("T5 — venue gatekeeping of human-centered work (paper §6.3.2)");
+        match exp::t5_gatekeeping(6) {
+            Ok((human, systems, table)) => {
+                println!("{}", human.render());
+                println!("{}", systems.render());
+                println!("{}", table.render());
+            }
+            Err(e) => eprintln!("T5 failed: {e}"),
+        }
+        ran += 1;
+    }
+    if wanted(&args, "f7") {
+        banner("F7 — §5 recommendation uptake audit");
+        match exp::f7_audit(3) {
+            Ok(table) => println!("{}", table.render()),
+            Err(e) => eprintln!("F7 failed: {e}"),
+        }
+        ran += 1;
+    }
+    if wanted(&args, "f8") {
+        banner("F8 — IXP growth dynamics (paper §3, [39])");
+        match exp::f8_growth(7) {
+            Ok((top, local, table)) => {
+                println!("{}", top.render());
+                println!("{}", local.render());
+                println!("{}", table.render());
+            }
+            Err(e) => eprintln!("F8 failed: {e}"),
+        }
+        ran += 1;
+    }
+    if wanted(&args, "f9") {
+        banner("F9 — method adoption around a CFP intervention (paper §6.4)");
+        match exp::f9_adoption() {
+            Ok((series, table)) => {
+                println!("{}", series.render());
+                println!("{}", table.render());
+            }
+            Err(e) => eprintln!("F9 failed: {e}"),
+        }
+        ran += 1;
+    }
+    if wanted(&args, "t6") {
+        banner("T6 — diary studies and technology probes (paper §6.1, [7])");
+        match exp::t6_diary(5) {
+            Ok(table) => println!("{}", table.render()),
+            Err(e) => eprintln!("T6 failed: {e}"),
+        }
+        ran += 1;
+    }
+    if wanted(&args, "t7") {
+        banner("T7 — cooperative economics by dues policy (paper §4)");
+        match exp::t7_economics(&[1, 2, 3, 4, 5]) {
+            Ok(table) => println!("{}", table.render()),
+            Err(e) => eprintln!("T7 failed: {e}"),
+        }
+        ran += 1;
+    }
+
+    if ran == 0 {
+        eprintln!(
+            "unknown experiment id(s): {:?}\n\
+             available: f1 t1 f2 t2 f3 f4 t3 f5 t4 f6 t5 f7 f8 f9 t6 t7",
+            args
+        );
+        std::process::exit(2);
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}\n", "=".repeat(72));
+}

@@ -1,0 +1,57 @@
+//! # humnet
+//!
+//! A toolkit and simulation suite for studying *the humans of networking
+//! research* — a full Rust reproduction of the HotNets '25 position paper
+//! "Unveiling and Engaging with the Humans of Networking Research".
+//!
+//! The paper argues that networking research abstracts away the people who
+//! build, operate, and experience the Internet, and proposes three
+//! qualitative methods — participatory action research, ethnography, and
+//! positionality — as first-class research tools. Since a position paper
+//! has no evaluation to re-run, this crate *operationalizes* the paper:
+//! every claim becomes a simulator and every recommendation becomes a
+//! checkable audit (see `DESIGN.md` for the substitution table and
+//! `EXPERIMENTS.md` for measured results).
+//!
+//! ## Crate map
+//!
+//! | Module | Backing crate | Contents |
+//! |---|---|---|
+//! | [`stats`] | `humnet-stats` | deterministic RNG, inequality/diversity indices, hypothesis tests, bootstrap |
+//! | [`graph`] | `humnet-graph` | graphs, centrality, communities, generators |
+//! | [`text`] | `humnet-text` | tokenization, TF-IDF, naive Bayes, Markov generation |
+//! | [`corpus`] | `humnet-corpus` | synthetic publication corpus + bibliometrics |
+//! | [`qual`] | `humnet-qual` | qualitative coding, inter-rater reliability, ethics guardrails |
+//! | [`ixp`] | `humnet-ixp` | AS topology, Gao–Rexford routing, IXPs, regulation |
+//! | [`community`] | `humnet-community` | volunteer-maintained mesh + common-pool congestion |
+//! | [`agenda`] | `humnet-agenda` | research-ecosystem ABM + venue gatekeeping |
+//! | [`survey`] | `humnet-survey` | Likert instruments, sampling bias, positionality detection |
+//! | [`core`] | `humnet-core` | PAR / ethnography / reflexivity workflows, methods auditor, experiment suite |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use humnet::core::experiments;
+//!
+//! // Regenerate the headline experiment: concentration of research
+//! // attention under a data-driven regime (figure F1).
+//! let f1 = experiments::f1_attention(42).expect("simulation runs");
+//! assert!(f1.gini > 0.5, "attention is heavily concentrated");
+//! println!("{}", f1.by_class.render());
+//! ```
+//!
+//! Run `cargo run --bin experiments` to regenerate every table and figure.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use humnet_agenda as agenda;
+pub use humnet_community as community;
+pub use humnet_core as core;
+pub use humnet_corpus as corpus;
+pub use humnet_graph as graph;
+pub use humnet_ixp as ixp;
+pub use humnet_qual as qual;
+pub use humnet_stats as stats;
+pub use humnet_survey as survey;
+pub use humnet_text as text;

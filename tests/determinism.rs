@@ -1,0 +1,108 @@
+//! Determinism contract: every simulator in the toolkit is bit-for-bit
+//! reproducible from its seed, and sensitive to seed changes. This is what
+//! makes `EXPERIMENTS.md` reproducible on any machine.
+
+use humnet::agenda::{AgendaConfig, AgendaSim};
+use humnet::community::{
+    AllocationPolicy, CongestionConfig, CongestionSim, SustainabilityConfig, SustainabilitySim,
+};
+use humnet::corpus::CorpusConfig;
+use humnet::ixp::{MexicoConfig, MexicoScenario, TwoRegionConfig, TwoRegionScenario};
+use humnet::qual::{SimulatedStudy, StudyConfig};
+use humnet::stats::Rng;
+
+#[test]
+fn rng_streams_are_stable_across_calls() {
+    let take = |seed: u64| -> Vec<u64> {
+        let mut rng = Rng::new(seed);
+        (0..32).map(|_| rng.next_u64()).collect()
+    };
+    assert_eq!(take(1), take(1));
+    assert_ne!(take(1), take(2));
+}
+
+#[test]
+fn corpus_generation_reproducible() {
+    let mut cfg = CorpusConfig::default();
+    cfg.years = 3;
+    for v in cfg.venues.iter_mut() {
+        v.papers_per_year = 6;
+    }
+    let a = cfg.generate(77).unwrap();
+    let b = cfg.generate(77).unwrap();
+    assert_eq!(a, b);
+    assert_ne!(a, cfg.generate(78).unwrap());
+}
+
+#[test]
+fn agenda_reproducible() {
+    let run = |seed| {
+        let mut cfg = AgendaConfig::default();
+        cfg.rounds = 20;
+        cfg.seed = seed;
+        let mut sim = AgendaSim::new(cfg).unwrap();
+        sim.run().unwrap();
+        sim.history().to_vec()
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6));
+}
+
+#[test]
+fn ixp_scenarios_reproducible() {
+    let mx = MexicoConfig::default();
+    assert_eq!(
+        MexicoScenario::run(&mx).unwrap().flows,
+        MexicoScenario::run(&mx).unwrap().flows
+    );
+    let tr = TwoRegionConfig::default();
+    let a = TwoRegionScenario::run(&tr).unwrap();
+    let b = TwoRegionScenario::run(&tr).unwrap();
+    assert_eq!(a.flows, b.flows);
+    assert_eq!(
+        a.foreign_exchange_share().unwrap(),
+        b.foreign_exchange_share().unwrap()
+    );
+}
+
+#[test]
+fn community_sims_reproducible() {
+    let mut cfg = SustainabilityConfig::default();
+    cfg.days = 100;
+    cfg.seed = 3;
+    let a = SustainabilitySim::new(cfg.clone()).unwrap().run().unwrap();
+    let b = SustainabilitySim::new(cfg).unwrap().run().unwrap();
+    assert_eq!(a, b);
+
+    let ccfg = CongestionConfig::default();
+    let s1 = CongestionSim::new(ccfg.clone()).unwrap();
+    let s2 = CongestionSim::new(ccfg).unwrap();
+    for p in AllocationPolicy::ALL {
+        assert_eq!(s1.run(p), s2.run(p));
+    }
+}
+
+#[test]
+fn qual_study_reproducible() {
+    let run = |seed| {
+        let mut s = SimulatedStudy::new(StudyConfig::default(), seed).unwrap();
+        s.reliability_trajectory(3).unwrap()
+    };
+    assert_eq!(run(9), run(9));
+    assert_ne!(run(9), run(10));
+}
+
+#[test]
+fn experiment_suite_reproducible() {
+    use humnet::core::experiments as exp;
+    let a = exp::f1_attention(42).unwrap();
+    let b = exp::f1_attention(42).unwrap();
+    assert_eq!(a.gini, b.gini);
+    assert_eq!(a.lorenz, b.lorenz);
+    let (t1a, _) = exp::t1_regimes(&[1]).unwrap();
+    let (t1b, _) = exp::t1_regimes(&[1]).unwrap();
+    for (x, y) in t1a.iter().zip(&t1b) {
+        assert_eq!(x.marginalized_coverage, y.marginalized_coverage);
+        assert_eq!(x.publications, y.publications);
+    }
+}
