@@ -12,6 +12,7 @@
 use crate::model::{ProblemSpace, SpaceConfig, StakeholderClass};
 use crate::regime::MethodRegime;
 use crate::{AgendaError, Result};
+use humnet_resilience::{FaultHook, FaultKind, NoFaults};
 use humnet_stats::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -98,16 +99,45 @@ impl AgendaSim {
 
     /// Run all configured rounds and return the history.
     pub fn run(&mut self) -> Result<&[RoundSnapshot]> {
+        self.run_with_faults(&mut NoFaults)
+    }
+
+    /// Run all configured rounds under a fault hook. Each round the hook is
+    /// asked about [`FaultKind::ReviewerNoShow`] (a slice of the researcher
+    /// population skips the round) and [`FaultKind::VolunteerDropout`] (a
+    /// temporary funding-attention shock: feedback loops stall this round).
+    /// Under [`NoFaults`] this is bit-identical to [`AgendaSim::run`].
+    pub fn run_with_faults(&mut self, hook: &mut dyn FaultHook) -> Result<&[RoundSnapshot]> {
         for _ in 0..self.config.rounds {
-            self.step();
+            self.step_with_faults(hook);
         }
         Ok(&self.history)
     }
 
     /// Advance one round.
     pub fn step(&mut self) {
+        self.step_with_faults(&mut NoFaults);
+    }
+
+    /// Advance one round under a fault hook.
+    pub fn step_with_faults(&mut self, hook: &mut dyn FaultHook) {
         let regime = self.config.regime;
-        for _ in 0..self.config.researchers {
+        let step = u64::from(self.round);
+        // Reviewer no-shows thin this round's researcher pool.
+        let active = match hook.inject(step, FaultKind::ReviewerNoShow) {
+            Some(severity) => {
+                let kept = (self.config.researchers as f64 * (1.0 - severity)).ceil() as usize;
+                kept.max(1)
+            }
+            None => self.config.researchers,
+        };
+        // A volunteer-dropout spike freezes the funding/visibility feedback
+        // loops for the round (nobody is around to chase the telemetry).
+        let feedback_scale = match hook.inject(step, FaultKind::VolunteerDropout) {
+            Some(severity) => 1.0 - severity,
+            None => 1.0,
+        };
+        for _ in 0..active {
             // Under the Mixed regime, each researcher-round flips between
             // methods (a population half of whom work each way).
             let effective = if regime == MethodRegime::Mixed {
@@ -132,8 +162,9 @@ impl AgendaSim {
                     p.surfaced_round = Some(self.round);
                 }
                 p.publications += 1;
-                p.funding = (p.funding + self.config.funding_feedback).min(1.0);
-                p.visibility = (p.visibility + self.config.visibility_feedback).min(1.0);
+                p.funding = (p.funding + self.config.funding_feedback * feedback_scale).min(1.0);
+                p.visibility =
+                    (p.visibility + self.config.visibility_feedback * feedback_scale).min(1.0);
             }
         }
         let surfaced = self
@@ -296,6 +327,38 @@ mod tests {
         let mixed = frac(MethodRegime::Mixed);
         let par = frac(MethodRegime::Par);
         assert!(par >= mixed && mixed >= dd, "par {par} mixed {mixed} dd {dd}");
+    }
+
+    #[test]
+    fn faulted_run_stays_valid_and_deterministic() {
+        use humnet_resilience::{FaultPlan, FaultProfile, PlanHook};
+        let faulted = |seed| {
+            let mut cfg = AgendaConfig::default();
+            cfg.seed = 7;
+            let mut sim = AgendaSim::new(cfg).unwrap();
+            let mut hook = PlanHook::new(FaultPlan::new(FaultProfile::Chaos, seed));
+            sim.run_with_faults(&mut hook).unwrap();
+            (sim, hook.faults_injected())
+        };
+        let (a, faults_a) = faulted(13);
+        let (b, faults_b) = faulted(13);
+        assert!(faults_a > 0, "chaos profile should inject faults");
+        assert_eq!(faults_a, faults_b);
+        assert_eq!(a.history(), b.history());
+        // Degraded, not corrupted: history invariants still hold.
+        for w in a.history().windows(2) {
+            assert!(w[1].surfaced >= w[0].surfaced);
+            assert!(w[1].publications >= w[0].publications);
+        }
+        // A no-fault hook reproduces the plain run exactly.
+        let plain = run(MethodRegime::DataDriven, 7);
+        let mut cfg = AgendaConfig::default();
+        cfg.seed = 7;
+        let mut hooked = AgendaSim::new(cfg).unwrap();
+        hooked
+            .run_with_faults(&mut PlanHook::new(FaultPlan::none()))
+            .unwrap();
+        assert_eq!(plain.history(), hooked.history());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //!   rounds, and capacity left over after entitlements is shared max-min.
 
 use crate::{CommunityError, Result};
+use humnet_resilience::{FaultHook, FaultKind, NoFaults};
 use humnet_stats::{jain_fairness, Rng};
 use serde::{Deserialize, Serialize};
 
@@ -149,6 +150,19 @@ impl CongestionSim {
 
     /// Run one policy to completion.
     pub fn run(&self, policy: AllocationPolicy) -> CongestionOutcome {
+        self.run_with_faults(policy, &mut NoFaults)
+    }
+
+    /// Run one policy under a fault hook. Each round the hook is asked
+    /// about [`FaultKind::LinkOutage`]: an active outage shrinks that
+    /// round's backhaul capacity by up to 60% at full severity (the common
+    /// pool itself degrades). Under [`NoFaults`] this is bit-identical to
+    /// [`CongestionSim::run`].
+    pub fn run_with_faults(
+        &self,
+        policy: AllocationPolicy,
+        hook: &mut dyn FaultHook,
+    ) -> CongestionOutcome {
         let cfg = &self.config;
         let mut rng = Rng::new(cfg.seed);
         let n = cfg.households;
@@ -168,7 +182,15 @@ impl CongestionSim {
         let mut starved = 0u64;
         let mut sat_household_rounds = 0u64;
         let mut saturated_rounds = 0u32;
-        for _ in 0..cfg.rounds {
+        for round in 0..cfg.rounds {
+            // A link outage shrinks this round's shared backhaul by up to
+            // 60% at full severity; probabilities and demand draws are
+            // untouched so the RNG stream stays aligned with the un-faulted
+            // run.
+            let round_capacity = match hook.inject(u64::from(round), FaultKind::LinkOutage) {
+                Some(severity) => cfg.capacity * (1.0 - 0.6 * severity),
+                None => cfg.capacity,
+            };
             // Demands this round.
             let demand: Vec<f64> = base
                 .iter()
@@ -183,7 +205,7 @@ impl CongestionSim {
             let total: f64 = demand.iter().sum();
             let alloc = match policy {
                 AllocationPolicy::FreeForAll => {
-                    let factor = (cfg.capacity / total).min(1.0);
+                    let factor = (round_capacity / total).min(1.0);
                     demand.iter().map(|&d| d * factor).collect::<Vec<f64>>()
                 }
                 AllocationPolicy::StaticCap => demand
@@ -199,15 +221,15 @@ impl CongestionSim {
                         .collect();
                     // Clamp to capacity if entitlement+bank oversubscribes.
                     let used: f64 = a.iter().sum();
-                    if used > cfg.capacity {
-                        let f = cfg.capacity / used;
+                    if used > round_capacity {
+                        let f = round_capacity / used;
                         for x in a.iter_mut() {
                             *x *= f;
                         }
                     } else {
                         // Pass 2: max-min water-fill the leftover capacity
                         // over unmet demand.
-                        let mut leftover = cfg.capacity - used;
+                        let mut leftover = round_capacity - used;
                         let mut unmet: Vec<usize> = (0..n)
                             .filter(|&h| demand[h] - a[h] > 1e-12)
                             .collect();
@@ -240,9 +262,9 @@ impl CongestionSim {
                     a
                 }
             };
-            if total > cfg.capacity {
+            if total > round_capacity {
                 saturated_rounds += 1;
-                util_acc += alloc.iter().sum::<f64>() / cfg.capacity;
+                util_acc += alloc.iter().sum::<f64>() / round_capacity;
                 // Fairness among backlogged households.
                 let backlogged: Vec<f64> = (0..n)
                     .filter(|&h| demand[h] > entitlement)
@@ -279,6 +301,16 @@ impl CongestionSim {
     /// Run all three policies on identical demand streams (same seed).
     pub fn compare(&self) -> Vec<CongestionOutcome> {
         AllocationPolicy::ALL.iter().map(|&p| self.run(p)).collect()
+    }
+
+    /// [`CongestionSim::compare`] under a fault hook: every policy faces
+    /// the identical outage schedule (fault draws are pure per step), so
+    /// the comparison stays apples-to-apples even mid-chaos.
+    pub fn compare_with_faults(&self, hook: &mut dyn FaultHook) -> Vec<CongestionOutcome> {
+        AllocationPolicy::ALL
+            .iter()
+            .map(|&p| self.run_with_faults(p, hook))
+            .collect()
     }
 }
 
@@ -383,6 +415,31 @@ mod tests {
         // Indirect check: utilization must never exceed 1.
         for out in outcomes() {
             assert!(out.utilization <= 1.0 + 1e-9, "{out:?}");
+        }
+    }
+
+    #[test]
+    fn outages_shrink_the_pool_but_keep_invariants() {
+        use humnet_resilience::{FaultPlan, FaultProfile, PlanHook};
+        let sim = CongestionSim::new(CongestionConfig::default()).unwrap();
+        for policy in AllocationPolicy::ALL {
+            let plain = sim.run(policy);
+            let mut none = PlanHook::new(FaultPlan::none());
+            assert_eq!(sim.run_with_faults(policy, &mut none), plain);
+            let run_chaos = || {
+                let mut hook = PlanHook::new(FaultPlan::new(FaultProfile::Outage, 5));
+                let out = sim.run_with_faults(policy, &mut hook);
+                (out, hook.faults_injected())
+            };
+            let (a, fa) = run_chaos();
+            let (b, fb) = run_chaos();
+            assert_eq!(a, b, "faulted runs must be reproducible");
+            assert_eq!(fa, fb);
+            assert!(fa > 0, "outage profile should fire over 500 rounds");
+            assert!((0.0..=1.0 + 1e-9).contains(&a.fairness), "{a:?}");
+            assert!((0.0..=1.0).contains(&a.starvation), "{a:?}");
+            // Losing capacity can only saturate more rounds, never fewer.
+            assert!(a.saturated_rounds >= plain.saturated_rounds, "{a:?} vs {plain:?}");
         }
     }
 

@@ -16,6 +16,7 @@
 use crate::mesh::{MeshConfig, MeshNetwork, NodeState};
 use crate::volunteer::{VolunteerPool, VolunteerRegime};
 use crate::Result;
+use humnet_resilience::{FaultHook, FaultKind, NoFaults};
 use humnet_stats::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -89,6 +90,15 @@ impl SustainabilitySim {
 
     /// Run to completion.
     pub fn run(&self) -> Result<SustainabilityOutcome> {
+        self.run_with_faults(&mut NoFaults)
+    }
+
+    /// Run to completion under a fault hook. Each day the hook is asked
+    /// about [`FaultKind::VolunteerDropout`] (today's volunteer availability
+    /// is scaled down by the severity) and [`FaultKind::LinkOutage`] (extra
+    /// node failures proportional to the severity). Under [`NoFaults`] this
+    /// is bit-identical to [`SustainabilitySim::run`].
+    pub fn run_with_faults(&self, hook: &mut dyn FaultHook) -> Result<SustainabilityOutcome> {
         let mut rng = Rng::new(self.config.seed);
         let mut mesh = MeshNetwork::deploy(&self.config.mesh, &mut rng)?;
         let mut pool = VolunteerPool::for_regime(self.config.regime);
@@ -101,11 +111,24 @@ impl SustainabilitySim {
         let mut total_cost = 0.0;
         let mut rr_cursor = 0usize; // round-robin cursor for stewardship
         for day in 0..self.config.days {
+            // Fault injection perturbs the day's *probabilities* rather than
+            // adding RNG draws, so the base random stream stays aligned with
+            // the un-faulted run and `NoFaults` reproduces it exactly.
+            let day_failure_rate = match hook.inject(u64::from(day), FaultKind::LinkOutage) {
+                // A link outage burst: up to +35 percentage points of
+                // per-node failure probability at full severity.
+                Some(severity) => (self.config.daily_failure_rate + 0.35 * severity).min(1.0),
+                None => self.config.daily_failure_rate,
+            };
+            let availability_scale =
+                match hook.inject(u64::from(day), FaultKind::VolunteerDropout) {
+                    // A dropout spike: most hands stay home today.
+                    Some(severity) => 1.0 - severity,
+                    None => 1.0,
+                };
             // 1. Failures.
             for node in 0..n {
-                if mesh.state(node)? == NodeState::Up
-                    && rng.chance(self.config.daily_failure_rate)
-                {
+                if mesh.state(node)? == NodeState::Up && rng.chance(day_failure_rate) {
                     mesh.set_state(node, NodeState::Down)?;
                     failed_on[node] = Some(day);
                     failures += 1;
@@ -118,7 +141,7 @@ impl SustainabilitySim {
             let available: Vec<bool> = pool
                 .members
                 .iter()
-                .map(|v| rng.chance(v.effective_availability()))
+                .map(|v| rng.chance(v.effective_availability() * availability_scale))
                 .collect();
             // Dispatch order: FewCore concentrates on the most skilled;
             // stewardship rotates.
@@ -267,6 +290,32 @@ mod tests {
         let high = run(VolunteerRegime::DistributedStewardship, 0.08, 200, 5);
         assert!(low.uptime > high.uptime);
         assert!(high.failures > low.failures);
+    }
+
+    #[test]
+    fn faults_degrade_but_never_corrupt() {
+        use humnet_resilience::{FaultPlan, FaultProfile, PlanHook};
+        let cfg = SustainabilityConfig::default();
+        let sim = SustainabilitySim::new(cfg).unwrap();
+        let plain = sim.run().unwrap();
+        // NoFaults-equivalent plan reproduces the plain run bit-for-bit.
+        let mut none = PlanHook::new(FaultPlan::none());
+        assert_eq!(sim.run_with_faults(&mut none).unwrap(), plain);
+        assert_eq!(none.faults_injected(), 0);
+        // Chaos runs are deterministic and stay within valid bounds.
+        let chaos = |seed| {
+            let mut hook = PlanHook::new(FaultPlan::new(FaultProfile::Chaos, seed));
+            let out = sim.run_with_faults(&mut hook).unwrap();
+            (out, hook.faults_injected())
+        };
+        let (a, fa) = chaos(21);
+        let (b, fb) = chaos(21);
+        assert_eq!(a, b);
+        assert_eq!(fa, fb);
+        assert!(fa > 0);
+        assert!((0.0..=1.0).contains(&a.uptime));
+        assert!((0.0..=1.0).contains(&a.final_service));
+        assert!(a.failures >= plain.failures, "outages should add failures");
     }
 
     #[test]

@@ -248,7 +248,7 @@ mod tests {
     #[test]
     fn insights_bounded_by_pool() {
         let mut cfg = EthnographyConfig::default();
-        cfg.budget_days = 10_000 .min(3650);
+        cfg.budget_days = 3650;
         cfg.schedule = Schedule::Traditional;
         let out = FieldStudy::new(cfg).unwrap().run();
         assert!(out.insights <= 100.0);

@@ -9,7 +9,7 @@ use crate::audit::MethodsAuditor;
 use crate::ethnography::{EthnographyConfig, FieldStudy, MemoPractice, Schedule};
 use crate::par::ParProject;
 use crate::report::{Series, Table};
-use crate::Result;
+use crate::{upstream, Result};
 use humnet_agenda::{
     attention_by_class, attention_gini, coverage, AgendaConfig, AgendaSim, MethodRegime,
     ReviewConfig, VenueWeights,
@@ -23,6 +23,7 @@ use humnet_ixp::{
     CircumventionStrategy, MexicoConfig, MexicoScenario, TwoRegionConfig, TwoRegionScenario,
 };
 use humnet_qual::{SimulatedStudy, StudyConfig};
+use humnet_resilience::{FaultHook, FaultPlan, NoFaults, PlanHook};
 use humnet_stats::lorenz_curve;
 
 fn core_err(msg: &'static str) -> crate::CoreError {
@@ -43,18 +44,24 @@ pub struct F1Result {
 
 /// **F1** — concentration of research attention (§1's feedback loop).
 pub fn f1_attention(seed: u64) -> Result<F1Result> {
+    f1_attention_with_faults(seed, &mut NoFaults)
+}
+
+/// [`f1_attention`] under a fault hook: reviewer no-shows and volunteer
+/// dropout perturb the agenda simulation mid-run.
+pub fn f1_attention_with_faults(seed: u64, hook: &mut dyn FaultHook) -> Result<F1Result> {
     let mut cfg = AgendaConfig::default();
     cfg.regime = MethodRegime::DataDriven;
     cfg.seed = seed;
-    let mut sim = AgendaSim::new(cfg).map_err(|_| core_err("agenda config"))?;
-    sim.run().map_err(|_| core_err("agenda run"))?;
+    let mut sim = AgendaSim::new(cfg).map_err(upstream("agenda config"))?;
+    sim.run_with_faults(hook).map_err(upstream("agenda run"))?;
     let counts: Vec<f64> = sim
         .space
         .problems
         .iter()
         .map(|p| p.publications as f64)
         .collect();
-    let curve = lorenz_curve(&counts).map_err(|_| core_err("lorenz"))?;
+    let curve = lorenz_curve(&counts).map_err(upstream("lorenz"))?;
     let mut lorenz = Series::new(
         "F1: Lorenz curve of research attention (data-driven regime)",
         "population share",
@@ -63,7 +70,7 @@ pub fn f1_attention(seed: u64) -> Result<F1Result> {
     for (x, y) in curve {
         lorenz.push(x, y);
     }
-    let gini = attention_gini(&sim.space).map_err(|_| core_err("gini"))?;
+    let gini = attention_gini(&sim.space).map_err(upstream("gini"))?;
     let mut by_class = Table::new(
         "F1: publications by stakeholder class",
         &["class", "publications", "marginalized"],
@@ -99,6 +106,16 @@ pub struct T1Row {
 
 /// **T1** — method-regime comparison over several seeds.
 pub fn t1_regimes(seeds: &[u64]) -> Result<(Vec<T1Row>, Table)> {
+    t1_regimes_with_faults(seeds, &mut NoFaults)
+}
+
+/// [`t1_regimes`] under a fault hook. Fault draws are pure per
+/// `(step, kind)`, so every regime faces the identical churn schedule and
+/// the cross-regime comparison stays fair.
+pub fn t1_regimes_with_faults(
+    seeds: &[u64],
+    hook: &mut dyn FaultHook,
+) -> Result<(Vec<T1Row>, Table)> {
     if seeds.is_empty() {
         return Err(crate::CoreError::EmptyInput);
     }
@@ -112,11 +129,11 @@ pub fn t1_regimes(seeds: &[u64]) -> Result<(Vec<T1Row>, Table)> {
             let mut cfg = AgendaConfig::default();
             cfg.regime = regime;
             cfg.seed = seed;
-            let mut sim = AgendaSim::new(cfg).map_err(|_| core_err("agenda config"))?;
-            sim.run().map_err(|_| core_err("agenda run"))?;
-            marg += coverage(&sim.space, true).map_err(|_| core_err("coverage"))?;
-            dom += coverage(&sim.space, false).map_err(|_| core_err("coverage"))?;
-            gini += attention_gini(&sim.space).map_err(|_| core_err("gini"))?;
+            let mut sim = AgendaSim::new(cfg).map_err(upstream("agenda config"))?;
+            sim.run_with_faults(hook).map_err(upstream("agenda run"))?;
+            marg += coverage(&sim.space, true).map_err(upstream("coverage"))?;
+            dom += coverage(&sim.space, false).map_err(upstream("coverage"))?;
+            gini += attention_gini(&sim.space).map_err(upstream("gini"))?;
             pubs += sim.history().last().map(|s| s.publications as f64).unwrap_or(0.0);
         }
         let n = seeds.len() as f64;
@@ -153,7 +170,7 @@ pub fn t1_regimes(seeds: &[u64]) -> Result<(Vec<T1Row>, Table)> {
 /// **F2** — positionality-statement prevalence by venue kind and year.
 pub fn f2_positionality(seed: u64) -> Result<(Table, Vec<Series>)> {
     let cfg = CorpusConfig::default();
-    let corpus = cfg.generate(seed).map_err(|_| core_err("corpus generate"))?;
+    let corpus = cfg.generate(seed).map_err(upstream("corpus generate"))?;
     let report = MethodsAuditor::new().audit(&corpus)?;
     let mut table = Table::new(
         "F2: positionality prevalence by venue kind",
@@ -189,11 +206,16 @@ pub fn f2_positionality(seed: u64) -> Result<(Table, Vec<Series>)> {
 
 /// **T2** — inter-rater reliability vs codebook refinement round.
 pub fn t2_irr(seed: u64, rounds: u32) -> Result<Table> {
+    t2_irr_with_faults(seed, rounds, &mut NoFaults)
+}
+
+/// [`t2_irr`] under a fault hook: coder attrition degrades coding rounds.
+pub fn t2_irr_with_faults(seed: u64, rounds: u32, hook: &mut dyn FaultHook) -> Result<Table> {
     let mut study =
-        SimulatedStudy::new(StudyConfig::default(), seed).map_err(|_| core_err("study config"))?;
+        SimulatedStudy::new(StudyConfig::default(), seed).map_err(upstream("study config"))?;
     let traj = study
-        .reliability_trajectory(rounds)
-        .map_err(|_| core_err("trajectory"))?;
+        .reliability_trajectory_with_faults(rounds, hook)
+        .map_err(upstream("trajectory"))?;
     let mut table = Table::new(
         "T2: inter-rater reliability vs codebook refinement",
         &["round", "percent agreement", "fleiss kappa", "krippendorff alpha"],
@@ -211,6 +233,15 @@ pub fn t2_irr(seed: u64, rounds: u32) -> Result<Table> {
 
 /// **F3** — mandatory-peering enforcement sweep, complied vs circumvented.
 pub fn f3_telmex(points: usize) -> Result<(Series, Series, Table)> {
+    f3_telmex_with_faults(points, &mut NoFaults)
+}
+
+/// [`f3_telmex`] under a fault hook: IXP outages leave exchanges dark
+/// (no multilateral peering, no enforceable regulation).
+pub fn f3_telmex_with_faults(
+    points: usize,
+    hook: &mut dyn FaultHook,
+) -> Result<(Series, Series, Table)> {
     if points < 2 {
         return Err(core_err("need >= 2 sweep points"));
     }
@@ -233,11 +264,11 @@ pub fn f3_telmex(points: usize) -> Result<(Series, Series, Table)> {
         let mut cfg = MexicoConfig::default();
         cfg.regulation.enforcement = e;
         cfg.strategy = CircumventionStrategy::ComplyFully;
-        let sc = MexicoScenario::run(&cfg).map_err(|_| core_err("mexico run"))?;
-        let share_c = sc.competitor_ixp_share().map_err(|_| core_err("share"))?;
+        let sc = MexicoScenario::run_with_faults(&cfg, hook).map_err(upstream("mexico run"))?;
+        let share_c = sc.competitor_ixp_share().map_err(upstream("share"))?;
         cfg.strategy = CircumventionStrategy::AsnSplitting;
-        let ss = MexicoScenario::run(&cfg).map_err(|_| core_err("mexico run"))?;
-        let share_s = ss.competitor_ixp_share().map_err(|_| core_err("share"))?;
+        let ss = MexicoScenario::run_with_faults(&cfg, hook).map_err(upstream("mexico run"))?;
+        let share_s = ss.competitor_ixp_share().map_err(upstream("share"))?;
         comply.push(e, share_c);
         split.push(e, share_s);
         table.row(&[
@@ -252,6 +283,14 @@ pub fn f3_telmex(points: usize) -> Result<(Series, Series, Table)> {
 
 /// **F4** — IXP gravity: foreign-exchange share vs local content presence.
 pub fn f4_gravity(points: usize) -> Result<(Series, Series)> {
+    f4_gravity_with_faults(points, &mut NoFaults)
+}
+
+/// [`f4_gravity`] under a fault hook: either region's exchange can go dark.
+pub fn f4_gravity_with_faults(
+    points: usize,
+    hook: &mut dyn FaultHook,
+) -> Result<(Series, Series)> {
     if points < 2 {
         return Err(core_err("need >= 2 sweep points"));
     }
@@ -269,15 +308,21 @@ pub fn f4_gravity(points: usize) -> Result<(Series, Series)> {
         let p = i as f64 / (points - 1) as f64;
         let mut cfg = TwoRegionConfig::default();
         cfg.content_presence_south = p;
-        let sc = TwoRegionScenario::run(&cfg).map_err(|_| core_err("two-region run"))?;
-        foreign.push(p, sc.foreign_exchange_share().map_err(|_| core_err("share"))?);
-        local.push(p, sc.local_exchange_share().map_err(|_| core_err("share"))?);
+        let sc = TwoRegionScenario::run_with_faults(&cfg, hook).map_err(upstream("two-region run"))?;
+        foreign.push(p, sc.foreign_exchange_share().map_err(upstream("share"))?);
+        local.push(p, sc.local_exchange_share().map_err(upstream("share"))?);
     }
     Ok((foreign, local))
 }
 
 /// **T3** — community-network sustainability by volunteer regime.
 pub fn t3_sustainability(seeds: &[u64]) -> Result<Table> {
+    t3_sustainability_with_faults(seeds, &mut NoFaults)
+}
+
+/// [`t3_sustainability`] under a fault hook: link outages spike the daily
+/// failure rate, volunteer dropout thins the repair pool.
+pub fn t3_sustainability_with_faults(seeds: &[u64], hook: &mut dyn FaultHook) -> Result<Table> {
     if seeds.is_empty() {
         return Err(crate::CoreError::EmptyInput);
     }
@@ -297,9 +342,9 @@ pub fn t3_sustainability(seeds: &[u64]) -> Result<Table> {
             cfg.daily_failure_rate = 0.05;
             cfg.seed = seed;
             let out = SustainabilitySim::new(cfg)
-                .map_err(|_| core_err("sustain config"))?
-                .run()
-                .map_err(|_| core_err("sustain run"))?;
+                .map_err(upstream("sustain config"))?
+                .run_with_faults(hook)
+                .map_err(upstream("sustain run"))?;
             uptime += out.uptime;
             if !out.mttr.is_nan() {
                 mttr += out.mttr;
@@ -326,14 +371,20 @@ pub fn t3_sustainability(seeds: &[u64]) -> Result<Table> {
 
 /// **F5** — common-pool congestion policies.
 pub fn f5_congestion(seed: u64) -> Result<Table> {
+    f5_congestion_with_faults(seed, &mut NoFaults)
+}
+
+/// [`f5_congestion`] under a fault hook: link outages shrink the shared
+/// backhaul pool; every policy faces the identical outage schedule.
+pub fn f5_congestion_with_faults(seed: u64, hook: &mut dyn FaultHook) -> Result<Table> {
     let mut cfg = CongestionConfig::default();
     cfg.seed = seed;
-    let sim = CongestionSim::new(cfg).map_err(|_| core_err("congestion config"))?;
+    let sim = CongestionSim::new(cfg).map_err(upstream("congestion config"))?;
     let mut table = Table::new(
         "F5: congestion-management policies (30 households, bursty demand)",
         &["policy", "fairness (backlogged)", "utilization", "modest-user starvation"],
     );
-    for out in sim.compare() {
+    for out in sim.compare_with_faults(hook) {
         table.row(&[
             out.policy.label().to_owned(),
             Table::f(out.fairness),
@@ -401,7 +452,7 @@ pub fn f6_patchwork() -> Result<Table> {
         let mut cfg = EthnographyConfig::default();
         cfg.schedule = schedule;
         cfg.memos = memos;
-        let out = FieldStudy::new(cfg).map_err(|_| core_err("ethnography config"))?.run();
+        let out = FieldStudy::new(cfg).map_err(upstream("ethnography config"))?.run();
         let memo_label = match memos {
             MemoPractice::None => "none".to_owned(),
             MemoPractice::Reflexive(k) => format!("reflexive {k:.1}"),
@@ -443,7 +494,7 @@ pub fn t5_gatekeeping(points: usize) -> Result<(Series, Series, Table)> {
             &ReviewConfig::default(),
             &VenueWeights::broadened(w),
         )
-        .map_err(|_| core_err("review run"))?;
+        .map_err(upstream("review run"))?;
         human.push(w, out.human_acceptance);
         systems.push(w, out.systems_acceptance);
         table.row(&[
@@ -478,7 +529,7 @@ pub fn f8_growth(points: usize) -> Result<(Series, Series, Table)> {
         let gamma = 3.0 * i as f64 / (points - 1) as f64;
         let mut cfg = humnet_ixp::GrowthConfig::default();
         cfg.gamma_region = gamma;
-        let out = humnet_ixp::simulate_growth(&cfg).map_err(|_| core_err("growth run"))?;
+        let out = humnet_ixp::simulate_growth(&cfg).map_err(upstream("growth run"))?;
         top.push(gamma, out.top_share);
         local.push(gamma, out.south_joined_local);
         table.row(&[
@@ -494,7 +545,7 @@ pub fn f8_growth(points: usize) -> Result<(Series, Series, Table)> {
 /// **F9** — method-adoption dynamics around a CFP intervention.
 pub fn f9_adoption() -> Result<(Series, Table)> {
     let cfg = humnet_agenda::AdoptionConfig::default();
-    let traj = humnet_agenda::simulate_adoption(&cfg).map_err(|_| core_err("adoption run"))?;
+    let traj = humnet_agenda::simulate_adoption(&cfg).map_err(upstream("adoption run"))?;
     let mut series = Series::new(
         "F9: human-centered share of the community (CFP broadened at round 15)",
         "round",
@@ -534,7 +585,7 @@ pub fn t6_diary(seed: u64) -> Result<Table> {
         let mut cfg = humnet_qual::DiaryConfig::default();
         cfg.probe_rate = probe_rate;
         let out =
-            humnet_qual::simulate_diary(&cfg, seed).map_err(|_| core_err("diary run"))?;
+            humnet_qual::simulate_diary(&cfg, seed).map_err(upstream("diary run"))?;
         table.row(&[
             label.to_owned(),
             Table::f(out.overall_compliance(&cfg)),
@@ -571,7 +622,7 @@ pub fn t7_economics(seeds: &[u64]) -> Result<Table> {
             cfg.seed = seed;
             cfg.income_sigma = 1.2;
             let out = humnet_community::simulate_economics(&cfg, policy)
-                .map_err(|_| core_err("economics run"))?;
+                .map_err(upstream("economics run"))?;
             if out.insolvent_at.is_some() {
                 insolvent += 1;
             }
@@ -595,7 +646,7 @@ pub fn t7_economics(seeds: &[u64]) -> Result<Table> {
 pub fn f7_audit(seed: u64) -> Result<Table> {
     let corpus = CorpusConfig::default()
         .generate(seed)
-        .map_err(|_| core_err("corpus generate"))?;
+        .map_err(upstream("corpus generate"))?;
     let report = MethodsAuditor::new().audit(&corpus)?;
     let mut table = Table::new(
         "F7: §5 recommendation uptake by venue kind",
@@ -624,6 +675,238 @@ pub fn f7_audit(seed: u64) -> Result<Table> {
         String::new(),
     ]);
     Ok(table)
+}
+
+/// Output of one registry-driven experiment run: the rendered tables and
+/// series, plus how many faults the plan injected while it ran.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRun {
+    /// Rendered tables/series, as the `experiments` binary prints them.
+    pub rendered: String,
+    /// Faults injected during the run (0 for fault-free experiments).
+    pub faults_injected: u64,
+}
+
+/// The sixteen experiments of `EXPERIMENTS.md`, as a first-class registry
+/// so the supervised runner (and anything else) can enumerate, parse and
+/// execute them uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ExperimentId {
+    F1,
+    T1,
+    F2,
+    T2,
+    F3,
+    F4,
+    T3,
+    F5,
+    T4,
+    F6,
+    T5,
+    F7,
+    F8,
+    F9,
+    T6,
+    T7,
+}
+
+impl ExperimentId {
+    /// Every experiment, in `EXPERIMENTS.md` order.
+    pub const ALL: [ExperimentId; 16] = [
+        ExperimentId::F1,
+        ExperimentId::T1,
+        ExperimentId::F2,
+        ExperimentId::T2,
+        ExperimentId::F3,
+        ExperimentId::F4,
+        ExperimentId::T3,
+        ExperimentId::F5,
+        ExperimentId::T4,
+        ExperimentId::F6,
+        ExperimentId::T5,
+        ExperimentId::F7,
+        ExperimentId::F8,
+        ExperimentId::F9,
+        ExperimentId::T6,
+        ExperimentId::T7,
+    ];
+
+    /// Short stable code, as accepted on the CLI (`f1`, `t3`, ...).
+    pub fn code(self) -> &'static str {
+        match self {
+            ExperimentId::F1 => "f1",
+            ExperimentId::T1 => "t1",
+            ExperimentId::F2 => "f2",
+            ExperimentId::T2 => "t2",
+            ExperimentId::F3 => "f3",
+            ExperimentId::F4 => "f4",
+            ExperimentId::T3 => "t3",
+            ExperimentId::F5 => "f5",
+            ExperimentId::T4 => "t4",
+            ExperimentId::F6 => "f6",
+            ExperimentId::T5 => "t5",
+            ExperimentId::F7 => "f7",
+            ExperimentId::F8 => "f8",
+            ExperimentId::F9 => "f9",
+            ExperimentId::T6 => "t6",
+            ExperimentId::T7 => "t7",
+        }
+    }
+
+    /// Human-readable title (the binary's banner line).
+    pub fn title(self) -> &'static str {
+        match self {
+            ExperimentId::F1 => "Lorenz curve of research attention (paper §1)",
+            ExperimentId::T1 => "method-regime comparison (paper §2, §5.1)",
+            ExperimentId::F2 => "positionality prevalence by venue (paper §4, §6.4)",
+            ExperimentId::T2 => "inter-rater reliability vs codebook refinement (paper §5.2)",
+            ExperimentId::F3 => "Telmex: mandatory peering vs ASN splitting (paper §3, [38])",
+            ExperimentId::F4 => "IXP gravity: Brazil vs Germany (paper §3, [39])",
+            ExperimentId::T3 => "community-network sustainability (paper §4, [23])",
+            ExperimentId::F5 => "common-pool congestion management (paper §4, [28])",
+            ExperimentId::T4 => "participation-ladder audit (paper §2, §5.1)",
+            ExperimentId::F6 => "patchwork vs traditional ethnography (paper §3, [17])",
+            ExperimentId::T5 => "venue gatekeeping of human-centered work (paper §6.3.2)",
+            ExperimentId::F7 => "§5 recommendation uptake audit",
+            ExperimentId::F8 => "IXP growth dynamics (paper §3, [39])",
+            ExperimentId::F9 => "method adoption around a CFP intervention (paper §6.4)",
+            ExperimentId::T6 => "diary studies and technology probes (paper §6.1, [7])",
+            ExperimentId::T7 => "cooperative economics by dues policy (paper §4)",
+        }
+    }
+
+    /// Subsystem family, the circuit-breaker granularity of the supervised
+    /// runner: experiments in a family share their main simulator crate.
+    pub fn family(self) -> &'static str {
+        match self {
+            ExperimentId::F1 | ExperimentId::T1 | ExperimentId::T5 | ExperimentId::F9 => "agenda",
+            ExperimentId::F2 | ExperimentId::F7 => "corpus",
+            ExperimentId::T2 | ExperimentId::T6 => "qual",
+            ExperimentId::F3 | ExperimentId::F4 | ExperimentId::F8 => "ixp",
+            ExperimentId::T3 | ExperimentId::F5 | ExperimentId::T7 => "community",
+            ExperimentId::T4 | ExperimentId::F6 => "practice",
+        }
+    }
+
+    /// Parse a CLI spelling (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        ExperimentId::ALL
+            .into_iter()
+            .find(|id| id.code().eq_ignore_ascii_case(s))
+    }
+
+    /// Whether this experiment has a fault-injection surface. The others
+    /// (closed-form audits and parameter sweeps without a long-running
+    /// simulator) run identically under every fault plan.
+    pub fn fault_capable(self) -> bool {
+        matches!(
+            self,
+            ExperimentId::F1
+                | ExperimentId::T1
+                | ExperimentId::T2
+                | ExperimentId::F3
+                | ExperimentId::F4
+                | ExperimentId::T3
+                | ExperimentId::F5
+        )
+    }
+
+    /// Run the experiment with its canonical parameters (the same the
+    /// `experiments` binary uses) under `plan`, rendering the output
+    /// exactly as the binary prints it.
+    pub fn run(self, plan: &FaultPlan) -> Result<ExperimentRun> {
+        let mut hook = PlanHook::new(*plan);
+        let mut out = String::new();
+        match self {
+            ExperimentId::F1 => {
+                let r = f1_attention_with_faults(42, &mut hook)?;
+                out.push_str(&r.lorenz.render());
+                out.push('\n');
+                out.push_str(&format!("attention gini = {:.3}\n\n", r.gini));
+                out.push_str(&r.by_class.render());
+            }
+            ExperimentId::T1 => {
+                let (_, table) = t1_regimes_with_faults(&[1, 2, 3, 4, 5], &mut hook)?;
+                out.push_str(&table.render());
+            }
+            ExperimentId::F2 => {
+                let (table, series) = f2_positionality(7)?;
+                out.push_str(&table.render());
+                for s in series {
+                    out.push('\n');
+                    out.push_str(&s.render());
+                }
+            }
+            ExperimentId::T2 => {
+                let table = t2_irr_with_faults(5, 6, &mut hook)?;
+                out.push_str(&table.render());
+            }
+            ExperimentId::F3 => {
+                let (comply, split, table) = f3_telmex_with_faults(11, &mut hook)?;
+                out.push_str(&comply.render());
+                out.push('\n');
+                out.push_str(&split.render());
+                out.push('\n');
+                out.push_str(&table.render());
+            }
+            ExperimentId::F4 => {
+                let (foreign, local) = f4_gravity_with_faults(11, &mut hook)?;
+                out.push_str(&foreign.render());
+                out.push('\n');
+                out.push_str(&local.render());
+            }
+            ExperimentId::T3 => {
+                let table = t3_sustainability_with_faults(&[1, 2, 3, 4, 5], &mut hook)?;
+                out.push_str(&table.render());
+            }
+            ExperimentId::F5 => {
+                let table = f5_congestion_with_faults(1, &mut hook)?;
+                out.push_str(&table.render());
+            }
+            ExperimentId::T4 => {
+                out.push_str(&t4_ladder()?.render());
+            }
+            ExperimentId::F6 => {
+                out.push_str(&f6_patchwork()?.render());
+            }
+            ExperimentId::T5 => {
+                let (human, systems, table) = t5_gatekeeping(6)?;
+                out.push_str(&human.render());
+                out.push('\n');
+                out.push_str(&systems.render());
+                out.push('\n');
+                out.push_str(&table.render());
+            }
+            ExperimentId::F7 => {
+                out.push_str(&f7_audit(3)?.render());
+            }
+            ExperimentId::F8 => {
+                let (top, local, table) = f8_growth(7)?;
+                out.push_str(&top.render());
+                out.push('\n');
+                out.push_str(&local.render());
+                out.push('\n');
+                out.push_str(&table.render());
+            }
+            ExperimentId::F9 => {
+                let (series, table) = f9_adoption()?;
+                out.push_str(&series.render());
+                out.push('\n');
+                out.push_str(&table.render());
+            }
+            ExperimentId::T6 => {
+                out.push_str(&t6_diary(5)?.render());
+            }
+            ExperimentId::T7 => {
+                out.push_str(&t7_economics(&[1, 2, 3, 4, 5])?.render());
+            }
+        }
+        Ok(ExperimentRun {
+            rendered: out,
+            faults_injected: hook.faults_injected(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -763,6 +1046,44 @@ mod tests {
         assert!(get("income-scaled", 3) >= get("flat", 3));
         // Donations carry the highest insolvency risk.
         assert!(get("donation", 1) >= get("income-scaled", 1));
+    }
+
+    #[test]
+    fn registry_codes_parse_and_families_cover() {
+        assert_eq!(ExperimentId::ALL.len(), 16);
+        for id in ExperimentId::ALL {
+            assert_eq!(ExperimentId::parse(id.code()), Some(id));
+            assert_eq!(ExperimentId::parse(&id.code().to_uppercase()), Some(id));
+            assert!(!id.family().is_empty());
+        }
+        assert_eq!(ExperimentId::parse("zz"), None);
+    }
+
+    #[test]
+    fn registry_run_matches_plain_functions_without_faults() {
+        let run = ExperimentId::F5.run(&FaultPlan::none()).unwrap();
+        assert_eq!(run.faults_injected, 0);
+        assert_eq!(run.rendered, f5_congestion(1).unwrap().render());
+    }
+
+    #[test]
+    fn registry_chaos_run_reports_faults() {
+        use humnet_resilience::FaultProfile;
+        let plan = FaultPlan::new(FaultProfile::Chaos, 9);
+        let run = ExperimentId::T3.run(&plan).unwrap();
+        assert!(run.faults_injected > 0);
+        // Same plan, same output: the registry is deterministic.
+        let again = ExperimentId::T3.run(&plan).unwrap();
+        assert_eq!(run, again);
+    }
+
+    #[test]
+    fn upstream_errors_preserve_the_source_chain() {
+        let err = t1_regimes(&[]).unwrap_err();
+        assert_eq!(err, crate::CoreError::EmptyInput);
+        // A domain-crate failure surfaces with its source reachable.
+        let err = f3_telmex(1).unwrap_err();
+        assert!(matches!(err, crate::CoreError::InvalidParameter(_)));
     }
 
     #[test]

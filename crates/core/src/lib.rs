@@ -37,7 +37,7 @@ pub use reflexivity::{DisclosureAudit, ProjectRole, RoleAssignment};
 pub use report::{Series, Table};
 
 /// Errors produced by the core crate.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub enum CoreError {
     /// A parameter was outside its valid domain.
     InvalidParameter(&'static str),
@@ -45,7 +45,58 @@ pub enum CoreError {
     EmptyInput,
     /// A referenced entity was missing.
     NotFound(&'static str),
+    /// A failure in one of the domain crates, with the original error
+    /// preserved so `std::error::Error::source()` walks back to it.
+    Upstream {
+        /// Which experiment stage or subsystem the failure surfaced in.
+        stage: &'static str,
+        /// The originating crate error, kept alive behind an `Arc` so
+        /// `CoreError` stays cheap to clone.
+        source: std::sync::Arc<dyn std::error::Error + Send + Sync + 'static>,
+    },
 }
+
+impl CoreError {
+    /// Wrap an upstream crate error, tagging it with the stage it broke.
+    pub fn upstream<E>(stage: &'static str, source: E) -> Self
+    where
+        E: std::error::Error + Send + Sync + 'static,
+    {
+        CoreError::Upstream {
+            stage,
+            source: std::sync::Arc::new(source),
+        }
+    }
+}
+
+/// Adapter for `map_err`: `result.map_err(upstream("f5 congestion"))?`
+/// keeps the originating error reachable through `source()` instead of
+/// flattening it to a static string.
+pub fn upstream<E>(stage: &'static str) -> impl FnOnce(E) -> CoreError
+where
+    E: std::error::Error + Send + Sync + 'static,
+{
+    move |e| CoreError::upstream(stage, e)
+}
+
+impl PartialEq for CoreError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (CoreError::InvalidParameter(a), CoreError::InvalidParameter(b)) => a == b,
+            (CoreError::EmptyInput, CoreError::EmptyInput) => true,
+            (CoreError::NotFound(a), CoreError::NotFound(b)) => a == b,
+            // Source errors are type-erased; compare by stage and message,
+            // which is what callers observe.
+            (
+                CoreError::Upstream { stage: sa, source: ea },
+                CoreError::Upstream { stage: sb, source: eb },
+            ) => sa == sb && ea.to_string() == eb.to_string(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for CoreError {}
 
 impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -53,11 +104,24 @@ impl std::fmt::Display for CoreError {
             CoreError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
             CoreError::EmptyInput => write!(f, "input is empty"),
             CoreError::NotFound(what) => write!(f, "not found: {what}"),
+            CoreError::Upstream { stage, source } => {
+                write!(f, "{stage}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Upstream { source, .. } => {
+                // Re-borrow to drop the auto-trait bounds the field carries.
+                Some(source.as_ref() as &(dyn std::error::Error + 'static))
+            }
+            _ => None,
+        }
+    }
+}
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn modularity_of_single_community_is_zero() {
         let g = two_cliques();
-        let q = modularity(&g, &Partition::from_labels(&vec![0; 10])).unwrap();
+        let q = modularity(&g, &Partition::from_labels(&[0; 10])).unwrap();
         assert!(q.abs() < 1e-12, "q = {q}");
     }
 

@@ -112,7 +112,7 @@ pub fn barabasi_albert(n: usize, m: usize, rng: &mut Rng) -> Result<Graph> {
 /// to its `k` nearest neighbours (`k` even, `k < n`), with each edge rewired
 /// to a uniformly random endpoint with probability `beta`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut Rng) -> Result<Graph> {
-    if k % 2 != 0 || k == 0 {
+    if !k.is_multiple_of(2) || k == 0 {
         return Err(GraphError::InvalidParameter("watts_strogatz needs even k >= 2"));
     }
     if k >= n {

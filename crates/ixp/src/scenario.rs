@@ -6,6 +6,7 @@ use crate::routing::RoutingTable;
 use crate::topology::{AsKind, AsTopology, RegionTag};
 use crate::traffic::{total_transit_cost, FlowAssignment, TrafficConfig, TrafficMatrix};
 use crate::{IxpError, Result};
+use humnet_resilience::{FaultHook, FaultKind, NoFaults};
 use humnet_stats::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -58,6 +59,16 @@ pub struct MexicoScenario {
 impl MexicoScenario {
     /// Build and route the scenario.
     pub fn run(config: &MexicoConfig) -> Result<Self> {
+        Self::run_with_faults(config, &mut NoFaults)
+    }
+
+    /// Build and route the scenario under a fault hook. The hook is asked
+    /// about [`FaultKind::IxpOutage`] for the national exchange (step = IXP
+    /// id): a dark exchange means no multilateral peering and no enforceable
+    /// mandatory-peering regulation, so competitor traffic falls back to the
+    /// incumbent's paid transit. Under [`NoFaults`] this is identical to
+    /// [`MexicoScenario::run`].
+    pub fn run_with_faults(config: &MexicoConfig, hook: &mut dyn FaultHook) -> Result<Self> {
         if config.competitors == 0 || config.incumbent_customers == 0 {
             return Err(IxpError::InvalidParameter(
                 "need at least one competitor and one incumbent customer",
@@ -83,8 +94,13 @@ impl MexicoScenario {
             t.join_ixp(c, ixp)?;
             competitors.push(c);
         }
-        t.multilateral_peering(ixp)?;
-        apply_regulation(&mut t, incumbent, ixp, config.regulation, config.strategy)?;
+        // An exchange outage takes the whole switching fabric down: no
+        // multilateral peering and nothing for the regulator to enforce.
+        // Transit links stay up, so routing degrades instead of failing.
+        if hook.inject(ixp as u64, FaultKind::IxpOutage).is_none() {
+            t.multilateral_peering(ixp)?;
+            apply_regulation(&mut t, incumbent, ixp, config.regulation, config.strategy)?;
+        }
         let routes = RoutingTable::compute(&t)?;
         let matrix = TrafficMatrix::gravity(
             &t,
@@ -190,6 +206,15 @@ pub struct TwoRegionScenario {
 impl TwoRegionScenario {
     /// Build and route the scenario.
     pub fn run(config: &TwoRegionConfig) -> Result<Self> {
+        Self::run_with_faults(config, &mut NoFaults)
+    }
+
+    /// Build and route the scenario under a fault hook. The hook is asked
+    /// about [`FaultKind::IxpOutage`] once per exchange (step = IXP id); a
+    /// dark exchange loses its multilateral peering mesh and its traffic
+    /// falls back to paid transit. Under [`NoFaults`] this is identical to
+    /// [`TwoRegionScenario::run`].
+    pub fn run_with_faults(config: &TwoRegionConfig, hook: &mut dyn FaultHook) -> Result<Self> {
         if config.south_isps == 0 || config.content_providers == 0 {
             return Err(IxpError::InvalidParameter(
                 "need at least one south ISP and one content provider",
@@ -236,8 +261,11 @@ impl TwoRegionScenario {
                 t.join_ixp(c, south_ixp)?;
             }
         }
-        t.multilateral_peering(south_ixp)?;
-        t.multilateral_peering(north_ixp)?;
+        for exchange in [south_ixp, north_ixp] {
+            if hook.inject(exchange as u64, FaultKind::IxpOutage).is_none() {
+                t.multilateral_peering(exchange)?;
+            }
+        }
         let routes = RoutingTable::compute(&t)?;
         let matrix = TrafficMatrix::gravity(&t, &TrafficConfig::default())?;
         let (flows, _unserved) = matrix.assign(&routes);
@@ -392,6 +420,44 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn ixp_outage_degrades_to_transit() {
+        use humnet_resilience::{FaultHook, FaultKind};
+        /// Hook that takes every exchange dark.
+        struct AllIxpsDark(u64);
+        impl FaultHook for AllIxpsDark {
+            fn inject(&mut self, _step: u64, kind: FaultKind) -> Option<f64> {
+                (kind == FaultKind::IxpOutage).then(|| {
+                    self.0 += 1;
+                    1.0
+                })
+            }
+            fn faults_injected(&self) -> u64 {
+                self.0
+            }
+        }
+        let cfg = MexicoConfig::default();
+        let mut hook = AllIxpsDark(0);
+        let dark = MexicoScenario::run_with_faults(&cfg, &mut hook).unwrap();
+        assert_eq!(hook.faults_injected(), 1);
+        // Nothing crosses a dark exchange; everything rides paid transit.
+        assert_eq!(dark.competitor_ixp_share().unwrap(), 0.0);
+        let lit = MexicoScenario::run(&cfg).unwrap();
+        assert!(dark.transit_cost() >= lit.transit_cost());
+
+        let two_cfg = TwoRegionConfig::default();
+        let mut hook = AllIxpsDark(0);
+        let dark = TwoRegionScenario::run_with_faults(&two_cfg, &mut hook).unwrap();
+        assert_eq!(hook.faults_injected(), 2);
+        assert_eq!(dark.foreign_exchange_share().unwrap(), 0.0);
+        assert_eq!(dark.local_exchange_share().unwrap(), 0.0);
+        // A NoFaults-equivalent hook reproduces the plain build.
+        let plain = TwoRegionScenario::run(&two_cfg).unwrap();
+        let mut none = humnet_resilience::PlanHook::new(humnet_resilience::FaultPlan::none());
+        let hooked = TwoRegionScenario::run_with_faults(&two_cfg, &mut none).unwrap();
+        assert_eq!(plain.flows, hooked.flows);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::reliability::{fleiss_kappa, krippendorff_alpha, percent_agreement};
 use crate::{QualError, Result};
+use humnet_resilience::{FaultHook, FaultKind, NoFaults};
 use humnet_stats::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -152,18 +153,40 @@ impl SimulatedStudy {
     /// Simulate one coding pass at the given refinement round. Returns one
     /// label vector per coder (`None` = skipped unit).
     pub fn code_round(&mut self, round: u32) -> Vec<Vec<Option<usize>>> {
+        self.code_round_with_faults(round, &mut NoFaults)
+    }
+
+    /// Simulate one coding pass under a fault hook. For each coder the hook
+    /// is asked about [`FaultKind::CoderAttrition`]: when it fires, that
+    /// coder is mostly absent this round — their skip rate is raised toward
+    /// 1 in proportion to the severity. Probabilities change but the draw
+    /// *pattern* does not, so [`NoFaults`] reproduces
+    /// [`SimulatedStudy::code_round`] exactly.
+    pub fn code_round_with_faults(
+        &mut self,
+        round: u32,
+        hook: &mut dyn FaultHook,
+    ) -> Vec<Vec<Option<usize>>> {
         let tau = self.config.tau;
         let codes = self.config.codes;
         let truth = self.ground_truth.clone();
         let profiles = self.config.coders.clone();
+        let coder_count = profiles.len() as u64;
         profiles
             .iter()
-            .map(|coder| {
+            .enumerate()
+            .map(|(coder_idx, coder)| {
                 let acc = coder.accuracy_at(round, tau);
+                // One attrition decision per (round, coder) pair.
+                let step = u64::from(round) * coder_count + coder_idx as u64;
+                let skip_rate = match hook.inject(step, FaultKind::CoderAttrition) {
+                    Some(severity) => coder.skip_rate + severity * (1.0 - coder.skip_rate),
+                    None => coder.skip_rate,
+                };
                 truth
                     .iter()
                     .map(|&t| {
-                        if self.rng.chance(coder.skip_rate) {
+                        if self.rng.chance(skip_rate) {
                             None
                         } else if self.rng.chance(acc) {
                             Some(t)
@@ -183,9 +206,19 @@ impl SimulatedStudy {
 
     /// Run `rounds` refinement rounds, returning the reliability trajectory.
     pub fn reliability_trajectory(&mut self, rounds: u32) -> Result<Vec<RoundReliability>> {
+        self.reliability_trajectory_with_faults(rounds, &mut NoFaults)
+    }
+
+    /// Run `rounds` refinement rounds under a fault hook (see
+    /// [`SimulatedStudy::code_round_with_faults`] for the fault semantics).
+    pub fn reliability_trajectory_with_faults(
+        &mut self,
+        rounds: u32,
+        hook: &mut dyn FaultHook,
+    ) -> Result<Vec<RoundReliability>> {
         let mut out = Vec::with_capacity(rounds as usize + 1);
         for round in 0..=rounds {
-            let labels = self.code_round(round);
+            let labels = self.code_round_with_faults(round, hook);
             // Mean pairwise percent agreement on mutually-labelled units.
             let mut pa_sum = 0.0;
             let mut pa_n = 0;
@@ -309,6 +342,36 @@ mod tests {
         assert!(last.percent_agreement > first.percent_agreement);
         // Saturates below perfection.
         assert!(last.krippendorff_alpha < 0.99);
+    }
+
+    #[test]
+    fn attrition_degrades_but_never_panics() {
+        use humnet_resilience::{FaultPlan, FaultProfile, PlanHook};
+        // NoFaults-equivalent plan reproduces the plain trajectory exactly.
+        let mut plain = SimulatedStudy::new(StudyConfig::default(), 42).unwrap();
+        let baseline = plain.reliability_trajectory(4).unwrap();
+        let mut hooked = SimulatedStudy::new(StudyConfig::default(), 42).unwrap();
+        let mut none = PlanHook::new(FaultPlan::none());
+        assert_eq!(
+            hooked.reliability_trajectory_with_faults(4, &mut none).unwrap(),
+            baseline
+        );
+        // Chaos attrition: deterministic, metrics stay in their ranges.
+        let chaos = |seed| {
+            let mut s = SimulatedStudy::new(StudyConfig::default(), 42).unwrap();
+            let mut hook = PlanHook::new(FaultPlan::new(FaultProfile::Chaos, seed));
+            let traj = s.reliability_trajectory_with_faults(4, &mut hook).unwrap();
+            (traj, hook.faults_injected())
+        };
+        let (a, fa) = chaos(8);
+        let (b, fb) = chaos(8);
+        assert_eq!(a, b);
+        assert_eq!(fa, fb);
+        assert!(fa > 0, "chaos should hit at least one coder-round");
+        for r in &a {
+            assert!((0.0..=1.0).contains(&r.percent_agreement), "{r:?}");
+            assert!(r.krippendorff_alpha <= 1.0 + 1e-9, "{r:?}");
+        }
     }
 
     #[test]

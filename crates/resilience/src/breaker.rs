@@ -1,0 +1,101 @@
+//! Per-family circuit breaker.
+//!
+//! Experiments are grouped into families (the simulator subsystem they
+//! exercise). When a family keeps failing, running its remaining
+//! experiments mostly wastes the wall-clock deadline budget on a subsystem
+//! that is already known-broken — the breaker *opens* after a threshold of
+//! failures and the runner short-circuits the rest of the family to
+//! `Failed` without executing them. A success while the breaker is still
+//! closed resets the count (failures must be consecutive to trip it).
+
+use std::collections::BTreeMap;
+
+/// Tracks consecutive failures per family and opens past a threshold.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    consecutive: BTreeMap<String, u32>,
+}
+
+impl CircuitBreaker {
+    /// Breaker opening after `threshold` consecutive failures in a family.
+    /// A threshold of 0 disables the breaker entirely.
+    pub fn new(threshold: u32) -> Self {
+        CircuitBreaker {
+            threshold,
+            consecutive: BTreeMap::new(),
+        }
+    }
+
+    /// Whether the family's breaker is open (short-circuit its experiments).
+    pub fn is_open(&self, family: &str) -> bool {
+        self.threshold > 0
+            && self
+                .consecutive
+                .get(family)
+                .is_some_and(|&n| n >= self.threshold)
+    }
+
+    /// Record a success: closes the family's breaker again.
+    pub fn record_success(&mut self, family: &str) {
+        self.consecutive.remove(family);
+    }
+
+    /// Record a failure; returns whether the breaker is now open.
+    pub fn record_failure(&mut self, family: &str) -> bool {
+        let n = self.consecutive.entry(family.to_owned()).or_insert(0);
+        *n += 1;
+        self.is_open(family)
+    }
+
+    /// Families whose breaker is currently open, in sorted order.
+    pub fn open_families(&self) -> Vec<&str> {
+        self.consecutive
+            .iter()
+            .filter(|&(_, &n)| self.threshold > 0 && n >= self.threshold)
+            .map(|(f, _)| f.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(2);
+        assert!(!b.is_open("ixp"));
+        assert!(!b.record_failure("ixp"));
+        assert!(b.record_failure("ixp"));
+        assert!(b.is_open("ixp"));
+        assert!(!b.is_open("agenda"), "families are independent");
+    }
+
+    #[test]
+    fn success_resets_the_count() {
+        let mut b = CircuitBreaker::new(2);
+        b.record_failure("qual");
+        b.record_success("qual");
+        assert!(!b.record_failure("qual"), "count restarted after success");
+    }
+
+    #[test]
+    fn zero_threshold_disables() {
+        let mut b = CircuitBreaker::new(0);
+        for _ in 0..10 {
+            b.record_failure("x");
+        }
+        assert!(!b.is_open("x"));
+        assert!(b.open_families().is_empty());
+    }
+
+    #[test]
+    fn open_families_lists_only_open() {
+        let mut b = CircuitBreaker::new(1);
+        b.record_failure("b-family");
+        b.record_failure("a-family");
+        b.record_success("c-family");
+        assert_eq!(b.open_families(), vec!["a-family", "b-family"]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic fault injection and supervised experiment execution.
+//!
+//! Three layers:
+//!
+//! 1. [`fault`] — a reproducible fault model: [`FaultPlan`] decides purely
+//!    from `(seed, step, kind)` whether a fault fires, and simulators accept
+//!    a [`FaultHook`] injection point (volunteer dropout, link/IXP outages,
+//!    reviewer no-shows, coder attrition).
+//! 2. [`runner`] — a [`Supervisor`] executing experiments under
+//!    `catch_unwind` panic isolation, a watchdog deadline, bounded retry
+//!    with deterministic-jitter backoff ([`backoff`]), and a per-family
+//!    circuit breaker ([`breaker`]).
+//! 3. [`report`] — [`RunReport`]: per-experiment status rows with a
+//!    byte-reproducible canonical rendering and a process exit code.
+
+pub mod backoff;
+pub mod breaker;
+pub mod fault;
+pub mod report;
+pub mod runner;
+
+pub use backoff::Backoff;
+pub use breaker::CircuitBreaker;
+pub use fault::{FaultHook, FaultKind, FaultPlan, FaultProfile, NoFaults, PlanHook};
+pub use report::{ExperimentReport, ExperimentStatus, RunReport};
+pub use runner::{
+    render_chain, ExperimentSpec, Job, JobError, JobOutput, RunnerConfig, SupervisedRun, Supervisor,
+};

@@ -1,0 +1,237 @@
+//! Per-experiment outcome records and the aggregated [`RunReport`].
+
+use std::fmt;
+
+/// Outcome of one supervised experiment, worst-last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ExperimentStatus {
+    /// Completed first try with no faults injected.
+    Ok,
+    /// Completed first try, but the fault plan fired at least once.
+    Degraded,
+    /// Completed only after one or more retries.
+    Retried,
+    /// Exceeded the wall-clock deadline on every attempt.
+    TimedOut,
+    /// Returned an error (or panicked, or hit an open breaker) on every attempt.
+    Failed,
+}
+
+impl ExperimentStatus {
+    /// Fixed-width label for the report table.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExperimentStatus::Ok => "ok",
+            ExperimentStatus::Degraded => "degraded",
+            ExperimentStatus::Retried => "retried",
+            ExperimentStatus::TimedOut => "timed-out",
+            ExperimentStatus::Failed => "failed",
+        }
+    }
+
+    /// Whether the experiment ultimately produced a result.
+    pub fn completed(self) -> bool {
+        !matches!(self, ExperimentStatus::TimedOut | ExperimentStatus::Failed)
+    }
+}
+
+impl fmt::Display for ExperimentStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad` (not `write_str`) so `{:<9}` table alignment works.
+        f.pad(self.label())
+    }
+}
+
+/// One row of the run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentReport {
+    /// Short experiment code (e.g. `fig1`, `tab3`).
+    pub code: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Family / subsystem the experiment belongs to (breaker granularity).
+    pub family: String,
+    /// Final status after all attempts.
+    pub status: ExperimentStatus,
+    /// Attempts actually executed (0 when short-circuited by the breaker).
+    pub attempts: u32,
+    /// Faults the plan injected during the successful attempt.
+    pub faults_injected: u64,
+    /// Error message for `Failed`/`TimedOut`, empty otherwise.
+    pub message: String,
+    /// Wall-clock milliseconds across all attempts (excluded from the
+    /// canonical rendering — it is not reproducible).
+    pub duration_ms: u64,
+}
+
+/// Aggregated outcome of a supervised run over all experiments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Per-experiment rows, in execution order.
+    pub experiments: Vec<ExperimentReport>,
+    /// Fault profile label the run was configured with.
+    pub profile: String,
+    /// Seed the fault plan and jitter streams were derived from.
+    pub seed: u64,
+}
+
+impl RunReport {
+    /// Worst status across all experiments (`Ok` when the report is empty).
+    pub fn worst(&self) -> ExperimentStatus {
+        self.experiments
+            .iter()
+            .map(|e| e.status)
+            .max()
+            .unwrap_or(ExperimentStatus::Ok)
+    }
+
+    /// Process exit code the run should terminate with:
+    /// `Failed` → 1, `TimedOut` → 2, anything completed → 0.
+    pub fn exit_code(&self) -> i32 {
+        match self.worst() {
+            ExperimentStatus::Failed => 1,
+            ExperimentStatus::TimedOut => 2,
+            _ => 0,
+        }
+    }
+
+    /// Count of experiments with the given status.
+    pub fn count(&self, status: ExperimentStatus) -> usize {
+        self.experiments.iter().filter(|e| e.status == status).count()
+    }
+
+    /// Total faults injected across all experiments.
+    pub fn total_faults(&self) -> u64 {
+        self.experiments.iter().map(|e| e.faults_injected).sum()
+    }
+
+    /// One-line summary: `16 experiments: 12 ok, 3 degraded, 1 failed`.
+    pub fn summary_line(&self) -> String {
+        let mut parts = Vec::new();
+        for status in [
+            ExperimentStatus::Ok,
+            ExperimentStatus::Degraded,
+            ExperimentStatus::Retried,
+            ExperimentStatus::TimedOut,
+            ExperimentStatus::Failed,
+        ] {
+            let n = self.count(status);
+            if n > 0 {
+                parts.push(format!("{n} {}", status.label()));
+            }
+        }
+        if parts.is_empty() {
+            parts.push("nothing run".to_owned());
+        }
+        format!("{} experiments: {}", self.experiments.len(), parts.join(", "))
+    }
+
+    /// Human-readable table including wall-clock durations.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run report  profile={}  seed={}\n",
+            self.profile, self.seed
+        ));
+        out.push_str(&self.render_rows(true));
+        out.push_str(&self.summary_line());
+        out.push('\n');
+        out
+    }
+
+    /// Byte-reproducible rendering: identical configuration (seed, profile,
+    /// retries, deadline) must yield identical canonical text, so wall-clock
+    /// durations are excluded.
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "run report  profile={}  seed={}\n",
+            self.profile, self.seed
+        ));
+        out.push_str(&self.render_rows(false));
+        out.push_str(&self.summary_line());
+        out.push('\n');
+        out
+    }
+
+    fn render_rows(&self, with_durations: bool) -> String {
+        let mut out = String::new();
+        for e in &self.experiments {
+            out.push_str(&format!(
+                "  {:<6} {:<12} {:<9} attempts={} faults={:<5}",
+                e.code, e.family, e.status, e.attempts, e.faults_injected
+            ));
+            if with_durations {
+                out.push_str(&format!(" {:>6}ms", e.duration_ms));
+            }
+            out.push_str(&format!("  {}", e.title));
+            if !e.message.is_empty() {
+                out.push_str(&format!("  [{}]", e.message));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(code: &str, status: ExperimentStatus) -> ExperimentReport {
+        ExperimentReport {
+            code: code.to_owned(),
+            title: format!("experiment {code}"),
+            family: "agenda".to_owned(),
+            status,
+            attempts: 1,
+            faults_injected: 0,
+            message: String::new(),
+            duration_ms: 12,
+        }
+    }
+
+    #[test]
+    fn worst_and_exit_code_track_severity() {
+        let mut r = RunReport::default();
+        assert_eq!(r.worst(), ExperimentStatus::Ok);
+        assert_eq!(r.exit_code(), 0);
+        r.experiments.push(row("f1", ExperimentStatus::Degraded));
+        r.experiments.push(row("f2", ExperimentStatus::Retried));
+        assert_eq!(r.worst(), ExperimentStatus::Retried);
+        assert_eq!(r.exit_code(), 0);
+        r.experiments.push(row("f3", ExperimentStatus::TimedOut));
+        assert_eq!(r.exit_code(), 2);
+        r.experiments.push(row("f4", ExperimentStatus::Failed));
+        assert_eq!(r.worst(), ExperimentStatus::Failed);
+        assert_eq!(r.exit_code(), 1);
+    }
+
+    #[test]
+    fn canonical_excludes_durations() {
+        let mut a = RunReport::default();
+        a.experiments.push(row("f1", ExperimentStatus::Ok));
+        let mut b = a.clone();
+        b.experiments[0].duration_ms = 99_999;
+        assert_eq!(a.canonical(), b.canonical());
+        assert_ne!(a.render(), b.render());
+    }
+
+    #[test]
+    fn summary_line_lists_only_present_statuses() {
+        let mut r = RunReport::default();
+        r.experiments.push(row("f1", ExperimentStatus::Ok));
+        r.experiments.push(row("f2", ExperimentStatus::Ok));
+        r.experiments.push(row("f3", ExperimentStatus::Failed));
+        assert_eq!(r.summary_line(), "3 experiments: 2 ok, 1 failed");
+    }
+
+    #[test]
+    fn completed_partition() {
+        assert!(ExperimentStatus::Ok.completed());
+        assert!(ExperimentStatus::Degraded.completed());
+        assert!(ExperimentStatus::Retried.completed());
+        assert!(!ExperimentStatus::TimedOut.completed());
+        assert!(!ExperimentStatus::Failed.completed());
+    }
+}

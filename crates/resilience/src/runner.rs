@@ -1,0 +1,542 @@
+//! Supervised experiment runner.
+//!
+//! Each experiment runs on its own worker thread so the supervisor can
+//! enforce a wall-clock deadline with [`std::sync::mpsc::Receiver::recv_timeout`]
+//! (a watchdog pattern: the worker is abandoned if it overruns — Rust
+//! offers no safe thread kill, so a timed-out worker is detached and its
+//! eventual result discarded). Panics are contained with
+//! [`std::panic::catch_unwind`], turned into `Failed` rows instead of
+//! aborting the whole run. Failures are retried with exponential backoff
+//! and deterministic jitter, and a per-family circuit breaker
+//! short-circuits experiments whose subsystem keeps failing.
+
+use crate::backoff::Backoff;
+use crate::breaker::CircuitBreaker;
+use crate::fault::{FaultPlan, FaultProfile};
+use crate::report::{ExperimentReport, ExperimentStatus, RunReport};
+use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// What a supervised job hands back on success.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutput {
+    /// Rendered experiment output (tables, figures-as-text).
+    pub rendered: String,
+    /// Faults the plan injected while this attempt ran.
+    pub faults_injected: u64,
+}
+
+/// Errors cross the thread boundary as boxed chains so the report can show
+/// the full `source()` walk, not just the outermost message.
+pub type JobError = Box<dyn std::error::Error + Send + Sync + 'static>;
+
+/// A supervised unit of work. Receives the fault plan for its attempt.
+pub type Job = Arc<dyn Fn(&FaultPlan) -> Result<JobOutput, JobError> + Send + Sync + 'static>;
+
+/// One experiment the supervisor knows how to run.
+#[derive(Clone)]
+pub struct ExperimentSpec {
+    /// Short stable code (e.g. `fig1`, `tab3`).
+    pub code: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Family / subsystem, the circuit-breaker granularity.
+    pub family: String,
+    /// The work itself.
+    pub job: Job,
+}
+
+impl ExperimentSpec {
+    /// Convenience constructor.
+    pub fn new(
+        code: impl Into<String>,
+        title: impl Into<String>,
+        family: impl Into<String>,
+        job: impl Fn(&FaultPlan) -> Result<JobOutput, JobError> + Send + Sync + 'static,
+    ) -> Self {
+        ExperimentSpec {
+            code: code.into(),
+            title: title.into(),
+            family: family.into(),
+            job: Arc::new(job),
+        }
+    }
+}
+
+/// Knobs for the supervised run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunnerConfig {
+    /// Extra attempts after the first (0 = no retries).
+    pub retries: u32,
+    /// Per-attempt wall-clock deadline.
+    pub deadline: Duration,
+    /// Base delay for the retry backoff schedule.
+    pub backoff_base: Duration,
+    /// Consecutive family failures before the breaker opens (0 = disabled).
+    pub breaker_threshold: u32,
+    /// Seed for the fault plans and the jitter stream.
+    pub seed: u64,
+    /// Fault mix injected into every experiment.
+    pub profile: FaultProfile,
+    /// Multiplier on the profile's fault rates.
+    pub intensity: f64,
+    /// Suppress the default panic-hook backtrace for supervised workers
+    /// (their panics are captured and reported as `Failed` rows anyway).
+    pub quiet_panics: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            retries: 1,
+            deadline: Duration::from_secs(30),
+            backoff_base: Duration::from_millis(25),
+            breaker_threshold: 2,
+            seed: 42,
+            profile: FaultProfile::None,
+            intensity: 1.0,
+            quiet_panics: true,
+        }
+    }
+}
+
+/// Result of a supervised run: the report plus each completed experiment's
+/// rendered output, keyed by experiment code.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisedRun {
+    /// Per-experiment statuses and the aggregate verdict.
+    pub report: RunReport,
+    /// Rendered output of every experiment that completed.
+    pub outputs: BTreeMap<String, String>,
+}
+
+/// Executes [`ExperimentSpec`]s under panic isolation, deadlines, retries
+/// and a circuit breaker, producing a [`SupervisedRun`].
+pub struct Supervisor {
+    config: RunnerConfig,
+    breaker: CircuitBreaker,
+}
+
+/// Outcome of a single attempt, before retry/status mapping.
+enum Attempt {
+    Success(JobOutput),
+    Error(String),
+    Panic(String),
+    Timeout,
+}
+
+impl Supervisor {
+    /// Supervisor with a fresh (closed) breaker.
+    pub fn new(config: RunnerConfig) -> Self {
+        let breaker = CircuitBreaker::new(config.breaker_threshold);
+        Supervisor { config, breaker }
+    }
+
+    /// The configuration this supervisor runs with.
+    pub fn config(&self) -> &RunnerConfig {
+        &self.config
+    }
+
+    /// Run every spec in order, never panicking, and aggregate a report.
+    pub fn run(&mut self, specs: &[ExperimentSpec]) -> SupervisedRun {
+        let _quiet = self.config.quiet_panics.then(QuietPanics::install);
+        let mut run = SupervisedRun {
+            report: RunReport {
+                experiments: Vec::with_capacity(specs.len()),
+                profile: self.config.profile.label().to_owned(),
+                seed: self.config.seed,
+            },
+            outputs: BTreeMap::new(),
+        };
+        for spec in specs {
+            let row = self.run_one(spec, &mut run.outputs);
+            run.report.experiments.push(row);
+        }
+        run
+    }
+
+    fn run_one(
+        &mut self,
+        spec: &ExperimentSpec,
+        outputs: &mut BTreeMap<String, String>,
+    ) -> ExperimentReport {
+        let started = Instant::now();
+        if self.breaker.is_open(&spec.family) {
+            return ExperimentReport {
+                code: spec.code.clone(),
+                title: spec.title.clone(),
+                family: spec.family.clone(),
+                status: ExperimentStatus::Failed,
+                attempts: 0,
+                faults_injected: 0,
+                message: format!("circuit breaker open for family '{}'", spec.family),
+                duration_ms: 0,
+            };
+        }
+
+        let backoff = Backoff::new(
+            self.config.backoff_base,
+            self.config.seed ^ fnv1a(spec.code.as_bytes()),
+        );
+        let mut last_message = String::new();
+        let mut last_timed_out = false;
+        let mut attempts = 0;
+
+        for attempt in 0..=self.config.retries {
+            if attempt > 0 {
+                thread::sleep(backoff.delay(attempt - 1));
+            }
+            attempts += 1;
+            match self.attempt(spec, attempt) {
+                Attempt::Success(output) => {
+                    self.breaker.record_success(&spec.family);
+                    let status = if attempt > 0 {
+                        ExperimentStatus::Retried
+                    } else if output.faults_injected > 0 {
+                        ExperimentStatus::Degraded
+                    } else {
+                        ExperimentStatus::Ok
+                    };
+                    outputs.insert(spec.code.clone(), output.rendered);
+                    return ExperimentReport {
+                        code: spec.code.clone(),
+                        title: spec.title.clone(),
+                        family: spec.family.clone(),
+                        status,
+                        attempts,
+                        faults_injected: output.faults_injected,
+                        message: String::new(),
+                        duration_ms: started.elapsed().as_millis() as u64,
+                    };
+                }
+                Attempt::Error(msg) => {
+                    last_message = msg;
+                    last_timed_out = false;
+                }
+                Attempt::Panic(msg) => {
+                    last_message = format!("panic: {msg}");
+                    last_timed_out = false;
+                }
+                Attempt::Timeout => {
+                    last_message =
+                        format!("deadline exceeded ({}ms)", self.config.deadline.as_millis());
+                    last_timed_out = true;
+                }
+            }
+        }
+
+        self.breaker.record_failure(&spec.family);
+        ExperimentReport {
+            code: spec.code.clone(),
+            title: spec.title.clone(),
+            family: spec.family.clone(),
+            status: if last_timed_out {
+                ExperimentStatus::TimedOut
+            } else {
+                ExperimentStatus::Failed
+            },
+            attempts,
+            faults_injected: 0,
+            message: last_message,
+            duration_ms: started.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// One attempt on a watchdogged worker thread.
+    fn attempt(&self, spec: &ExperimentSpec, attempt: u32) -> Attempt {
+        // Each attempt gets its own deterministic plan seed: retries see a
+        // fresh fault draw (a transient fault may clear), while the whole
+        // run — including every retry — replays identically from the same
+        // supervisor seed.
+        let plan = FaultPlan::new(
+            self.config.profile,
+            self.config.seed
+                ^ fnv1a(spec.code.as_bytes())
+                ^ u64::from(attempt).wrapping_mul(0x2545_F491_4F6C_DD1D),
+        )
+        .with_intensity(self.config.intensity);
+
+        let (tx, rx) = mpsc::channel();
+        let job = Arc::clone(&spec.job);
+        let worker = thread::Builder::new()
+            .name(format!("{WORKER_PREFIX}{}", spec.code))
+            .spawn(move || {
+                let result = panic::catch_unwind(AssertUnwindSafe(|| job(&plan)));
+                let _ = tx.send(result);
+            });
+        let worker = match worker {
+            Ok(handle) => handle,
+            Err(e) => return Attempt::Error(format!("failed to spawn worker: {e}")),
+        };
+
+        match rx.recv_timeout(self.config.deadline) {
+            Ok(Ok(Ok(output))) => {
+                let _ = worker.join();
+                Attempt::Success(output)
+            }
+            Ok(Ok(Err(err))) => {
+                let _ = worker.join();
+                Attempt::Error(render_chain(err.as_ref()))
+            }
+            Ok(Err(payload)) => {
+                let _ = worker.join();
+                Attempt::Panic(panic_message(payload.as_ref()))
+            }
+            Err(RecvTimeoutError::Timeout) => Attempt::Timeout, // worker abandoned
+            Err(RecvTimeoutError::Disconnected) => {
+                Attempt::Error("worker disconnected without a result".to_owned())
+            }
+        }
+    }
+}
+
+const WORKER_PREFIX: &str = "humnet-exp-";
+
+/// Render an error and its full `source()` chain as `outer: mid: root`.
+pub fn render_chain(err: &(dyn std::error::Error + 'static)) -> String {
+    let mut out = err.to_string();
+    let mut cursor = err.source();
+    while let Some(cause) = cursor {
+        let rendered = cause.to_string();
+        // Errors that embed their cause in Display would repeat themselves.
+        if !out.ends_with(&rendered) {
+            out.push_str(": ");
+            out.push_str(&rendered);
+        }
+        cursor = cause.source();
+    }
+    out
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// RAII guard silencing the default panic hook for supervised worker
+/// threads only. Panics on other threads still print as usual. A global
+/// lock serializes install/restore so concurrent supervisors (e.g. in
+/// parallel tests) cannot tangle the hook chain.
+struct QuietPanics {
+    _guard: std::sync::MutexGuard<'static, ()>,
+}
+
+static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+impl QuietPanics {
+    fn install() -> Self {
+        let guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let on_worker = thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(WORKER_PREFIX));
+            if !on_worker {
+                previous(info);
+            }
+        }));
+        QuietPanics { _guard: guard }
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        // Restore the default hook; the previous one was moved into the
+        // filtering closure and is dropped with it.
+        let _ = panic::take_hook();
+    }
+}
+
+/// FNV-1a over bytes: stable, dependency-free spec-code hashing.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> RunnerConfig {
+        RunnerConfig {
+            retries: 1,
+            deadline: Duration::from_millis(500),
+            backoff_base: Duration::from_millis(1),
+            breaker_threshold: 2,
+            seed: 7,
+            profile: FaultProfile::None,
+            intensity: 1.0,
+            quiet_panics: true,
+        }
+    }
+
+    fn ok_spec(code: &str) -> ExperimentSpec {
+        ExperimentSpec::new(code, format!("title {code}"), "family-a", |_plan| {
+            Ok(JobOutput {
+                rendered: "fine".to_owned(),
+                faults_injected: 0,
+            })
+        })
+    }
+
+    #[test]
+    fn success_first_try_is_ok() {
+        let mut sup = Supervisor::new(quick_config());
+        let run = sup.run(&[ok_spec("e1")]);
+        assert_eq!(run.report.experiments[0].status, ExperimentStatus::Ok);
+        assert_eq!(run.report.experiments[0].attempts, 1);
+        assert_eq!(run.outputs["e1"], "fine");
+        assert_eq!(run.report.exit_code(), 0);
+    }
+
+    #[test]
+    fn faults_on_success_mean_degraded() {
+        let spec = ExperimentSpec::new("e1", "t", "f", |_plan| {
+            Ok(JobOutput {
+                rendered: String::new(),
+                faults_injected: 3,
+            })
+        });
+        let mut sup = Supervisor::new(quick_config());
+        let run = sup.run(&[spec]);
+        assert_eq!(run.report.experiments[0].status, ExperimentStatus::Degraded);
+        assert_eq!(run.report.experiments[0].faults_injected, 3);
+    }
+
+    #[test]
+    fn panic_is_contained_and_reported() {
+        let spec = ExperimentSpec::new("boom", "t", "f", |_plan| -> Result<JobOutput, JobError> {
+            panic!("simulated crash");
+        });
+        let mut sup = Supervisor::new(quick_config());
+        let run = sup.run(&[spec, ok_spec("after")]);
+        let boom = &run.report.experiments[0];
+        assert_eq!(boom.status, ExperimentStatus::Failed);
+        assert_eq!(boom.attempts, 2, "retried once before giving up");
+        assert!(boom.message.contains("simulated crash"), "{}", boom.message);
+        // The run continues past the panic.
+        assert_eq!(run.report.experiments[1].status, ExperimentStatus::Ok);
+        assert_eq!(run.report.exit_code(), 1);
+    }
+
+    #[test]
+    fn deadline_overrun_times_out() {
+        let mut config = quick_config();
+        config.deadline = Duration::from_millis(30);
+        config.retries = 0;
+        let spec = ExperimentSpec::new("slow", "t", "f", |_plan| {
+            thread::sleep(Duration::from_secs(5));
+            Ok(JobOutput {
+                rendered: String::new(),
+                faults_injected: 0,
+            })
+        });
+        let started = Instant::now();
+        let mut sup = Supervisor::new(config);
+        let run = sup.run(&[spec]);
+        assert_eq!(run.report.experiments[0].status, ExperimentStatus::TimedOut);
+        assert!(started.elapsed() < Duration::from_secs(4), "watchdog fired");
+        assert_eq!(run.report.exit_code(), 2);
+    }
+
+    #[test]
+    fn flaky_job_succeeds_as_retried() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let calls = Arc::new(AtomicU32::new(0));
+        let calls_in_job = Arc::clone(&calls);
+        let spec = ExperimentSpec::new("flaky", "t", "f", move |_plan| {
+            if calls_in_job.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err("transient".into())
+            } else {
+                Ok(JobOutput {
+                    rendered: "recovered".to_owned(),
+                    faults_injected: 0,
+                })
+            }
+        });
+        let mut sup = Supervisor::new(quick_config());
+        let run = sup.run(&[spec]);
+        let row = &run.report.experiments[0];
+        assert_eq!(row.status, ExperimentStatus::Retried);
+        assert_eq!(row.attempts, 2);
+        assert_eq!(run.outputs["flaky"], "recovered");
+    }
+
+    #[test]
+    fn breaker_short_circuits_a_failing_family() {
+        let fail = |code: &str| {
+            ExperimentSpec::new(code, "t", "sick", |_plan| -> Result<JobOutput, JobError> {
+                Err("always broken".into())
+            })
+        };
+        let mut config = quick_config();
+        config.retries = 0;
+        let mut sup = Supervisor::new(config);
+        let run = sup.run(&[fail("a"), fail("b"), fail("c"), ok_spec("other")]);
+        let rows = &run.report.experiments;
+        assert_eq!(rows[0].attempts, 1);
+        assert_eq!(rows[1].attempts, 1);
+        // Third experiment never executes: breaker opened at threshold 2.
+        assert_eq!(rows[2].attempts, 0);
+        assert!(rows[2].message.contains("circuit breaker open"), "{}", rows[2].message);
+        // Other families are unaffected.
+        assert_eq!(rows[3].status, ExperimentStatus::Ok);
+    }
+
+    #[test]
+    fn error_chains_render_fully() {
+        #[derive(Debug)]
+        struct Outer(std::io::Error);
+        impl std::fmt::Display for Outer {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "stage failed")
+            }
+        }
+        impl std::error::Error for Outer {
+            fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+                Some(&self.0)
+            }
+        }
+        let err = Outer(std::io::Error::other("root cause"));
+        let rendered = render_chain(&err);
+        assert_eq!(rendered, "stage failed: root cause");
+    }
+
+    #[test]
+    fn reports_are_deterministic_across_runs() {
+        let specs = || {
+            vec![
+                ExperimentSpec::new("d1", "det one", "fam", |plan: &FaultPlan| {
+                    let faults = (0..50)
+                        .filter(|&s| plan.draw(s, crate::fault::FaultKind::LinkOutage).is_some())
+                        .count() as u64;
+                    Ok(JobOutput {
+                        rendered: format!("faults={faults}"),
+                        faults_injected: faults,
+                    })
+                }),
+                ok_spec("d2"),
+            ]
+        };
+        let mut config = quick_config();
+        config.profile = FaultProfile::Chaos;
+        let run_a = Supervisor::new(config).run(&specs());
+        let run_b = Supervisor::new(config).run(&specs());
+        assert_eq!(run_a.report.canonical(), run_b.report.canonical());
+        assert_eq!(run_a.outputs, run_b.outputs);
+    }
+}

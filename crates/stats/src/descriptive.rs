@@ -234,7 +234,7 @@ pub fn histogram(data: &[f64], lo: f64, hi: f64, bins: usize) -> Result<Histogra
     if bins == 0 {
         return Err(StatsError::InvalidParameter("histogram needs at least one bin"));
     }
-    if !(hi > lo) {
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         return Err(StatsError::InvalidParameter("histogram needs hi > lo"));
     }
     let mut h = Histogram {

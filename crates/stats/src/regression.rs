@@ -105,7 +105,7 @@ mod tests {
         // Deterministic "noise" via a fixed pattern.
         let y: Vec<f64> = x
             .iter()
-            .map(|&xi| 3.0 * xi + 5.0 + if xi as u64 % 2 == 0 { 0.5 } else { -0.5 })
+            .map(|&xi| 3.0 * xi + 5.0 + if (xi as u64).is_multiple_of(2) { 0.5 } else { -0.5 })
             .collect();
         let fit = ols(&x, &y).unwrap();
         assert!((fit.slope - 3.0).abs() < 0.01);

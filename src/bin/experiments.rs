@@ -1,189 +1,157 @@
-//! Regenerates every table and figure recorded in `EXPERIMENTS.md`.
+//! Regenerates every table and figure recorded in `EXPERIMENTS.md`, under
+//! a supervised runner with optional fault injection.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release --bin experiments            # run everything
-//! cargo run --release --bin experiments -- f3 t1   # run a subset
+//! cargo run --release --bin experiments                      # run everything
+//! cargo run --release --bin experiments -- f3 t1             # run a subset
+//! cargo run --release --bin experiments -- --fault-profile chaos --retries 2 --deadline-ms 30000
 //! ```
+//!
+//! Every experiment executes on a watchdogged worker thread with panic
+//! isolation, bounded retries and a per-family circuit breaker; the run
+//! ends with a status table and the process exits nonzero if any
+//! experiment failed (1) or timed out (2).
 //!
 //! Output is plain text: each experiment prints its rendered tables and
 //! series (with ASCII sparklines standing in for figures).
 
-use humnet::core::experiments as exp;
+use humnet::core::experiments::ExperimentId;
+use humnet::resilience::{
+    ExperimentSpec, FaultProfile, JobError, JobOutput, RunnerConfig, Supervisor,
+};
+use std::time::Duration;
 
-fn wanted(args: &[String], id: &str) -> bool {
-    args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id))
+struct Cli {
+    config: RunnerConfig,
+    ids: Vec<ExperimentId>,
+    report_only: bool,
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut ran = 0;
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
 
-    if wanted(&args, "f1") {
-        banner("F1 — Lorenz curve of research attention (paper §1)");
-        match exp::f1_attention(42) {
-            Ok(r) => {
-                println!("{}", r.lorenz.render());
-                println!("attention gini = {:.3}\n", r.gini);
-                println!("{}", r.by_class.render());
+    let specs: Vec<ExperimentSpec> = cli
+        .ids
+        .iter()
+        .map(|&id| {
+            ExperimentSpec::new(id.code(), id.title(), id.family(), move |plan| {
+                id.run(plan)
+                    .map(|r| JobOutput {
+                        rendered: r.rendered,
+                        faults_injected: r.faults_injected,
+                    })
+                    .map_err(|e| Box::new(e) as JobError)
+            })
+        })
+        .collect();
+
+    let run = Supervisor::new(cli.config).run(&specs);
+
+    if !cli.report_only {
+        for (id, row) in cli.ids.iter().zip(&run.report.experiments) {
+            banner(&format!("{} — {}", id.code().to_uppercase(), id.title()));
+            match run.outputs.get(id.code()) {
+                Some(rendered) => println!("{rendered}"),
+                None => eprintln!("{} {}: {}", id.code().to_uppercase(), row.status, row.message),
             }
-            Err(e) => eprintln!("F1 failed: {e}"),
         }
-        ran += 1;
     }
-    if wanted(&args, "t1") {
-        banner("T1 — method-regime comparison (paper §2, §5.1)");
-        match exp::t1_regimes(&[1, 2, 3, 4, 5]) {
-            Ok((_, table)) => println!("{}", table.render()),
-            Err(e) => eprintln!("T1 failed: {e}"),
-        }
-        ran += 1;
-    }
-    if wanted(&args, "f2") {
-        banner("F2 — positionality prevalence by venue (paper §4, §6.4)");
-        match exp::f2_positionality(7) {
-            Ok((table, series)) => {
-                println!("{}", table.render());
-                for s in series {
-                    println!("{}", s.render());
+
+    println!("\n{}", run.report.render());
+    std::process::exit(run.report.exit_code());
+}
+
+const USAGE: &str = "\
+usage: experiments [OPTIONS] [ID...]
+
+IDs (default: all, in EXPERIMENTS.md order):
+  f1 t1 f2 t2 f3 f4 t3 f5 t4 f6 t5 f7 f8 f9 t6 t7
+
+Options:
+  --fault-profile <none|churn|outage|chaos>  fault mix to inject (default none)
+  --retries <N>        extra attempts per experiment (default 1)
+  --deadline-ms <N>    per-attempt wall-clock deadline (default 30000)
+  --seed <N>           seed for fault plans and retry jitter (default 42)
+  --intensity <X>      multiplier on the profile's fault rates (default 1.0)
+  --report-only        print only the final run report
+  --help               show this help";
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut config = RunnerConfig::default();
+    let mut ids = Vec::new();
+    let mut report_only = false;
+    let mut args = args.peekable();
+
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--fault-profile" => {
+                let v = value("--fault-profile")?;
+                config.profile = FaultProfile::parse(&v)
+                    .ok_or_else(|| format!("unknown fault profile '{v}' (none|churn|outage|chaos)"))?;
+            }
+            "--retries" => {
+                let v = value("--retries")?;
+                config.retries = v.parse().map_err(|_| format!("bad --retries value '{v}'"))?;
+            }
+            "--deadline-ms" => {
+                let v = value("--deadline-ms")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --deadline-ms value '{v}'"))?;
+                if ms == 0 {
+                    return Err("--deadline-ms must be positive".to_owned());
+                }
+                config.deadline = Duration::from_millis(ms);
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                config.seed = v.parse().map_err(|_| format!("bad --seed value '{v}'"))?;
+            }
+            "--intensity" => {
+                let v = value("--intensity")?;
+                let x: f64 = v.parse().map_err(|_| format!("bad --intensity value '{v}'"))?;
+                if !x.is_finite() || x < 0.0 {
+                    return Err("--intensity must be a nonnegative number".to_owned());
+                }
+                config.intensity = x;
+            }
+            "--report-only" => report_only = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown option '{flag}'")),
+            id => {
+                let parsed = ExperimentId::parse(id)
+                    .ok_or_else(|| format!("unknown experiment id '{id}'"))?;
+                if !ids.contains(&parsed) {
+                    ids.push(parsed);
                 }
             }
-            Err(e) => eprintln!("F2 failed: {e}"),
         }
-        ran += 1;
-    }
-    if wanted(&args, "t2") {
-        banner("T2 — inter-rater reliability vs codebook refinement (paper §5.2)");
-        match exp::t2_irr(5, 6) {
-            Ok(table) => println!("{}", table.render()),
-            Err(e) => eprintln!("T2 failed: {e}"),
-        }
-        ran += 1;
-    }
-    if wanted(&args, "f3") {
-        banner("F3 — Telmex: mandatory peering vs ASN splitting (paper §3, [38])");
-        match exp::f3_telmex(11) {
-            Ok((comply, split, table)) => {
-                println!("{}", comply.render());
-                println!("{}", split.render());
-                println!("{}", table.render());
-            }
-            Err(e) => eprintln!("F3 failed: {e}"),
-        }
-        ran += 1;
-    }
-    if wanted(&args, "f4") {
-        banner("F4 — IXP gravity: Brazil vs Germany (paper §3, [39])");
-        match exp::f4_gravity(11) {
-            Ok((foreign, local)) => {
-                println!("{}", foreign.render());
-                println!("{}", local.render());
-            }
-            Err(e) => eprintln!("F4 failed: {e}"),
-        }
-        ran += 1;
-    }
-    if wanted(&args, "t3") {
-        banner("T3 — community-network sustainability (paper §4, [23])");
-        match exp::t3_sustainability(&[1, 2, 3, 4, 5]) {
-            Ok(table) => println!("{}", table.render()),
-            Err(e) => eprintln!("T3 failed: {e}"),
-        }
-        ran += 1;
-    }
-    if wanted(&args, "f5") {
-        banner("F5 — common-pool congestion management (paper §4, [28])");
-        match exp::f5_congestion(1) {
-            Ok(table) => println!("{}", table.render()),
-            Err(e) => eprintln!("F5 failed: {e}"),
-        }
-        ran += 1;
-    }
-    if wanted(&args, "t4") {
-        banner("T4 — participation-ladder audit (paper §2, §5.1)");
-        match exp::t4_ladder() {
-            Ok(table) => println!("{}", table.render()),
-            Err(e) => eprintln!("T4 failed: {e}"),
-        }
-        ran += 1;
-    }
-    if wanted(&args, "f6") {
-        banner("F6 — patchwork vs traditional ethnography (paper §3, [17])");
-        match exp::f6_patchwork() {
-            Ok(table) => println!("{}", table.render()),
-            Err(e) => eprintln!("F6 failed: {e}"),
-        }
-        ran += 1;
-    }
-    if wanted(&args, "t5") {
-        banner("T5 — venue gatekeeping of human-centered work (paper §6.3.2)");
-        match exp::t5_gatekeeping(6) {
-            Ok((human, systems, table)) => {
-                println!("{}", human.render());
-                println!("{}", systems.render());
-                println!("{}", table.render());
-            }
-            Err(e) => eprintln!("T5 failed: {e}"),
-        }
-        ran += 1;
-    }
-    if wanted(&args, "f7") {
-        banner("F7 — §5 recommendation uptake audit");
-        match exp::f7_audit(3) {
-            Ok(table) => println!("{}", table.render()),
-            Err(e) => eprintln!("F7 failed: {e}"),
-        }
-        ran += 1;
-    }
-    if wanted(&args, "f8") {
-        banner("F8 — IXP growth dynamics (paper §3, [39])");
-        match exp::f8_growth(7) {
-            Ok((top, local, table)) => {
-                println!("{}", top.render());
-                println!("{}", local.render());
-                println!("{}", table.render());
-            }
-            Err(e) => eprintln!("F8 failed: {e}"),
-        }
-        ran += 1;
-    }
-    if wanted(&args, "f9") {
-        banner("F9 — method adoption around a CFP intervention (paper §6.4)");
-        match exp::f9_adoption() {
-            Ok((series, table)) => {
-                println!("{}", series.render());
-                println!("{}", table.render());
-            }
-            Err(e) => eprintln!("F9 failed: {e}"),
-        }
-        ran += 1;
-    }
-    if wanted(&args, "t6") {
-        banner("T6 — diary studies and technology probes (paper §6.1, [7])");
-        match exp::t6_diary(5) {
-            Ok(table) => println!("{}", table.render()),
-            Err(e) => eprintln!("T6 failed: {e}"),
-        }
-        ran += 1;
-    }
-    if wanted(&args, "t7") {
-        banner("T7 — cooperative economics by dues policy (paper §4)");
-        match exp::t7_economics(&[1, 2, 3, 4, 5]) {
-            Ok(table) => println!("{}", table.render()),
-            Err(e) => eprintln!("T7 failed: {e}"),
-        }
-        ran += 1;
     }
 
-    if ran == 0 {
-        eprintln!(
-            "unknown experiment id(s): {:?}\n\
-             available: f1 t1 f2 t2 f3 f4 t3 f5 t4 f6 t5 f7 f8 f9 t6 t7",
-            args
-        );
-        std::process::exit(2);
+    if ids.is_empty() {
+        ids = ExperimentId::ALL.to_vec();
+    } else {
+        // Run subsets in canonical order regardless of CLI order.
+        ids.sort_by_key(|id| ExperimentId::ALL.iter().position(|a| a == id));
     }
+    Ok(Cli {
+        config,
+        ids,
+        report_only,
+    })
 }
 
 fn banner(title: &str) {

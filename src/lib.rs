@@ -26,6 +26,7 @@
 //! | [`community`] | `humnet-community` | volunteer-maintained mesh + common-pool congestion |
 //! | [`agenda`] | `humnet-agenda` | research-ecosystem ABM + venue gatekeeping |
 //! | [`survey`] | `humnet-survey` | Likert instruments, sampling bias, positionality detection |
+//! | [`resilience`] | `humnet-resilience` | deterministic fault injection, supervised experiment runner |
 //! | [`core`] | `humnet-core` | PAR / ethnography / reflexivity workflows, methods auditor, experiment suite |
 //!
 //! ## Quickstart
@@ -52,6 +53,7 @@ pub use humnet_corpus as corpus;
 pub use humnet_graph as graph;
 pub use humnet_ixp as ixp;
 pub use humnet_qual as qual;
+pub use humnet_resilience as resilience;
 pub use humnet_stats as stats;
 pub use humnet_survey as survey;
 pub use humnet_text as text;

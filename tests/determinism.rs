@@ -106,3 +106,50 @@ fn experiment_suite_reproducible() {
         assert_eq!(x.publications, y.publications);
     }
 }
+
+#[test]
+fn supervised_chaos_run_reproducible() {
+    use humnet::core::experiments::ExperimentId;
+    use humnet::resilience::{
+        ExperimentSpec, FaultProfile, JobError, JobOutput, RunnerConfig, Supervisor,
+    };
+    use std::time::Duration;
+
+    let specs = || -> Vec<ExperimentSpec> {
+        // A cross-family subset keeps the double run fast; the binary's
+        // acceptance path covers all sixteen.
+        [ExperimentId::F1, ExperimentId::T2, ExperimentId::F4, ExperimentId::F5]
+            .into_iter()
+            .map(|id| {
+                ExperimentSpec::new(id.code(), id.title(), id.family(), move |plan| {
+                    id.run(plan)
+                        .map(|r| JobOutput {
+                            rendered: r.rendered,
+                            faults_injected: r.faults_injected,
+                        })
+                        .map_err(|e| Box::new(e) as JobError)
+                })
+            })
+            .collect()
+    };
+    let config = RunnerConfig {
+        retries: 2,
+        deadline: Duration::from_secs(30),
+        profile: FaultProfile::Chaos,
+        seed: 1234,
+        ..RunnerConfig::default()
+    };
+    let a = Supervisor::new(config).run(&specs());
+    let b = Supervisor::new(config).run(&specs());
+    // Same seed + plan => byte-identical canonical report and outputs.
+    assert_eq!(a.report.canonical(), b.report.canonical());
+    assert_eq!(a.outputs, b.outputs);
+    assert!(a.report.total_faults() > 0, "chaos must actually inject");
+    assert_eq!(a.report.exit_code(), 0, "chaos degrades, not fails");
+
+    // A different seed draws a different fault schedule.
+    let mut other = config;
+    other.seed = 4321;
+    let c = Supervisor::new(other).run(&specs());
+    assert_ne!(a.report.canonical(), c.report.canonical());
+}

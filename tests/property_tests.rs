@@ -142,7 +142,7 @@ proptest! {
         let q = humnet::graph::modularity(&g, &partition).unwrap();
         // Louvain never does worse than the singleton partition baseline
         // it starts from, and modularity is bounded.
-        prop_assert!(q >= -0.5 - 1e-9 && q <= 1.0 + 1e-9);
+        prop_assert!((-0.5 - 1e-9..=1.0 + 1e-9).contains(&q));
         // Every community label is in range.
         let k = partition.community_count();
         prop_assert!(partition.membership.iter().all(|&c| c < k));
@@ -344,6 +344,56 @@ proptest! {
             for dst in 0..n {
                 prop_assert!(routes.reachable(src, dst), "no route {src}->{dst}");
             }
+        }
+    }
+}
+
+// Chaos properties: any fault plan — any profile, seed and intensity —
+// must leave every fault-capable experiment either succeeding with a
+// valid (possibly degraded) result or failing with a typed error. Panics
+// fail the test by construction.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_fault_plan_degrades_gracefully(
+        profile_idx in 0usize..4,
+        seed in 0u64..1_000_000,
+        intensity in 0.0f64..3.0,
+    ) {
+        use humnet::core::experiments::ExperimentId;
+        use humnet::resilience::{FaultPlan, FaultProfile};
+        let plan = FaultPlan::new(FaultProfile::ALL[profile_idx], seed)
+            .with_intensity(intensity);
+        // The quick fault-capable experiments (T1/T3 are equivalent but
+        // ~100x slower; their hooks are exercised in crate-level tests).
+        for id in [ExperimentId::F1, ExperimentId::T2, ExperimentId::F4, ExperimentId::F5] {
+            let run = id.run(&plan).expect("experiments degrade, not error");
+            prop_assert!(!run.rendered.is_empty());
+            if run.faults_injected > 0 {
+                prop_assert!(plan.is_active(), "faults require an active plan");
+            }
+            // Same plan, same result: the fault schedule is part of the seed.
+            let again = id.run(&plan).expect("rerun succeeds");
+            prop_assert_eq!(&run, &again);
+        }
+    }
+
+    #[test]
+    fn congestion_invariants_hold_under_any_plan(
+        profile_idx in 0usize..4,
+        seed in 0u64..1_000_000,
+        intensity in 0.0f64..4.0,
+    ) {
+        use humnet::resilience::{FaultPlan, FaultProfile, PlanHook};
+        let plan = FaultPlan::new(FaultProfile::ALL[profile_idx], seed)
+            .with_intensity(intensity);
+        let sim = CongestionSim::new(CongestionConfig::default()).unwrap();
+        let mut hook = PlanHook::new(plan);
+        for out in sim.compare_with_faults(&mut hook) {
+            prop_assert!(out.fairness.is_nan() || (0.0..=1.0 + 1e-9).contains(&out.fairness));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&out.utilization));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&out.starvation));
         }
     }
 }

@@ -1,0 +1,234 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Same surface API (`Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`, `criterion_group!`,
+//! `criterion_main!`) but a deliberately small measurement loop: a short
+//! calibration pass sizes the batch, one timed pass reports mean
+//! nanoseconds per iteration. No statistics, plots, or saved baselines —
+//! enough to smoke-run every bench target and print comparable numbers
+//! without network-fetched dependencies.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target amount of wall-clock time to spend per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Calibration budget used to size the timed batch.
+const CALIBRATE_BUDGET: Duration = Duration::from_millis(20);
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group; benchmark ids are prefixed with the group name.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark inside this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&full, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Render to the id string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) {
+    // Calibrate: double the iteration count until one pass costs enough to
+    // time meaningfully (or the calibration budget is spent).
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= CALIBRATE_BUDGET || iters >= 1 << 20 {
+            let per_iter = b.elapsed.as_nanos().max(1) / u128::from(iters);
+            // Size the measured batch for the full budget.
+            let target = (MEASURE_BUDGET.as_nanos() / per_iter.max(1)).clamp(1, 1 << 24) as u64;
+            let mut timed = Bencher {
+                iters: target,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut timed);
+            report(id, timed.iters, timed.elapsed);
+            return;
+        }
+        iters = iters.saturating_mul(2);
+    }
+}
+
+fn report(id: &str, iters: u64, elapsed: Duration) {
+    let per_iter_ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    let (value, unit) = if per_iter_ns >= 1e9 {
+        (per_iter_ns / 1e9, "s")
+    } else if per_iter_ns >= 1e6 {
+        (per_iter_ns / 1e6, "ms")
+    } else if per_iter_ns >= 1e3 {
+        (per_iter_ns / 1e3, "µs")
+    } else {
+        (per_iter_ns, "ns")
+    };
+    println!("{id:<56} time: {value:>10.3} {unit}/iter  ({iters} iters)");
+}
+
+/// Collect benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs harness-less bench binaries with `--test`
+            // or `--bench` style args; a bare smoke pass is enough there,
+            // and full timing runs under `cargo bench`.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("grp");
+        group.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| black_box(1)));
+        group.bench_with_input(BenchmarkId::new("g", "x"), &41u64, |b, &x| {
+            b.iter(|| black_box(x) + 1)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,401 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! value-model traits (see `vendor/serde`). Because neither `syn` nor
+//! `quote` is available offline, parsing is a small hand-rolled token
+//! scanner and code generation goes through format strings parsed back
+//! into a `TokenStream`.
+//!
+//! Supported input shapes — exactly what this workspace uses:
+//! * structs with named fields (and unit structs),
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   matching real serde's default representation).
+//!
+//! Not supported (panics with a clear message): generics, tuple structs,
+//! `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+enum Body {
+    /// Named-field struct (possibly empty) or unit struct.
+    Struct(Vec<String>),
+    Enum(Vec<(String, VariantShape)>),
+}
+
+struct Parsed {
+    name: String,
+    body: Body,
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stand-in: generic type `{name}` is not supported");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Parsed {
+                name,
+                body: Body::Struct(parse_named_fields(g)),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Parsed {
+                name,
+                body: Body::Struct(Vec::new()),
+            },
+            _ => panic!("serde_derive stand-in: tuple struct `{name}` is not supported"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Parsed {
+                name,
+                body: Body::Enum(parse_variants(g)),
+            },
+            other => panic!("serde_derive: expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Skip `#[...]` attributes (doc comments arrive as `#[doc = "..."]`).
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match (toks.get(*i), toks.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(_))) if p.as_char() == '#' => {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parse `{ a: T, b: U<V, W>, ... }` into field names. Type tokens are
+/// consumed tracking angle-bracket depth so commas inside generics don't
+/// split fields; nested `{}`/`()`/`[]` arrive pre-grouped as single trees.
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        fields.push(name);
+        i += 1;
+        let mut depth = 0i64;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(g: &Group) -> Vec<(String, VariantShape)> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(tuple_arity(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((name, shape));
+        // Consume through the trailing comma (also skips `= discriminant`).
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+/// Number of fields in a tuple variant: top-level comma-separated
+/// non-empty segments inside the parens.
+fn tuple_arity(g: &Group) -> usize {
+    let mut depth = 0i64;
+    let mut segments = 0usize;
+    let mut segment_has_tokens = false;
+    for t in g.stream() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if segment_has_tokens {
+                        segments += 1;
+                    }
+                    segment_has_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        segments += 1;
+    }
+    segments
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.body {
+        Body::Struct(fields) => {
+            let mut s = String::from("let mut __map = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__map.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__map)");
+            s
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => {{\n\
+                         let mut __map = ::serde::Map::new();\n\
+                         __map.insert(\"{v}\".to_string(), ::serde::Serialize::to_value(__f0));\n\
+                         ::serde::Value::Object(__map)\n}}\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binders}) => {{\n\
+                             let mut __map = ::serde::Map::new();\n\
+                             __map.insert(\"{v}\".to_string(), ::serde::Value::Array(vec![{elems}]));\n\
+                             ::serde::Value::Object(__map)\n}}\n",
+                            binders = binders.join(", "),
+                            elems = elems.join(", "),
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders = fields.join(", ");
+                        let mut inserts = String::new();
+                        for f in fields {
+                            inserts.push_str(&format!(
+                                "__inner.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binders} }} => {{\n\
+                             let mut __inner = ::serde::Map::new();\n\
+                             {inserts}\
+                             let mut __map = ::serde::Map::new();\n\
+                             __map.insert(\"{v}\".to_string(), ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__map)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.body {
+        Body::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                     __map.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                     .map_err(|__e| ::serde::Error::context(\"{name}.{f}\", __e))?,\n"
+                ));
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Object(__map) => ::std::result::Result::Ok({name} {{\n{inits}}}),\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\"expected object for {name}\")),\n\
+                 }}"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                    )),
+                    VariantShape::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__inner)\
+                         .map_err(|__e| ::serde::Error::context(\"{name}::{v}\", __e))?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!(
+                                    "::serde::Deserialize::from_value(&__arr[{k}])\
+                                     .map_err(|__e| ::serde::Error::context(\"{name}::{v}.{k}\", __e))?"
+                                )
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{v}\" => match __inner {{\n\
+                             ::serde::Value::Array(__arr) if __arr.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{v}({elems})),\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                             \"expected array of length {n} for {name}::{v}\")),\n\
+                             }},\n",
+                            elems = elems.join(", "),
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 __inner_map.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                                 .map_err(|__e| ::serde::Error::context(\"{name}::{v}.{f}\", __e))?,\n"
+                            ));
+                        }
+                        payload_arms.push_str(&format!(
+                            "\"{v}\" => match __inner {{\n\
+                             ::serde::Value::Object(__inner_map) => \
+                             ::std::result::Result::Ok({name}::{v} {{\n{inits}}}),\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                             \"expected object for {name}::{v}\")),\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__map) if __map.len() == 1 => {{\n\
+                 let (__tag, __inner) = __map.iter().next().unwrap();\n\
+                 match __tag.as_str() {{\n\
+                 {payload_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected string or single-key object for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, unreachable_patterns, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
