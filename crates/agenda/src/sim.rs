@@ -14,6 +14,7 @@ use crate::regime::MethodRegime;
 use crate::{AgendaError, Result};
 use humnet_resilience::{FaultHook, FaultKind, NoFaults};
 use humnet_stats::Rng;
+use humnet_telemetry::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of an agenda run.
@@ -108,8 +109,38 @@ impl AgendaSim {
     /// temporary funding-attention shock: feedback loops stall this round).
     /// Under [`NoFaults`] this is bit-identical to [`AgendaSim::run`].
     pub fn run_with_faults(&mut self, hook: &mut dyn FaultHook) -> Result<&[RoundSnapshot]> {
+        self.run_instrumented(hook, &Telemetry::disabled())
+    }
+
+    /// [`AgendaSim::run_with_faults`] with telemetry: an `agenda.run` span,
+    /// a per-round `agenda.step_ns` histogram, round/publication counters,
+    /// and a final milestone event. Telemetry only observes — the simulated
+    /// trajectory is bit-identical to the uninstrumented run.
+    pub fn run_instrumented(
+        &mut self,
+        hook: &mut dyn FaultHook,
+        tel: &Telemetry,
+    ) -> Result<&[RoundSnapshot]> {
+        let _span = tel.span("agenda.run");
         for _ in 0..self.config.rounds {
+            let t0 = tel.start();
             self.step_with_faults(hook);
+            tel.observe_since("agenda.step_ns", t0);
+        }
+        tel.counter("agenda.rounds", u64::from(self.config.rounds));
+        if let Some(last) = self.history.last() {
+            tel.counter("agenda.publications", last.publications);
+            tel.gauge("agenda.surfaced", last.surfaced as f64);
+            tel.event(
+                Event::new(
+                    "milestone",
+                    format!(
+                        "agenda: {} rounds, {} publications, {} problems surfaced",
+                        self.config.rounds, last.publications, last.surfaced
+                    ),
+                )
+                .with_step(u64::from(last.round)),
+            );
         }
         Ok(&self.history)
     }

@@ -17,6 +17,7 @@
 use crate::{CommunityError, Result};
 use humnet_resilience::{FaultHook, FaultKind, NoFaults};
 use humnet_stats::{jain_fairness, Rng};
+use humnet_telemetry::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// How shared capacity is divided each round.
@@ -307,10 +308,37 @@ impl CongestionSim {
     /// the identical outage schedule (fault draws are pure per step), so
     /// the comparison stays apples-to-apples even mid-chaos.
     pub fn compare_with_faults(&self, hook: &mut dyn FaultHook) -> Vec<CongestionOutcome> {
-        AllocationPolicy::ALL
+        self.compare_instrumented(hook, &Telemetry::disabled())
+    }
+
+    /// [`CongestionSim::compare_with_faults`] with telemetry: a
+    /// `community.congestion` span, a per-policy `community.policy_ns`
+    /// histogram, and a milestone event. The outcomes are identical.
+    pub fn compare_instrumented(
+        &self,
+        hook: &mut dyn FaultHook,
+        tel: &Telemetry,
+    ) -> Vec<CongestionOutcome> {
+        let _span = tel.span("community.congestion");
+        let outcomes: Vec<CongestionOutcome> = AllocationPolicy::ALL
             .iter()
-            .map(|&p| self.run_with_faults(p, hook))
-            .collect()
+            .map(|&p| {
+                let t0 = tel.start();
+                let out = self.run_with_faults(p, hook);
+                tel.observe_since("community.policy_ns", t0);
+                out
+            })
+            .collect();
+        tel.counter("community.policies", outcomes.len() as u64);
+        tel.event(Event::new(
+            "milestone",
+            format!(
+                "community.congestion: {} policies over {} rounds",
+                outcomes.len(),
+                self.config.rounds
+            ),
+        ));
+        outcomes
     }
 }
 

@@ -18,6 +18,7 @@ use crate::volunteer::{VolunteerPool, VolunteerRegime};
 use crate::Result;
 use humnet_resilience::{FaultHook, FaultKind, NoFaults};
 use humnet_stats::Rng;
+use humnet_telemetry::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a sustainability run.
@@ -99,6 +100,19 @@ impl SustainabilitySim {
     /// node failures proportional to the severity). Under [`NoFaults`] this
     /// is bit-identical to [`SustainabilitySim::run`].
     pub fn run_with_faults(&self, hook: &mut dyn FaultHook) -> Result<SustainabilityOutcome> {
+        self.run_instrumented(hook, &Telemetry::disabled())
+    }
+
+    /// [`SustainabilitySim::run_with_faults`] with telemetry: a
+    /// `community.sustainability` span, a per-day `community.day_ns`
+    /// histogram, failure/repair counters, and a milestone event. The
+    /// simulated outcome is identical.
+    pub fn run_instrumented(
+        &self,
+        hook: &mut dyn FaultHook,
+        tel: &Telemetry,
+    ) -> Result<SustainabilityOutcome> {
+        let _span = tel.span("community.sustainability");
         let mut rng = Rng::new(self.config.seed);
         let mut mesh = MeshNetwork::deploy(&self.config.mesh, &mut rng)?;
         let mut pool = VolunteerPool::for_regime(self.config.regime);
@@ -111,6 +125,7 @@ impl SustainabilitySim {
         let mut total_cost = 0.0;
         let mut rr_cursor = 0usize; // round-robin cursor for stewardship
         for day in 0..self.config.days {
+            let t0 = tel.start();
             // Fault injection perturbs the day's *probabilities* rather than
             // adding RNG draws, so the base random stream stays aligned with
             // the un-faulted run and `NoFaults` reproduces it exactly.
@@ -189,6 +204,7 @@ impl SustainabilitySim {
             }
             // 4. Uptime accounting.
             served_node_days += mesh.service_map().iter().filter(|&&s| s).count() as u64;
+            tel.observe_since("community.day_ns", t0);
         }
         let uptime = served_node_days as f64 / (n as u64 * self.config.days as u64) as f64;
         let mttr = if repair_latencies.is_empty() {
@@ -197,6 +213,23 @@ impl SustainabilitySim {
             repair_latencies.iter().map(|&l| l as f64).sum::<f64>()
                 / repair_latencies.len() as f64
         };
+        tel.counter("community.days", u64::from(self.config.days));
+        tel.counter("community.failures", failures as u64);
+        tel.counter("community.repairs", repair_latencies.len() as u64);
+        tel.gauge("community.uptime", uptime);
+        tel.event(
+            Event::new(
+                "milestone",
+                format!(
+                    "community.sustainability: {} days, {} failures, {} repairs, uptime {:.3}",
+                    self.config.days,
+                    failures,
+                    repair_latencies.len(),
+                    uptime
+                ),
+            )
+            .with_step(u64::from(self.config.days)),
+        );
         Ok(SustainabilityOutcome {
             regime: self.config.regime,
             uptime,

@@ -64,6 +64,37 @@ impl MethodsAuditor {
 
     /// Run the §5 checklist over a corpus.
     pub fn audit(&self, corpus: &Corpus) -> Result<AuditReport> {
+        self.audit_instrumented(corpus, &humnet_telemetry::Telemetry::disabled())
+    }
+
+    /// [`MethodsAuditor::audit`] with telemetry: a `survey.audit` span
+    /// (the positionality detector from `humnet-survey` runs inside it),
+    /// paper counters, detector-quality gauges, and a milestone event.
+    /// The report is identical.
+    pub fn audit_instrumented(
+        &self,
+        corpus: &Corpus,
+        tel: &humnet_telemetry::Telemetry,
+    ) -> Result<AuditReport> {
+        let _span = tel.span("survey.audit");
+        let t0 = tel.start();
+        let report = self.audit_inner(corpus)?;
+        tel.observe_since("survey.audit_ns", t0);
+        tel.counter("survey.papers_audited", corpus.papers.len() as u64);
+        tel.gauge("survey.detector_recall", report.detector_recall);
+        tel.gauge("survey.detector_precision", report.detector_precision);
+        tel.event(humnet_telemetry::Event::new(
+            "milestone",
+            format!(
+                "survey.audit: {} papers, full adoption {:.3}",
+                corpus.papers.len(),
+                report.full_adoption_rate
+            ),
+        ));
+        Ok(report)
+    }
+
+    fn audit_inner(&self, corpus: &Corpus) -> Result<AuditReport> {
         if corpus.papers.is_empty() {
             return Err(crate::CoreError::EmptyInput);
         }

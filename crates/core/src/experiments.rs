@@ -23,8 +23,9 @@ use humnet_ixp::{
     CircumventionStrategy, MexicoConfig, MexicoScenario, TwoRegionConfig, TwoRegionScenario,
 };
 use humnet_qual::{SimulatedStudy, StudyConfig};
-use humnet_resilience::{FaultHook, FaultPlan, NoFaults, PlanHook};
+use humnet_resilience::{FaultHook, FaultPlan, InstrumentedHook, NoFaults, PlanHook};
 use humnet_stats::lorenz_curve;
+use humnet_telemetry::Telemetry;
 
 fn core_err(msg: &'static str) -> crate::CoreError {
     crate::CoreError::InvalidParameter(msg)
@@ -50,11 +51,20 @@ pub fn f1_attention(seed: u64) -> Result<F1Result> {
 /// [`f1_attention`] under a fault hook: reviewer no-shows and volunteer
 /// dropout perturb the agenda simulation mid-run.
 pub fn f1_attention_with_faults(seed: u64, hook: &mut dyn FaultHook) -> Result<F1Result> {
+    f1_attention_instrumented(seed, hook, &Telemetry::disabled())
+}
+
+/// [`f1_attention_with_faults`] with telemetry flowing into `tel`.
+pub fn f1_attention_instrumented(
+    seed: u64,
+    hook: &mut dyn FaultHook,
+    tel: &Telemetry,
+) -> Result<F1Result> {
     let mut cfg = AgendaConfig::default();
     cfg.regime = MethodRegime::DataDriven;
     cfg.seed = seed;
     let mut sim = AgendaSim::new(cfg).map_err(upstream("agenda config"))?;
-    sim.run_with_faults(hook).map_err(upstream("agenda run"))?;
+    sim.run_instrumented(hook, tel).map_err(upstream("agenda run"))?;
     let counts: Vec<f64> = sim
         .space
         .problems
@@ -116,6 +126,15 @@ pub fn t1_regimes_with_faults(
     seeds: &[u64],
     hook: &mut dyn FaultHook,
 ) -> Result<(Vec<T1Row>, Table)> {
+    t1_regimes_instrumented(seeds, hook, &Telemetry::disabled())
+}
+
+/// [`t1_regimes_with_faults`] with telemetry flowing into `tel`.
+pub fn t1_regimes_instrumented(
+    seeds: &[u64],
+    hook: &mut dyn FaultHook,
+    tel: &Telemetry,
+) -> Result<(Vec<T1Row>, Table)> {
     if seeds.is_empty() {
         return Err(crate::CoreError::EmptyInput);
     }
@@ -130,7 +149,7 @@ pub fn t1_regimes_with_faults(
             cfg.regime = regime;
             cfg.seed = seed;
             let mut sim = AgendaSim::new(cfg).map_err(upstream("agenda config"))?;
-            sim.run_with_faults(hook).map_err(upstream("agenda run"))?;
+            sim.run_instrumented(hook, tel).map_err(upstream("agenda run"))?;
             marg += coverage(&sim.space, true).map_err(upstream("coverage"))?;
             dom += coverage(&sim.space, false).map_err(upstream("coverage"))?;
             gini += attention_gini(&sim.space).map_err(upstream("gini"))?;
@@ -169,9 +188,17 @@ pub fn t1_regimes_with_faults(
 
 /// **F2** — positionality-statement prevalence by venue kind and year.
 pub fn f2_positionality(seed: u64) -> Result<(Table, Vec<Series>)> {
+    f2_positionality_instrumented(seed, &Telemetry::disabled())
+}
+
+/// [`f2_positionality`] with telemetry: the corpus generation and the
+/// survey-pipeline audit both report into `tel`.
+pub fn f2_positionality_instrumented(seed: u64, tel: &Telemetry) -> Result<(Table, Vec<Series>)> {
     let cfg = CorpusConfig::default();
-    let corpus = cfg.generate(seed).map_err(upstream("corpus generate"))?;
-    let report = MethodsAuditor::new().audit(&corpus)?;
+    let corpus = cfg
+        .generate_instrumented(seed, tel)
+        .map_err(upstream("corpus generate"))?;
+    let report = MethodsAuditor::new().audit_instrumented(&corpus, tel)?;
     let mut table = Table::new(
         "F2: positionality prevalence by venue kind",
         &["venue kind", "papers", "tagged rate", "detected rate"],
@@ -211,10 +238,20 @@ pub fn t2_irr(seed: u64, rounds: u32) -> Result<Table> {
 
 /// [`t2_irr`] under a fault hook: coder attrition degrades coding rounds.
 pub fn t2_irr_with_faults(seed: u64, rounds: u32, hook: &mut dyn FaultHook) -> Result<Table> {
+    t2_irr_instrumented(seed, rounds, hook, &Telemetry::disabled())
+}
+
+/// [`t2_irr_with_faults`] with telemetry flowing into `tel`.
+pub fn t2_irr_instrumented(
+    seed: u64,
+    rounds: u32,
+    hook: &mut dyn FaultHook,
+    tel: &Telemetry,
+) -> Result<Table> {
     let mut study =
         SimulatedStudy::new(StudyConfig::default(), seed).map_err(upstream("study config"))?;
     let traj = study
-        .reliability_trajectory_with_faults(rounds, hook)
+        .reliability_instrumented(rounds, hook, tel)
         .map_err(upstream("trajectory"))?;
     let mut table = Table::new(
         "T2: inter-rater reliability vs codebook refinement",
@@ -242,6 +279,15 @@ pub fn f3_telmex_with_faults(
     points: usize,
     hook: &mut dyn FaultHook,
 ) -> Result<(Series, Series, Table)> {
+    f3_telmex_instrumented(points, hook, &Telemetry::disabled())
+}
+
+/// [`f3_telmex_with_faults`] with telemetry flowing into `tel`.
+pub fn f3_telmex_instrumented(
+    points: usize,
+    hook: &mut dyn FaultHook,
+    tel: &Telemetry,
+) -> Result<(Series, Series, Table)> {
     if points < 2 {
         return Err(core_err("need >= 2 sweep points"));
     }
@@ -264,10 +310,10 @@ pub fn f3_telmex_with_faults(
         let mut cfg = MexicoConfig::default();
         cfg.regulation.enforcement = e;
         cfg.strategy = CircumventionStrategy::ComplyFully;
-        let sc = MexicoScenario::run_with_faults(&cfg, hook).map_err(upstream("mexico run"))?;
+        let sc = MexicoScenario::run_instrumented(&cfg, hook, tel).map_err(upstream("mexico run"))?;
         let share_c = sc.competitor_ixp_share().map_err(upstream("share"))?;
         cfg.strategy = CircumventionStrategy::AsnSplitting;
-        let ss = MexicoScenario::run_with_faults(&cfg, hook).map_err(upstream("mexico run"))?;
+        let ss = MexicoScenario::run_instrumented(&cfg, hook, tel).map_err(upstream("mexico run"))?;
         let share_s = ss.competitor_ixp_share().map_err(upstream("share"))?;
         comply.push(e, share_c);
         split.push(e, share_s);
@@ -291,6 +337,15 @@ pub fn f4_gravity_with_faults(
     points: usize,
     hook: &mut dyn FaultHook,
 ) -> Result<(Series, Series)> {
+    f4_gravity_instrumented(points, hook, &Telemetry::disabled())
+}
+
+/// [`f4_gravity_with_faults`] with telemetry flowing into `tel`.
+pub fn f4_gravity_instrumented(
+    points: usize,
+    hook: &mut dyn FaultHook,
+    tel: &Telemetry,
+) -> Result<(Series, Series)> {
     if points < 2 {
         return Err(core_err("need >= 2 sweep points"));
     }
@@ -308,7 +363,8 @@ pub fn f4_gravity_with_faults(
         let p = i as f64 / (points - 1) as f64;
         let mut cfg = TwoRegionConfig::default();
         cfg.content_presence_south = p;
-        let sc = TwoRegionScenario::run_with_faults(&cfg, hook).map_err(upstream("two-region run"))?;
+        let sc = TwoRegionScenario::run_instrumented(&cfg, hook, tel)
+            .map_err(upstream("two-region run"))?;
         foreign.push(p, sc.foreign_exchange_share().map_err(upstream("share"))?);
         local.push(p, sc.local_exchange_share().map_err(upstream("share"))?);
     }
@@ -323,6 +379,15 @@ pub fn t3_sustainability(seeds: &[u64]) -> Result<Table> {
 /// [`t3_sustainability`] under a fault hook: link outages spike the daily
 /// failure rate, volunteer dropout thins the repair pool.
 pub fn t3_sustainability_with_faults(seeds: &[u64], hook: &mut dyn FaultHook) -> Result<Table> {
+    t3_sustainability_instrumented(seeds, hook, &Telemetry::disabled())
+}
+
+/// [`t3_sustainability_with_faults`] with telemetry flowing into `tel`.
+pub fn t3_sustainability_instrumented(
+    seeds: &[u64],
+    hook: &mut dyn FaultHook,
+    tel: &Telemetry,
+) -> Result<Table> {
     if seeds.is_empty() {
         return Err(crate::CoreError::EmptyInput);
     }
@@ -343,7 +408,7 @@ pub fn t3_sustainability_with_faults(seeds: &[u64], hook: &mut dyn FaultHook) ->
             cfg.seed = seed;
             let out = SustainabilitySim::new(cfg)
                 .map_err(upstream("sustain config"))?
-                .run_with_faults(hook)
+                .run_instrumented(hook, tel)
                 .map_err(upstream("sustain run"))?;
             uptime += out.uptime;
             if !out.mttr.is_nan() {
@@ -377,6 +442,15 @@ pub fn f5_congestion(seed: u64) -> Result<Table> {
 /// [`f5_congestion`] under a fault hook: link outages shrink the shared
 /// backhaul pool; every policy faces the identical outage schedule.
 pub fn f5_congestion_with_faults(seed: u64, hook: &mut dyn FaultHook) -> Result<Table> {
+    f5_congestion_instrumented(seed, hook, &Telemetry::disabled())
+}
+
+/// [`f5_congestion_with_faults`] with telemetry flowing into `tel`.
+pub fn f5_congestion_instrumented(
+    seed: u64,
+    hook: &mut dyn FaultHook,
+    tel: &Telemetry,
+) -> Result<Table> {
     let mut cfg = CongestionConfig::default();
     cfg.seed = seed;
     let sim = CongestionSim::new(cfg).map_err(upstream("congestion config"))?;
@@ -384,7 +458,7 @@ pub fn f5_congestion_with_faults(seed: u64, hook: &mut dyn FaultHook) -> Result<
         "F5: congestion-management policies (30 households, bursty demand)",
         &["policy", "fairness (backlogged)", "utilization", "modest-user starvation"],
     );
-    for out in sim.compare_with_faults(hook) {
+    for out in sim.compare_instrumented(hook, tel) {
         table.row(&[
             out.policy.label().to_owned(),
             Table::f(out.fairness),
@@ -508,6 +582,11 @@ pub fn t5_gatekeeping(points: usize) -> Result<(Series, Series, Table)> {
 
 /// **F8** — IXP growth dynamics: winner-take-all vs regional affinity.
 pub fn f8_growth(points: usize) -> Result<(Series, Series, Table)> {
+    f8_growth_instrumented(points, &Telemetry::disabled())
+}
+
+/// [`f8_growth`] with telemetry flowing into `tel`.
+pub fn f8_growth_instrumented(points: usize, tel: &Telemetry) -> Result<(Series, Series, Table)> {
     if points < 2 {
         return Err(core_err("need >= 2 sweep points"));
     }
@@ -529,7 +608,8 @@ pub fn f8_growth(points: usize) -> Result<(Series, Series, Table)> {
         let gamma = 3.0 * i as f64 / (points - 1) as f64;
         let mut cfg = humnet_ixp::GrowthConfig::default();
         cfg.gamma_region = gamma;
-        let out = humnet_ixp::simulate_growth(&cfg).map_err(upstream("growth run"))?;
+        let out =
+            humnet_ixp::simulate_growth_instrumented(&cfg, tel).map_err(upstream("growth run"))?;
         top.push(gamma, out.top_share);
         local.push(gamma, out.south_joined_local);
         table.row(&[
@@ -571,6 +651,11 @@ pub fn f9_adoption() -> Result<(Series, Table)> {
 /// **T6** — diary-study compliance with and without technology probes
 /// (§6.1's "other methods", after Chidziwisano 2024).
 pub fn t6_diary(seed: u64) -> Result<Table> {
+    t6_diary_instrumented(seed, &Telemetry::disabled())
+}
+
+/// [`t6_diary`] with telemetry flowing into `tel`.
+pub fn t6_diary_instrumented(seed: u64, tel: &Telemetry) -> Result<Table> {
     let mut table = Table::new(
         "T6: diary-study compliance (12 participants, 6 weeks)",
         &[
@@ -584,8 +669,8 @@ pub fn t6_diary(seed: u64) -> Result<Table> {
     for (label, probe_rate) in [("plain diary", 0.0), ("diary + probes", 0.5)] {
         let mut cfg = humnet_qual::DiaryConfig::default();
         cfg.probe_rate = probe_rate;
-        let out =
-            humnet_qual::simulate_diary(&cfg, seed).map_err(upstream("diary run"))?;
+        let out = humnet_qual::simulate_diary_instrumented(&cfg, seed, tel)
+            .map_err(upstream("diary run"))?;
         table.row(&[
             label.to_owned(),
             Table::f(out.overall_compliance(&cfg)),
@@ -644,10 +729,16 @@ pub fn t7_economics(seeds: &[u64]) -> Result<Table> {
 
 /// **F7** — §5 recommendation uptake audit across the corpus.
 pub fn f7_audit(seed: u64) -> Result<Table> {
+    f7_audit_instrumented(seed, &Telemetry::disabled())
+}
+
+/// [`f7_audit`] with telemetry: corpus generation and the survey-pipeline
+/// audit both report into `tel`.
+pub fn f7_audit_instrumented(seed: u64, tel: &Telemetry) -> Result<Table> {
     let corpus = CorpusConfig::default()
-        .generate(seed)
+        .generate_instrumented(seed, tel)
         .map_err(upstream("corpus generate"))?;
-    let report = MethodsAuditor::new().audit(&corpus)?;
+    let report = MethodsAuditor::new().audit_instrumented(&corpus, tel)?;
     let mut table = Table::new(
         "F7: §5 recommendation uptake by venue kind",
         &[
@@ -816,22 +907,32 @@ impl ExperimentId {
     /// `experiments` binary uses) under `plan`, rendering the output
     /// exactly as the binary prints it.
     pub fn run(self, plan: &FaultPlan) -> Result<ExperimentRun> {
-        let mut hook = PlanHook::new(*plan);
+        self.run_instrumented(plan, &Telemetry::disabled())
+    }
+
+    /// [`ExperimentId::run`] with telemetry: the whole run sits inside an
+    /// `exp.{code}` span, fault injections are journaled through an
+    /// [`InstrumentedHook`], and every simulator reports its counters,
+    /// histograms, and milestone events into `tel`. The rendered output
+    /// and fault count are identical to the plain [`ExperimentId::run`].
+    pub fn run_instrumented(self, plan: &FaultPlan, tel: &Telemetry) -> Result<ExperimentRun> {
+        let _span = tel.span(format!("exp.{}", self.code()));
+        let mut hook = InstrumentedHook::new(PlanHook::new(*plan), tel);
         let mut out = String::new();
         match self {
             ExperimentId::F1 => {
-                let r = f1_attention_with_faults(42, &mut hook)?;
+                let r = f1_attention_instrumented(42, &mut hook, tel)?;
                 out.push_str(&r.lorenz.render());
                 out.push('\n');
                 out.push_str(&format!("attention gini = {:.3}\n\n", r.gini));
                 out.push_str(&r.by_class.render());
             }
             ExperimentId::T1 => {
-                let (_, table) = t1_regimes_with_faults(&[1, 2, 3, 4, 5], &mut hook)?;
+                let (_, table) = t1_regimes_instrumented(&[1, 2, 3, 4, 5], &mut hook, tel)?;
                 out.push_str(&table.render());
             }
             ExperimentId::F2 => {
-                let (table, series) = f2_positionality(7)?;
+                let (table, series) = f2_positionality_instrumented(7, tel)?;
                 out.push_str(&table.render());
                 for s in series {
                     out.push('\n');
@@ -839,11 +940,11 @@ impl ExperimentId {
                 }
             }
             ExperimentId::T2 => {
-                let table = t2_irr_with_faults(5, 6, &mut hook)?;
+                let table = t2_irr_instrumented(5, 6, &mut hook, tel)?;
                 out.push_str(&table.render());
             }
             ExperimentId::F3 => {
-                let (comply, split, table) = f3_telmex_with_faults(11, &mut hook)?;
+                let (comply, split, table) = f3_telmex_instrumented(11, &mut hook, tel)?;
                 out.push_str(&comply.render());
                 out.push('\n');
                 out.push_str(&split.render());
@@ -851,17 +952,17 @@ impl ExperimentId {
                 out.push_str(&table.render());
             }
             ExperimentId::F4 => {
-                let (foreign, local) = f4_gravity_with_faults(11, &mut hook)?;
+                let (foreign, local) = f4_gravity_instrumented(11, &mut hook, tel)?;
                 out.push_str(&foreign.render());
                 out.push('\n');
                 out.push_str(&local.render());
             }
             ExperimentId::T3 => {
-                let table = t3_sustainability_with_faults(&[1, 2, 3, 4, 5], &mut hook)?;
+                let table = t3_sustainability_instrumented(&[1, 2, 3, 4, 5], &mut hook, tel)?;
                 out.push_str(&table.render());
             }
             ExperimentId::F5 => {
-                let table = f5_congestion_with_faults(1, &mut hook)?;
+                let table = f5_congestion_instrumented(1, &mut hook, tel)?;
                 out.push_str(&table.render());
             }
             ExperimentId::T4 => {
@@ -879,10 +980,10 @@ impl ExperimentId {
                 out.push_str(&table.render());
             }
             ExperimentId::F7 => {
-                out.push_str(&f7_audit(3)?.render());
+                out.push_str(&f7_audit_instrumented(3, tel)?.render());
             }
             ExperimentId::F8 => {
-                let (top, local, table) = f8_growth(7)?;
+                let (top, local, table) = f8_growth_instrumented(7, tel)?;
                 out.push_str(&top.render());
                 out.push('\n');
                 out.push_str(&local.render());
@@ -896,7 +997,7 @@ impl ExperimentId {
                 out.push_str(&table.render());
             }
             ExperimentId::T6 => {
-                out.push_str(&t6_diary(5)?.render());
+                out.push_str(&t6_diary_instrumented(5, tel)?.render());
             }
             ExperimentId::T7 => {
                 out.push_str(&t7_economics(&[1, 2, 3, 4, 5])?.render());
@@ -904,7 +1005,7 @@ impl ExperimentId {
         }
         Ok(ExperimentRun {
             rendered: out,
-            faults_injected: hook.faults_injected(),
+            faults_injected: hook.inner().faults_injected(),
         })
     }
 }

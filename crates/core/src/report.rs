@@ -41,32 +41,15 @@ impl Table {
         format!("{x:.3}")
     }
 
-    /// Render as an aligned plain-text table.
+    /// Render as an aligned plain-text table via the shared
+    /// [`TextTable`](humnet_telemetry::TextTable) renderer, so experiment
+    /// tables, run reports, and metrics snapshots share one format.
     pub fn render(&self) -> String {
-        let cols = self.headers.len();
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        let mut t = humnet_telemetry::TextTable::new(&self.headers).with_heading(&self.title);
         for row in &self.rows {
-            for (i, cell) in row.iter().enumerate().take(cols) {
-                widths[i] = widths[i].max(cell.len());
-            }
+            t.row(row.clone());
         }
-        let mut out = String::new();
-        out.push_str(&format!("## {}\n\n", self.title));
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let padded: Vec<String> = cells
-                .iter()
-                .zip(widths)
-                .map(|(c, &w)| format!("{c:<w$}"))
-                .collect();
-            format!("| {} |\n", padded.join(" | "))
-        };
-        out.push_str(&fmt_row(&self.headers, &widths));
-        let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
-        out.push_str(&format!("|-{}-|\n", rule.join("-|-")));
-        for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
-        }
-        out
+        t.render()
     }
 }
 

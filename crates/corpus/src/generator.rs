@@ -140,6 +140,36 @@ impl CorpusConfig {
 
     /// Generate a corpus deterministically from a seed.
     pub fn generate(&self, seed: u64) -> Result<Corpus> {
+        self.generate_instrumented(seed, &humnet_telemetry::Telemetry::disabled())
+    }
+
+    /// [`CorpusConfig::generate`] with telemetry: a `corpus.generate`
+    /// span, a `corpus.generate_ns` observation, a paper counter, and a
+    /// milestone event. The generated corpus is identical.
+    pub fn generate_instrumented(
+        &self,
+        seed: u64,
+        tel: &humnet_telemetry::Telemetry,
+    ) -> Result<Corpus> {
+        let _span = tel.span("corpus.generate");
+        let t0 = tel.start();
+        let corpus = self.generate_inner(seed)?;
+        tel.observe_since("corpus.generate_ns", t0);
+        tel.counter("corpus.papers", corpus.papers.len() as u64);
+        tel.counter("corpus.authors", corpus.authors.len() as u64);
+        tel.event(humnet_telemetry::Event::new(
+            "milestone",
+            format!(
+                "corpus.generate: {} papers, {} authors across {} venues",
+                corpus.papers.len(),
+                corpus.authors.len(),
+                corpus.venues.len()
+            ),
+        ));
+        Ok(corpus)
+    }
+
+    fn generate_inner(&self, seed: u64) -> Result<Corpus> {
         self.validate()?;
         let mut rng = Rng::new(seed);
         let venues: Vec<Venue> = self

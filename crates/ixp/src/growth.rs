@@ -137,6 +137,37 @@ pub struct GrowthOutcome {
 
 /// Run the growth model.
 pub fn simulate_growth(config: &GrowthConfig) -> Result<GrowthOutcome> {
+    simulate_growth_instrumented(config, &humnet_telemetry::Telemetry::disabled())
+}
+
+/// [`simulate_growth`] with telemetry: an `ixp.growth` span, a per-round
+/// `ixp.growth_round_ns` histogram, an arrivals counter, and a milestone
+/// event. The simulated trajectory is identical.
+pub fn simulate_growth_instrumented(
+    config: &GrowthConfig,
+    tel: &humnet_telemetry::Telemetry,
+) -> Result<GrowthOutcome> {
+    let _span = tel.span("ixp.growth");
+    let outcome = simulate_growth_inner(config, tel)?;
+    tel.counter(
+        "ixp.growth_arrivals",
+        u64::from(config.rounds) * config.arrivals_per_round as u64,
+    );
+    tel.gauge("ixp.growth_top_share", outcome.top_share);
+    tel.event(humnet_telemetry::Event::new(
+        "milestone",
+        format!(
+            "ixp.growth: {} rounds, top share {:.3}",
+            config.rounds, outcome.top_share
+        ),
+    ));
+    Ok(outcome)
+}
+
+fn simulate_growth_inner(
+    config: &GrowthConfig,
+    tel: &humnet_telemetry::Telemetry,
+) -> Result<GrowthOutcome> {
     config.validate()?;
     let mut rng = Rng::new(config.seed);
     let mut members: Vec<f64> = config.ixps.iter().map(|i| i.members as f64).collect();
@@ -144,6 +175,7 @@ pub fn simulate_growth(config: &GrowthConfig) -> Result<GrowthOutcome> {
     let mut south_arrivals = 0u64;
     let mut south_local = 0u64;
     for _ in 0..config.rounds {
+        let t0 = tel.start();
         for _ in 0..config.arrivals_per_round {
             let is_south = rng.chance(config.south_share);
             // Utilities with logit noise.
@@ -170,6 +202,7 @@ pub fn simulate_growth(config: &GrowthConfig) -> Result<GrowthOutcome> {
             }
         }
         trajectory.push(members.iter().map(|&m| m as u32).collect());
+        tel.observe_since("ixp.growth_round_ns", t0);
     }
     let total: f64 = members.iter().sum();
     let top = members.iter().copied().fold(0.0, f64::max);

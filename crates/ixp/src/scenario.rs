@@ -8,6 +8,7 @@ use crate::traffic::{total_transit_cost, FlowAssignment, TrafficConfig, TrafficM
 use crate::{IxpError, Result};
 use humnet_resilience::{FaultHook, FaultKind, NoFaults};
 use humnet_stats::Rng;
+use humnet_telemetry::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the Mexico/Telmex scenario (experiment **F3**).
@@ -69,6 +70,19 @@ impl MexicoScenario {
     /// incumbent's paid transit. Under [`NoFaults`] this is identical to
     /// [`MexicoScenario::run`].
     pub fn run_with_faults(config: &MexicoConfig, hook: &mut dyn FaultHook) -> Result<Self> {
+        Self::run_instrumented(config, hook, &Telemetry::disabled())
+    }
+
+    /// [`MexicoScenario::run_with_faults`] with telemetry: an `ixp.mexico`
+    /// span, an `ixp.route_assign_ns` histogram over the route+assign hot
+    /// path, scenario/flow counters, and a milestone event. Telemetry only
+    /// observes; the built scenario is identical.
+    pub fn run_instrumented(
+        config: &MexicoConfig,
+        hook: &mut dyn FaultHook,
+        tel: &Telemetry,
+    ) -> Result<Self> {
+        let _span = tel.span("ixp.mexico");
         if config.competitors == 0 || config.incumbent_customers == 0 {
             return Err(IxpError::InvalidParameter(
                 "need at least one competitor and one incumbent customer",
@@ -101,6 +115,7 @@ impl MexicoScenario {
             t.multilateral_peering(ixp)?;
             apply_regulation(&mut t, incumbent, ixp, config.regulation, config.strategy)?;
         }
+        let t0 = tel.start();
         let routes = RoutingTable::compute(&t)?;
         let matrix = TrafficMatrix::gravity(
             &t,
@@ -110,6 +125,17 @@ impl MexicoScenario {
             },
         )?;
         let (flows, _unserved) = matrix.assign(&routes);
+        tel.observe_since("ixp.route_assign_ns", t0);
+        tel.counter("ixp.scenarios", 1);
+        tel.counter("ixp.flows", flows.len() as u64);
+        tel.event(Event::new(
+            "milestone",
+            format!(
+                "ixp.mexico: {} ASes, {} flows routed",
+                t.ases().len(),
+                flows.len()
+            ),
+        ));
         Ok(MexicoScenario {
             topology: t,
             flows,
@@ -215,6 +241,18 @@ impl TwoRegionScenario {
     /// falls back to paid transit. Under [`NoFaults`] this is identical to
     /// [`TwoRegionScenario::run`].
     pub fn run_with_faults(config: &TwoRegionConfig, hook: &mut dyn FaultHook) -> Result<Self> {
+        Self::run_instrumented(config, hook, &Telemetry::disabled())
+    }
+
+    /// [`TwoRegionScenario::run_with_faults`] with telemetry: an
+    /// `ixp.two_region` span, the shared `ixp.route_assign_ns` histogram,
+    /// counters, and a milestone event.
+    pub fn run_instrumented(
+        config: &TwoRegionConfig,
+        hook: &mut dyn FaultHook,
+        tel: &Telemetry,
+    ) -> Result<Self> {
+        let _span = tel.span("ixp.two_region");
         if config.south_isps == 0 || config.content_providers == 0 {
             return Err(IxpError::InvalidParameter(
                 "need at least one south ISP and one content provider",
@@ -266,9 +304,21 @@ impl TwoRegionScenario {
                 t.multilateral_peering(exchange)?;
             }
         }
+        let t0 = tel.start();
         let routes = RoutingTable::compute(&t)?;
         let matrix = TrafficMatrix::gravity(&t, &TrafficConfig::default())?;
         let (flows, _unserved) = matrix.assign(&routes);
+        tel.observe_since("ixp.route_assign_ns", t0);
+        tel.counter("ixp.scenarios", 1);
+        tel.counter("ixp.flows", flows.len() as u64);
+        tel.event(Event::new(
+            "milestone",
+            format!(
+                "ixp.two_region: {} ASes, {} flows routed",
+                t.ases().len(),
+                flows.len()
+            ),
+        ));
         Ok(TwoRegionScenario {
             topology: t,
             flows,

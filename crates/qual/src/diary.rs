@@ -135,6 +135,33 @@ impl DiaryOutcome {
 
 /// Run a diary study deterministically.
 pub fn simulate_diary(config: &DiaryConfig, seed: u64) -> Result<DiaryOutcome> {
+    simulate_diary_instrumented(config, seed, &humnet_telemetry::Telemetry::disabled())
+}
+
+/// [`simulate_diary`] with telemetry: a `qual.diary` span, an entry
+/// counter, and a milestone event. The simulated outcome is identical.
+pub fn simulate_diary_instrumented(
+    config: &DiaryConfig,
+    seed: u64,
+    tel: &humnet_telemetry::Telemetry,
+) -> Result<DiaryOutcome> {
+    let _span = tel.span("qual.diary");
+    let outcome = simulate_diary_inner(config, seed)?;
+    tel.counter("qual.diary_entries", outcome.entries.len() as u64);
+    tel.gauge("qual.diary_compliance", outcome.overall_compliance(config));
+    tel.event(humnet_telemetry::Event::new(
+        "milestone",
+        format!(
+            "qual.diary: {} entries over {} days from {} participants",
+            outcome.entries.len(),
+            config.days,
+            config.participants
+        ),
+    ));
+    Ok(outcome)
+}
+
+fn simulate_diary_inner(config: &DiaryConfig, seed: u64) -> Result<DiaryOutcome> {
     config.validate()?;
     let mut rng = Rng::new(seed);
     let mut entries = Vec::new();

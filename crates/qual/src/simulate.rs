@@ -12,6 +12,7 @@ use crate::reliability::{fleiss_kappa, krippendorff_alpha, percent_agreement};
 use crate::{QualError, Result};
 use humnet_resilience::{FaultHook, FaultKind, NoFaults};
 use humnet_stats::Rng;
+use humnet_telemetry::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// One simulated coder.
@@ -216,8 +217,23 @@ impl SimulatedStudy {
         rounds: u32,
         hook: &mut dyn FaultHook,
     ) -> Result<Vec<RoundReliability>> {
+        self.reliability_instrumented(rounds, hook, &Telemetry::disabled())
+    }
+
+    /// [`SimulatedStudy::reliability_trajectory_with_faults`] with
+    /// telemetry: a `qual.reliability` span, a per-round `qual.round_ns`
+    /// histogram, a round counter, and a milestone event carrying the
+    /// final Krippendorff alpha. The trajectory is identical.
+    pub fn reliability_instrumented(
+        &mut self,
+        rounds: u32,
+        hook: &mut dyn FaultHook,
+        tel: &Telemetry,
+    ) -> Result<Vec<RoundReliability>> {
+        let _span = tel.span("qual.reliability");
         let mut out = Vec::with_capacity(rounds as usize + 1);
         for round in 0..=rounds {
+            let t0 = tel.start();
             let labels = self.code_round_with_faults(round, hook);
             // Mean pairwise percent agreement on mutually-labelled units.
             let mut pa_sum = 0.0;
@@ -253,6 +269,22 @@ impl SimulatedStudy {
                 fleiss_kappa: fk,
                 krippendorff_alpha: alpha,
             });
+            tel.observe_since("qual.round_ns", t0);
+        }
+        tel.counter("qual.rounds", u64::from(rounds) + 1);
+        if let Some(last) = out.last() {
+            tel.gauge("qual.final_alpha", last.krippendorff_alpha);
+            tel.event(
+                Event::new(
+                    "milestone",
+                    format!(
+                        "qual.reliability: {} rounds, final alpha {:.3}",
+                        out.len(),
+                        last.krippendorff_alpha
+                    ),
+                )
+                .with_step(u64::from(last.round)),
+            );
         }
         Ok(out)
     }

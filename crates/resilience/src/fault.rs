@@ -12,6 +12,7 @@
 //!   hook at all.
 
 use humnet_stats::rng::SplitMix64;
+use humnet_telemetry::{Event, Telemetry};
 
 /// The kinds of mid-run failure the paper's socio-technical systems face.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -262,6 +263,49 @@ impl FaultHook for PlanHook {
     }
 }
 
+/// Hook adapter that journals every injection through a [`Telemetry`]
+/// instance: bumps `faults.injected` plus a per-kind counter and appends a
+/// `fault` event with step and severity. Wraps any inner hook, so the
+/// supervised runner can instrument a [`PlanHook`] without changing the
+/// simulators' fault semantics — telemetry observes, it never draws.
+#[derive(Debug)]
+pub struct InstrumentedHook<'a, H: FaultHook> {
+    inner: H,
+    tel: &'a Telemetry,
+}
+
+impl<'a, H: FaultHook> InstrumentedHook<'a, H> {
+    /// Wrap `inner`, recording injections into `tel`.
+    pub fn new(inner: H, tel: &'a Telemetry) -> Self {
+        InstrumentedHook { inner, tel }
+    }
+
+    /// The wrapped hook.
+    pub fn inner(&self) -> &H {
+        &self.inner
+    }
+}
+
+impl<H: FaultHook> FaultHook for InstrumentedHook<'_, H> {
+    fn inject(&mut self, step: u64, kind: FaultKind) -> Option<f64> {
+        let hit = self.inner.inject(step, kind);
+        if let Some(severity) = hit {
+            self.tel.counter("faults.injected", 1);
+            self.tel.counter(&format!("faults.{}", kind.label()), 1);
+            self.tel.event(
+                Event::new("fault", kind.label())
+                    .with_step(step)
+                    .with_severity(severity),
+            );
+        }
+        hit
+    }
+
+    fn faults_injected(&self) -> u64 {
+        self.inner.faults_injected()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +384,31 @@ mod tests {
         }
         assert!(expected > 0);
         assert_eq!(hook.faults_injected(), expected);
+    }
+
+    #[test]
+    fn instrumented_hook_journals_without_changing_decisions() {
+        let plan = FaultPlan::new(FaultProfile::Chaos, 11);
+        let tel = Telemetry::new();
+        let mut plain = PlanHook::new(plan);
+        let mut wrapped = InstrumentedHook::new(PlanHook::new(plan), &tel);
+        for step in 0..100 {
+            for kind in FaultKind::ALL {
+                assert_eq!(plain.inject(step, kind), wrapped.inject(step, kind));
+            }
+        }
+        assert_eq!(plain.faults_injected(), wrapped.faults_injected());
+        let snap = tel.snapshot();
+        assert_eq!(
+            snap.metrics.counters["faults.injected"],
+            plain.faults_injected()
+        );
+        assert_eq!(
+            snap.events.iter().filter(|e| e.kind == "fault").count() as u64,
+            plain.faults_injected()
+        );
+        let first = snap.events.iter().find(|e| e.kind == "fault").unwrap();
+        assert!(first.step.is_some() && first.severity.is_some());
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub mod runner;
 
 pub use backoff::Backoff;
 pub use breaker::CircuitBreaker;
-pub use fault::{FaultHook, FaultKind, FaultPlan, FaultProfile, NoFaults, PlanHook};
+pub use fault::{
+    FaultHook, FaultKind, FaultPlan, FaultProfile, InstrumentedHook, NoFaults, PlanHook,
+};
 pub use report::{ExperimentReport, ExperimentStatus, RunReport};
 pub use runner::{
     render_chain, ExperimentSpec, Job, JobError, JobOutput, RunnerConfig, SupervisedRun, Supervisor,

@@ -1,5 +1,11 @@
 //! Per-experiment outcome records and the aggregated [`RunReport`].
+//!
+//! The report renders through `humnet_telemetry::TextTable` — the same
+//! renderer the metrics tables use — and its headline numbers are pushed
+//! into the run-level telemetry via [`RunReport::record_metrics`], so the
+//! human-readable report and the metrics snapshot cannot drift apart.
 
+use humnet_telemetry::{Telemetry, TextTable};
 use std::fmt;
 
 /// Outcome of one supervised experiment, worst-last.
@@ -154,23 +160,59 @@ impl RunReport {
         out
     }
 
-    fn render_rows(&self, with_durations: bool) -> String {
-        let mut out = String::new();
-        for e in &self.experiments {
-            out.push_str(&format!(
-                "  {:<6} {:<12} {:<9} attempts={} faults={:<5}",
-                e.code, e.family, e.status, e.attempts, e.faults_injected
-            ));
-            if with_durations {
-                out.push_str(&format!(" {:>6}ms", e.duration_ms));
+    /// Push the report's headline numbers into the run-level telemetry so
+    /// the metrics snapshot carries the same counts the rendered report
+    /// shows: experiment/attempt/fault totals and one counter per status
+    /// actually present.
+    pub fn record_metrics(&self, tel: &Telemetry) {
+        tel.counter("runner.experiments", self.experiments.len() as u64);
+        tel.counter(
+            "runner.attempts",
+            self.experiments.iter().map(|e| u64::from(e.attempts)).sum(),
+        );
+        tel.counter("runner.faults_injected", self.total_faults());
+        for status in [
+            ExperimentStatus::Ok,
+            ExperimentStatus::Degraded,
+            ExperimentStatus::Retried,
+            ExperimentStatus::TimedOut,
+            ExperimentStatus::Failed,
+        ] {
+            let n = self.count(status);
+            if n > 0 {
+                tel.counter(&format!("runner.status.{}", status.label()), n as u64);
             }
-            out.push_str(&format!("  {}", e.title));
-            if !e.message.is_empty() {
-                out.push_str(&format!("  [{}]", e.message));
-            }
-            out.push('\n');
         }
-        out
+    }
+
+    fn render_rows(&self, with_durations: bool) -> String {
+        let mut headers = vec!["code", "family", "status", "attempts", "faults"];
+        if with_durations {
+            headers.push("duration");
+        }
+        headers.push("experiment");
+        let mut table = TextTable::new(&headers);
+        for e in &self.experiments {
+            let mut cells = vec![
+                e.code.clone(),
+                e.family.clone(),
+                e.status.label().to_owned(),
+                e.attempts.to_string(),
+                e.faults_injected.to_string(),
+            ];
+            if with_durations {
+                // Fixed width so CI's duration-stripping diff of two
+                // same-seed runs sees identical column alignment.
+                cells.push(format!("{:>6}ms", e.duration_ms));
+            }
+            let mut experiment = e.title.clone();
+            if !e.message.is_empty() {
+                experiment.push_str(&format!("  [{}]", e.message));
+            }
+            cells.push(experiment);
+            table.row(cells);
+        }
+        table.render()
     }
 }
 
@@ -224,6 +266,38 @@ mod tests {
         r.experiments.push(row("f2", ExperimentStatus::Ok));
         r.experiments.push(row("f3", ExperimentStatus::Failed));
         assert_eq!(r.summary_line(), "3 experiments: 2 ok, 1 failed");
+    }
+
+    #[test]
+    fn render_goes_through_the_shared_table() {
+        let mut r = RunReport::default();
+        r.profile = "chaos".to_owned();
+        r.experiments.push(row("f1", ExperimentStatus::Ok));
+        let full = r.render();
+        assert!(full.contains("| code |"), "{full}");
+        assert!(full.contains("| duration |"), "{full}");
+        assert!(full.contains("12ms"), "{full}");
+        let canonical = r.canonical();
+        assert!(!canonical.contains("duration"), "{canonical}");
+        assert!(!canonical.contains("ms"), "{canonical}");
+    }
+
+    #[test]
+    fn record_metrics_mirrors_the_report() {
+        use humnet_telemetry::Telemetry;
+        let mut r = RunReport::default();
+        r.experiments.push(row("f1", ExperimentStatus::Ok));
+        r.experiments.push(row("f2", ExperimentStatus::Failed));
+        r.experiments[1].faults_injected = 4;
+        let tel = Telemetry::new();
+        r.record_metrics(&tel);
+        let snap = tel.snapshot();
+        assert_eq!(snap.metrics.counters["runner.experiments"], 2);
+        assert_eq!(snap.metrics.counters["runner.attempts"], 2);
+        assert_eq!(snap.metrics.counters["runner.faults_injected"], 4);
+        assert_eq!(snap.metrics.counters["runner.status.ok"], 1);
+        assert_eq!(snap.metrics.counters["runner.status.failed"], 1);
+        assert!(!snap.metrics.counters.contains_key("runner.status.retried"));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::backoff::Backoff;
 use crate::breaker::CircuitBreaker;
 use crate::fault::{FaultPlan, FaultProfile};
 use crate::report::{ExperimentReport, ExperimentStatus, RunReport};
+use humnet_telemetry::{Event, Telemetry, TelemetrySnapshot};
 use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc::{self, RecvTimeoutError};
@@ -34,8 +35,11 @@ pub struct JobOutput {
 /// the full `source()` walk, not just the outermost message.
 pub type JobError = Box<dyn std::error::Error + Send + Sync + 'static>;
 
-/// A supervised unit of work. Receives the fault plan for its attempt.
-pub type Job = Arc<dyn Fn(&FaultPlan) -> Result<JobOutput, JobError> + Send + Sync + 'static>;
+/// A supervised unit of work. Receives the fault plan for its attempt and
+/// a per-attempt [`Telemetry`] instance whose snapshot the supervisor
+/// merges into the run-level telemetry when the attempt reports back.
+pub type Job =
+    Arc<dyn Fn(&FaultPlan, &Telemetry) -> Result<JobOutput, JobError> + Send + Sync + 'static>;
 
 /// One experiment the supervisor knows how to run.
 #[derive(Clone)]
@@ -56,7 +60,7 @@ impl ExperimentSpec {
         code: impl Into<String>,
         title: impl Into<String>,
         family: impl Into<String>,
-        job: impl Fn(&FaultPlan) -> Result<JobOutput, JobError> + Send + Sync + 'static,
+        job: impl Fn(&FaultPlan, &Telemetry) -> Result<JobOutput, JobError> + Send + Sync + 'static,
     ) -> Self {
         ExperimentSpec {
             code: code.into(),
@@ -112,6 +116,10 @@ pub struct SupervisedRun {
     pub report: RunReport,
     /// Rendered output of every experiment that completed.
     pub outputs: BTreeMap<String, String>,
+    /// Merged telemetry across the run: runner-level metrics/events plus
+    /// every completed attempt's metrics, spans, and journal (a timed-out
+    /// worker's telemetry is abandoned with the worker).
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// Executes [`ExperimentSpec`]s under panic isolation, deadlines, retries
@@ -144,6 +152,16 @@ impl Supervisor {
     /// Run every spec in order, never panicking, and aggregate a report.
     pub fn run(&mut self, specs: &[ExperimentSpec]) -> SupervisedRun {
         let _quiet = self.config.quiet_panics.then(QuietPanics::install);
+        let tel = Telemetry::new();
+        tel.event(Event::new(
+            "run-start",
+            format!(
+                "profile={} seed={} experiments={}",
+                self.config.profile.label(),
+                self.config.seed,
+                specs.len()
+            ),
+        ));
         let mut run = SupervisedRun {
             report: RunReport {
                 experiments: Vec::with_capacity(specs.len()),
@@ -151,11 +169,15 @@ impl Supervisor {
                 seed: self.config.seed,
             },
             outputs: BTreeMap::new(),
+            telemetry: TelemetrySnapshot::default(),
         };
         for spec in specs {
-            let row = self.run_one(spec, &mut run.outputs);
+            let row = self.run_one(spec, &mut run.outputs, &tel);
             run.report.experiments.push(row);
         }
+        run.report.record_metrics(&tel);
+        tel.event(Event::new("run-end", run.report.summary_line()));
+        run.telemetry = tel.snapshot();
         run
     }
 
@@ -163,9 +185,13 @@ impl Supervisor {
         &mut self,
         spec: &ExperimentSpec,
         outputs: &mut BTreeMap<String, String>,
+        tel: &Telemetry,
     ) -> ExperimentReport {
         let started = Instant::now();
         if self.breaker.is_open(&spec.family) {
+            let message = format!("circuit breaker open for family '{}'", spec.family);
+            tel.counter("runner.breaker_skips", 1);
+            tel.event(Event::new("breaker-skip", message.clone()).in_experiment(&spec.code));
             return ExperimentReport {
                 code: spec.code.clone(),
                 title: spec.title.clone(),
@@ -173,11 +199,12 @@ impl Supervisor {
                 status: ExperimentStatus::Failed,
                 attempts: 0,
                 faults_injected: 0,
-                message: format!("circuit breaker open for family '{}'", spec.family),
+                message,
                 duration_ms: 0,
             };
         }
 
+        tel.event(Event::new("experiment-start", spec.title.clone()).in_experiment(&spec.code));
         let backoff = Backoff::new(
             self.config.backoff_base,
             self.config.seed ^ fnv1a(spec.code.as_bytes()),
@@ -188,10 +215,22 @@ impl Supervisor {
 
         for attempt in 0..=self.config.retries {
             if attempt > 0 {
+                tel.counter("runner.retries", 1);
+                tel.event(
+                    Event::new("retry", format!("after: {last_message}"))
+                        .with_attempt(attempt)
+                        .in_experiment(&spec.code),
+                );
                 thread::sleep(backoff.delay(attempt - 1));
             }
             attempts += 1;
-            match self.attempt(spec, attempt) {
+            let (outcome, snapshot) = self.attempt(spec, attempt);
+            // Merge the worker's telemetry in execution order, scoped to
+            // this experiment, before recording the outcome event.
+            if let Some(snapshot) = snapshot {
+                tel.absorb(snapshot, &spec.code);
+            }
+            match outcome {
                 Attempt::Success(output) => {
                     self.breaker.record_success(&spec.family);
                     let status = if attempt > 0 {
@@ -201,6 +240,15 @@ impl Supervisor {
                     } else {
                         ExperimentStatus::Ok
                     };
+                    tel.observe("runner.attempt_ms", started.elapsed().as_millis() as u64);
+                    tel.event(
+                        Event::new(
+                            "experiment-end",
+                            format!("{} faults={}", status.label(), output.faults_injected),
+                        )
+                        .with_attempt(attempt)
+                        .in_experiment(&spec.code),
+                    );
                     outputs.insert(spec.code.clone(), output.rendered);
                     return ExperimentReport {
                         code: spec.code.clone(),
@@ -216,29 +264,55 @@ impl Supervisor {
                 Attempt::Error(msg) => {
                     last_message = msg;
                     last_timed_out = false;
+                    tel.event(
+                        Event::new("attempt-error", last_message.clone())
+                            .with_attempt(attempt)
+                            .in_experiment(&spec.code),
+                    );
                 }
                 Attempt::Panic(msg) => {
                     last_message = format!("panic: {msg}");
                     last_timed_out = false;
+                    tel.event(
+                        Event::new("panic", msg)
+                            .with_attempt(attempt)
+                            .in_experiment(&spec.code),
+                    );
                 }
                 Attempt::Timeout => {
                     last_message =
                         format!("deadline exceeded ({}ms)", self.config.deadline.as_millis());
                     last_timed_out = true;
+                    tel.event(
+                        Event::new("timeout", last_message.clone())
+                            .with_attempt(attempt)
+                            .in_experiment(&spec.code),
+                    );
                 }
             }
         }
 
-        self.breaker.record_failure(&spec.family);
+        if self.breaker.record_failure(&spec.family) {
+            tel.counter("runner.breaker_trips", 1);
+            tel.event(
+                Event::new("breaker-open", format!("family '{}'", spec.family))
+                    .in_experiment(&spec.code),
+            );
+        }
+        let status = if last_timed_out {
+            ExperimentStatus::TimedOut
+        } else {
+            ExperimentStatus::Failed
+        };
+        tel.event(
+            Event::new("experiment-end", format!("{} after {attempts} attempts", status.label()))
+                .in_experiment(&spec.code),
+        );
         ExperimentReport {
             code: spec.code.clone(),
             title: spec.title.clone(),
             family: spec.family.clone(),
-            status: if last_timed_out {
-                ExperimentStatus::TimedOut
-            } else {
-                ExperimentStatus::Failed
-            },
+            status,
             attempts,
             faults_injected: 0,
             message: last_message,
@@ -246,8 +320,10 @@ impl Supervisor {
         }
     }
 
-    /// One attempt on a watchdogged worker thread.
-    fn attempt(&self, spec: &ExperimentSpec, attempt: u32) -> Attempt {
+    /// One attempt on a watchdogged worker thread. Returns the outcome and,
+    /// when the worker reported back in time, its telemetry snapshot (a
+    /// timed-out worker keeps its telemetry; it is abandoned with it).
+    fn attempt(&self, spec: &ExperimentSpec, attempt: u32) -> (Attempt, Option<TelemetrySnapshot>) {
         // Each attempt gets its own deterministic plan seed: retries see a
         // fresh fault draw (a transient fault may clear), while the whole
         // run — including every retry — replays identically from the same
@@ -265,31 +341,40 @@ impl Supervisor {
         let worker = thread::Builder::new()
             .name(format!("{WORKER_PREFIX}{}", spec.code))
             .spawn(move || {
-                let result = panic::catch_unwind(AssertUnwindSafe(|| job(&plan)));
-                let _ = tx.send(result);
+                // `Telemetry` is `Send` but not `Sync`: one instance lives
+                // entirely inside this worker, and only the plain-data
+                // snapshot crosses back over the channel — so a panicking
+                // or failing job still ships the telemetry it gathered.
+                let tel = Telemetry::new();
+                let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                    let _span = tel.span("runner.attempt");
+                    job(&plan, &tel)
+                }));
+                let _ = tx.send((result, tel.snapshot()));
             });
         let worker = match worker {
             Ok(handle) => handle,
-            Err(e) => return Attempt::Error(format!("failed to spawn worker: {e}")),
+            Err(e) => return (Attempt::Error(format!("failed to spawn worker: {e}")), None),
         };
 
         match rx.recv_timeout(self.config.deadline) {
-            Ok(Ok(Ok(output))) => {
+            Ok((Ok(Ok(output)), snap)) => {
                 let _ = worker.join();
-                Attempt::Success(output)
+                (Attempt::Success(output), Some(snap))
             }
-            Ok(Ok(Err(err))) => {
+            Ok((Ok(Err(err)), snap)) => {
                 let _ = worker.join();
-                Attempt::Error(render_chain(err.as_ref()))
+                (Attempt::Error(render_chain(err.as_ref())), Some(snap))
             }
-            Ok(Err(payload)) => {
+            Ok((Err(payload), snap)) => {
                 let _ = worker.join();
-                Attempt::Panic(panic_message(payload.as_ref()))
+                (Attempt::Panic(panic_message(payload.as_ref())), Some(snap))
             }
-            Err(RecvTimeoutError::Timeout) => Attempt::Timeout, // worker abandoned
-            Err(RecvTimeoutError::Disconnected) => {
-                Attempt::Error("worker disconnected without a result".to_owned())
-            }
+            Err(RecvTimeoutError::Timeout) => (Attempt::Timeout, None), // worker abandoned
+            Err(RecvTimeoutError::Disconnected) => (
+                Attempt::Error("worker disconnected without a result".to_owned()),
+                None,
+            ),
         }
     }
 }
@@ -385,7 +470,7 @@ mod tests {
     }
 
     fn ok_spec(code: &str) -> ExperimentSpec {
-        ExperimentSpec::new(code, format!("title {code}"), "family-a", |_plan| {
+        ExperimentSpec::new(code, format!("title {code}"), "family-a", |_plan, _tel| {
             Ok(JobOutput {
                 rendered: "fine".to_owned(),
                 faults_injected: 0,
@@ -405,7 +490,7 @@ mod tests {
 
     #[test]
     fn faults_on_success_mean_degraded() {
-        let spec = ExperimentSpec::new("e1", "t", "f", |_plan| {
+        let spec = ExperimentSpec::new("e1", "t", "f", |_plan, _tel| {
             Ok(JobOutput {
                 rendered: String::new(),
                 faults_injected: 3,
@@ -419,7 +504,7 @@ mod tests {
 
     #[test]
     fn panic_is_contained_and_reported() {
-        let spec = ExperimentSpec::new("boom", "t", "f", |_plan| -> Result<JobOutput, JobError> {
+        let spec = ExperimentSpec::new("boom", "t", "f", |_plan, _tel| -> Result<JobOutput, JobError> {
             panic!("simulated crash");
         });
         let mut sup = Supervisor::new(quick_config());
@@ -438,7 +523,7 @@ mod tests {
         let mut config = quick_config();
         config.deadline = Duration::from_millis(30);
         config.retries = 0;
-        let spec = ExperimentSpec::new("slow", "t", "f", |_plan| {
+        let spec = ExperimentSpec::new("slow", "t", "f", |_plan, _tel| {
             thread::sleep(Duration::from_secs(5));
             Ok(JobOutput {
                 rendered: String::new(),
@@ -458,7 +543,7 @@ mod tests {
         use std::sync::atomic::{AtomicU32, Ordering};
         let calls = Arc::new(AtomicU32::new(0));
         let calls_in_job = Arc::clone(&calls);
-        let spec = ExperimentSpec::new("flaky", "t", "f", move |_plan| {
+        let spec = ExperimentSpec::new("flaky", "t", "f", move |_plan, _tel| {
             if calls_in_job.fetch_add(1, Ordering::SeqCst) == 0 {
                 Err("transient".into())
             } else {
@@ -479,7 +564,7 @@ mod tests {
     #[test]
     fn breaker_short_circuits_a_failing_family() {
         let fail = |code: &str| {
-            ExperimentSpec::new(code, "t", "sick", |_plan| -> Result<JobOutput, JobError> {
+            ExperimentSpec::new(code, "t", "sick", |_plan, _tel| -> Result<JobOutput, JobError> {
                 Err("always broken".into())
             })
         };
@@ -517,10 +602,66 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_flows_from_workers_into_the_run_snapshot() {
+        let specs = vec![
+            ExperimentSpec::new("good", "t", "fam-a", |_plan, tel: &Telemetry| {
+                tel.counter("job.work", 5);
+                tel.event(Event::new("milestone", "halfway"));
+                Ok(JobOutput {
+                    rendered: String::new(),
+                    faults_injected: 0,
+                })
+            }),
+            ExperimentSpec::new("bad", "t", "fam-b", |_plan, tel: &Telemetry| {
+                tel.event(Event::new("milestone", "about to fail"));
+                Err::<JobOutput, JobError>("broken".into())
+            }),
+        ];
+        let mut sup = Supervisor::new(quick_config());
+        let run = sup.run(&specs);
+        let snap = &run.telemetry;
+        // Worker counters and events arrive scoped to their experiment.
+        assert_eq!(snap.metrics.counters["job.work"], 5);
+        let milestone = snap.events.iter().find(|e| e.detail == "halfway").unwrap();
+        assert_eq!(milestone.experiment, "good");
+        // A failing worker still ships its telemetry, plus runner events.
+        assert!(snap.events.iter().any(|e| e.detail == "about to fail"));
+        assert!(snap.events.iter().any(|e| e.kind == "retry" && e.experiment == "bad"));
+        assert!(snap.events.iter().any(|e| e.kind == "attempt-error"));
+        assert_eq!(snap.events.first().unwrap().kind, "run-start");
+        assert_eq!(snap.events.last().unwrap().kind, "run-end");
+        // Sequence numbers are dense and ordered.
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..snap.events.len() as u64).collect::<Vec<_>>());
+        // Report-derived metrics landed in the same snapshot.
+        assert_eq!(snap.metrics.counters["runner.experiments"], 2);
+        // Worker attempt spans were merged (1 success + 2 failed attempts).
+        let attempt_span = snap.spans.iter().find(|s| s.name == "runner.attempt").unwrap();
+        assert_eq!(attempt_span.count, 3);
+    }
+
+    #[test]
+    fn breaker_trip_and_skip_are_journaled() {
+        let fail = |code: &str| {
+            ExperimentSpec::new(code, "t", "sick", |_plan, _tel| -> Result<JobOutput, JobError> {
+                Err("always broken".into())
+            })
+        };
+        let mut config = quick_config();
+        config.retries = 0;
+        let mut sup = Supervisor::new(config);
+        let run = sup.run(&[fail("a"), fail("b"), fail("c")]);
+        let events = &run.telemetry.events;
+        assert!(events.iter().any(|e| e.kind == "breaker-open" && e.experiment == "b"));
+        assert!(events.iter().any(|e| e.kind == "breaker-skip" && e.experiment == "c"));
+        assert_eq!(run.telemetry.metrics.counters["runner.breaker_skips"], 1);
+    }
+
+    #[test]
     fn reports_are_deterministic_across_runs() {
         let specs = || {
             vec![
-                ExperimentSpec::new("d1", "det one", "fam", |plan: &FaultPlan| {
+                ExperimentSpec::new("d1", "det one", "fam", |plan: &FaultPlan, _tel: &Telemetry| {
                     let faults = (0..50)
                         .filter(|&s| plan.draw(s, crate::fault::FaultKind::LinkOutage).is_some())
                         .count() as u64;

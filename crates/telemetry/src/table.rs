@@ -1,0 +1,114 @@
+//! Shared aligned-pipe-table renderer.
+//!
+//! Both `humnet-core`'s experiment tables and the resilience `RunReport`
+//! render through this one implementation, so the human-readable report
+//! and the metrics snapshot tables cannot drift apart in format.
+
+/// An aligned plain-text pipe table, optionally preceded by a `## heading`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TextTable {
+    heading: Option<String>,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with the given column headers and no heading line.
+    pub fn new<S: AsRef<str>>(headers: &[S]) -> Self {
+        TextTable {
+            heading: None,
+            headers: headers.iter().map(|s| s.as_ref().to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Prepend a `## {heading}` line (markdown-style) to the rendering.
+    #[must_use]
+    pub fn with_heading(mut self, heading: impl Into<String>) -> Self {
+        self.heading = Some(heading.into());
+        self
+    }
+
+    /// Append a row. Short rows are padded with empty cells; extra cells
+    /// beyond the header count are ignored at render time.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render: optional heading, `| h |` header row, `|---|` rule, then one
+    /// `| c |` line per row, every column padded to its widest cell.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(h) = &self.heading {
+            out.push_str(&format!("## {h}\n\n"));
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = widths
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| {
+                    let c = cells.get(i).map(String::as_str).unwrap_or("");
+                    format!("{c:<w$}")
+                })
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        out.push_str(&format!("|-{}-|\n", rule.join("-|-")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_with_heading() {
+        let mut t = TextTable::new(&["name", "value"]).with_heading("Demo");
+        t.row(vec!["short".into(), "1.000".into()]);
+        t.row(vec!["much-longer-name".into(), "0.250".into()]);
+        let s = t.render();
+        assert!(s.starts_with("## Demo\n\n"));
+        assert!(s.contains("| name             | value |"));
+        assert!(s.contains("|------------------|-------|"));
+        assert!(s.contains("| much-longer-name | 0.250 |"));
+        let widths: Vec<usize> = s
+            .lines()
+            .filter(|l| l.starts_with('|'))
+            .map(str::len)
+            .collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    fn no_heading_starts_at_header_row() {
+        let mut t = TextTable::new(&["a"]);
+        t.row(vec!["1".into()]);
+        assert_eq!(t.render(), "| a |\n|---|\n| 1 |\n");
+    }
+
+    #[test]
+    fn short_rows_pad_with_empty_cells() {
+        let mut t = TextTable::new(&["a", "bb"]);
+        t.row(vec!["x".into()]);
+        assert!(t.render().contains("| x |    |"));
+    }
+}

@@ -7,6 +7,7 @@
 //! cargo run --release --bin experiments                      # run everything
 //! cargo run --release --bin experiments -- f3 t1             # run a subset
 //! cargo run --release --bin experiments -- --fault-profile chaos --retries 2 --deadline-ms 30000
+//! cargo run --release --bin experiments -- --metrics-out m.json --journal-out j.jsonl
 //! ```
 //!
 //! Every experiment executes on a watchdogged worker thread with panic
@@ -15,7 +16,10 @@
 //! experiment failed (1) or timed out (2).
 //!
 //! Output is plain text: each experiment prints its rendered tables and
-//! series (with ASCII sparklines standing in for figures).
+//! series (with ASCII sparklines standing in for figures). The supervised
+//! run also collects telemetry — counters, latency histograms, tracing
+//! spans, and a structured event journal — which `--metrics-out`,
+//! `--journal-out`, and `--trace-summary` expose.
 
 use humnet::core::experiments::ExperimentId;
 use humnet::resilience::{
@@ -27,6 +31,9 @@ struct Cli {
     config: RunnerConfig,
     ids: Vec<ExperimentId>,
     report_only: bool,
+    metrics_out: Option<String>,
+    journal_out: Option<String>,
+    trace_summary: bool,
 }
 
 fn main() {
@@ -43,8 +50,8 @@ fn main() {
         .ids
         .iter()
         .map(|&id| {
-            ExperimentSpec::new(id.code(), id.title(), id.family(), move |plan| {
-                id.run(plan)
+            ExperimentSpec::new(id.code(), id.title(), id.family(), move |plan, tel| {
+                id.run_instrumented(plan, tel)
                     .map(|r| JobOutput {
                         rendered: r.rendered,
                         faults_injected: r.faults_injected,
@@ -67,7 +74,41 @@ fn main() {
     }
 
     println!("\n{}", run.report.render());
+
+    // The metrics table carries timings, so it would break the
+    // byte-stability of --report-only output across identical runs; the
+    // report-only mode is what CI diffs.
+    if !cli.report_only {
+        println!("\n{}", run.telemetry.render_metrics_table());
+    }
+    if cli.trace_summary {
+        println!("\n{}", run.telemetry.render_trace_summary());
+    }
+    if let Some(path) = &cli.metrics_out {
+        match run.telemetry.to_json() {
+            Ok(json) => write_or_die(path, &json, "metrics snapshot"),
+            Err(e) => die(&format!("failed to serialize metrics snapshot: {e}")),
+        }
+    }
+    if let Some(path) = &cli.journal_out {
+        match run.telemetry.to_jsonl() {
+            Ok(jsonl) => write_or_die(path, &jsonl, "event journal"),
+            Err(e) => die(&format!("failed to serialize event journal: {e}")),
+        }
+    }
+
     std::process::exit(run.report.exit_code());
+}
+
+fn write_or_die(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        die(&format!("failed to write {what} to {path}: {e}"));
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
 }
 
 const USAGE: &str = "\
@@ -83,12 +124,18 @@ Options:
   --seed <N>           seed for fault plans and retry jitter (default 42)
   --intensity <X>      multiplier on the profile's fault rates (default 1.0)
   --report-only        print only the final run report
+  --metrics-out <PATH> write the telemetry snapshot (metrics + spans) as JSON
+  --journal-out <PATH> write the structured event journal as JSONL
+  --trace-summary      print the per-span flame summary after the report
   --help               show this help";
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut config = RunnerConfig::default();
     let mut ids = Vec::new();
     let mut report_only = false;
+    let mut metrics_out = None;
+    let mut journal_out = None;
+    let mut trace_summary = false;
     let mut args = args.peekable();
 
     while let Some(arg) = args.next() {
@@ -130,6 +177,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                 config.intensity = x;
             }
             "--report-only" => report_only = true,
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
+            "--journal-out" => journal_out = Some(value("--journal-out")?),
+            "--trace-summary" => trace_summary = true,
             flag if flag.starts_with('-') => return Err(format!("unknown option '{flag}'")),
             id => {
                 let parsed = ExperimentId::parse(id)
@@ -151,6 +201,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         config,
         ids,
         report_only,
+        metrics_out,
+        journal_out,
+        trace_summary,
     })
 }
 

@@ -27,6 +27,7 @@
 //! | [`agenda`] | `humnet-agenda` | research-ecosystem ABM + venue gatekeeping |
 //! | [`survey`] | `humnet-survey` | Likert instruments, sampling bias, positionality detection |
 //! | [`resilience`] | `humnet-resilience` | deterministic fault injection, supervised experiment runner |
+//! | [`telemetry`] | `humnet-telemetry` | metrics registry, tracing spans, structured event journal |
 //! | [`core`] | `humnet-core` | PAR / ethnography / reflexivity workflows, methods auditor, experiment suite |
 //!
 //! ## Quickstart
@@ -56,4 +57,5 @@ pub use humnet_qual as qual;
 pub use humnet_resilience as resilience;
 pub use humnet_stats as stats;
 pub use humnet_survey as survey;
+pub use humnet_telemetry as telemetry;
 pub use humnet_text as text;

@@ -121,8 +121,8 @@ fn supervised_chaos_run_reproducible() {
         [ExperimentId::F1, ExperimentId::T2, ExperimentId::F4, ExperimentId::F5]
             .into_iter()
             .map(|id| {
-                ExperimentSpec::new(id.code(), id.title(), id.family(), move |plan| {
-                    id.run(plan)
+                ExperimentSpec::new(id.code(), id.title(), id.family(), move |plan, tel| {
+                    id.run_instrumented(plan, tel)
                         .map(|r| JobOutput {
                             rendered: r.rendered,
                             faults_injected: r.faults_injected,
@@ -144,6 +144,8 @@ fn supervised_chaos_run_reproducible() {
     // Same seed + plan => byte-identical canonical report and outputs.
     assert_eq!(a.report.canonical(), b.report.canonical());
     assert_eq!(a.outputs, b.outputs);
+    // ... and the same telemetry event sequence (timings excluded).
+    assert_eq!(a.telemetry.canonical_events(), b.telemetry.canonical_events());
     assert!(a.report.total_faults() > 0, "chaos must actually inject");
     assert_eq!(a.report.exit_code(), 0, "chaos degrades, not fails");
 
