@@ -916,8 +916,20 @@ impl ExperimentId {
     /// histograms, and milestone events into `tel`. The rendered output
     /// and fault count are identical to the plain [`ExperimentId::run`].
     pub fn run_instrumented(self, plan: &FaultPlan, tel: &Telemetry) -> Result<ExperimentRun> {
+        self.run_hooked(&mut PlanHook::new(*plan), tel)
+    }
+
+    /// [`ExperimentId::run_instrumented`] with the fault source
+    /// abstracted: drive the experiment's injection points from any
+    /// [`FaultHook`] — a live [`PlanHook`], a replayed recorded schedule,
+    /// or [`NoFaults`]. The hook is wrapped in an [`InstrumentedHook`] so
+    /// injections are journaled identically whatever their source, and
+    /// the reported fault count covers this run only even when the hook
+    /// is reused across experiments.
+    pub fn run_hooked(self, fault: &mut dyn FaultHook, tel: &Telemetry) -> Result<ExperimentRun> {
         let _span = tel.span(format!("exp.{}", self.code()));
-        let mut hook = InstrumentedHook::new(PlanHook::new(*plan), tel);
+        let before = fault.faults_injected();
+        let mut hook = InstrumentedHook::new(fault, tel);
         let mut out = String::new();
         match self {
             ExperimentId::F1 => {
@@ -1005,7 +1017,7 @@ impl ExperimentId {
         }
         Ok(ExperimentRun {
             rendered: out,
-            faults_injected: hook.inner().faults_injected(),
+            faults_injected: hook.inner().faults_injected() - before,
         })
     }
 }

@@ -50,6 +50,12 @@ impl FaultKind {
         }
     }
 
+    /// Parse a [`FaultKind::label`] spelling back into the kind — the
+    /// inverse the replay engine uses to reconstruct a recorded schedule.
+    pub fn parse(s: &str) -> Option<Self> {
+        FaultKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+
     /// Stable index used to decorrelate the hash streams per kind.
     fn lane(self) -> u64 {
         match self {
@@ -216,6 +222,20 @@ pub trait FaultHook {
     /// Number of faults this hook has injected so far.
     fn faults_injected(&self) -> u64 {
         0
+    }
+}
+
+/// A mutable reference forwards to the hook it points at, so adapters like
+/// [`InstrumentedHook`] can wrap `&mut dyn FaultHook` without taking
+/// ownership (the replay engine relies on this to instrument a caller's
+/// recorded-schedule hook).
+impl<H: FaultHook + ?Sized> FaultHook for &mut H {
+    fn inject(&mut self, step: u64, kind: FaultKind) -> Option<f64> {
+        (**self).inject(step, kind)
+    }
+
+    fn faults_injected(&self) -> u64 {
+        (**self).faults_injected()
     }
 }
 
@@ -417,5 +437,13 @@ mod tests {
             assert_eq!(FaultProfile::parse(p.label()), Some(p));
         }
         assert_eq!(FaultProfile::parse("bogus"), None);
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(k.label()), Some(k));
+        }
+        assert_eq!(FaultKind::parse("meteor-strike"), None);
     }
 }

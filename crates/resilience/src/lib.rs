@@ -12,19 +12,33 @@
 //!    circuit breaker ([`breaker`]).
 //! 3. [`report`] — [`RunReport`]: per-experiment status rows with a
 //!    byte-reproducible canonical rendering and a process exit code.
+//! 4. [`shard`] — [`ShardPlan`] partitions a run across in-process worker
+//!    shards whose merged canonical output is byte-identical to the
+//!    1-shard run of the same seed.
+//! 5. [`replay`] — reconstruct a past run's configuration and fault
+//!    schedule from its captured journal, re-execute it, and diff the
+//!    canonical event streams.
 
 pub mod backoff;
 pub mod breaker;
 pub mod fault;
+pub mod replay;
 pub mod report;
 pub mod runner;
+pub mod shard;
 
 pub use backoff::Backoff;
 pub use breaker::CircuitBreaker;
 pub use fault::{
     FaultHook, FaultKind, FaultPlan, FaultProfile, InstrumentedHook, NoFaults, PlanHook,
 };
+pub use replay::{
+    first_divergence, reconstruct, replay, Divergence, RecordedFault, RecordedFaults,
+    ReplayError, ReplayReport, ReplaySpec,
+};
 pub use report::{ExperimentReport, ExperimentStatus, RunReport};
 pub use runner::{
-    render_chain, ExperimentSpec, Job, JobError, JobOutput, RunnerConfig, SupervisedRun, Supervisor,
+    render_chain, ExperimentSpec, Job, JobError, JobOutput, RunnerConfig, SupervisedRun,
+    Supervisor, SupervisorBuilder,
 };
+pub use shard::{merge_runs, run_sharded, ShardPlan};

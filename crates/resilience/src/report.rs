@@ -106,6 +106,13 @@ impl RunReport {
         self.experiments.iter().filter(|e| e.status == status).count()
     }
 
+    /// Append another report's rows (sharded-run aggregation: shard
+    /// reports concatenate in shard order, which — with contiguous shard
+    /// slices — reconstructs the original spec order).
+    pub fn absorb(&mut self, other: RunReport) {
+        self.experiments.extend(other.experiments);
+    }
+
     /// Total faults injected across all experiments.
     pub fn total_faults(&self) -> u64 {
         self.experiments.iter().map(|e| e.faults_injected).sum()

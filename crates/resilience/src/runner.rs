@@ -14,6 +14,7 @@ use crate::backoff::Backoff;
 use crate::breaker::CircuitBreaker;
 use crate::fault::{FaultPlan, FaultProfile};
 use crate::report::{ExperimentReport, ExperimentStatus, RunReport};
+use crate::shard::run_sharded;
 use humnet_telemetry::{Event, Telemetry, TelemetrySnapshot};
 use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
@@ -123,10 +124,126 @@ pub struct SupervisedRun {
 }
 
 /// Executes [`ExperimentSpec`]s under panic isolation, deadlines, retries
-/// and a circuit breaker, producing a [`SupervisedRun`].
+/// and a circuit breaker, producing a [`SupervisedRun`]. With
+/// [`SupervisorBuilder::shards`] above 1, [`Supervisor::run`] fans the
+/// specs out across shard threads and folds the per-shard results back
+/// into one run-level view (see [`crate::shard`]).
 pub struct Supervisor {
     config: RunnerConfig,
     breaker: CircuitBreaker,
+    shards: u32,
+}
+
+/// Fluent construction for [`Supervisor`] — the preferred alternative to
+/// filling a [`RunnerConfig`] field by field:
+///
+/// ```
+/// # use humnet_resilience::{FaultProfile, Supervisor};
+/// # use std::time::Duration;
+/// let mut sup = Supervisor::builder()
+///     .retries(2)
+///     .deadline(Duration::from_secs(30))
+///     .fault_profile(FaultProfile::Chaos)
+///     .shards(4)
+///     .build();
+/// ```
+#[derive(Debug, Clone)]
+pub struct SupervisorBuilder {
+    config: RunnerConfig,
+    shards: u32,
+}
+
+impl Default for SupervisorBuilder {
+    fn default() -> Self {
+        SupervisorBuilder {
+            config: RunnerConfig::default(),
+            shards: 1,
+        }
+    }
+}
+
+impl SupervisorBuilder {
+    /// Extra attempts after the first (0 = no retries).
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.config.retries = retries;
+        self
+    }
+
+    /// Per-attempt wall-clock deadline.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.config.deadline = deadline;
+        self
+    }
+
+    /// Base delay for the retry backoff schedule.
+    #[must_use]
+    pub fn backoff_base(mut self, base: Duration) -> Self {
+        self.config.backoff_base = base;
+        self
+    }
+
+    /// Consecutive family failures before the breaker opens (0 = disabled).
+    #[must_use]
+    pub fn breaker_threshold(mut self, threshold: u32) -> Self {
+        self.config.breaker_threshold = threshold;
+        self
+    }
+
+    /// Seed for the fault plans and the jitter stream.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Fault mix injected into every experiment.
+    #[must_use]
+    pub fn fault_profile(mut self, profile: FaultProfile) -> Self {
+        self.config.profile = profile;
+        self
+    }
+
+    /// Multiplier on the profile's fault rates.
+    #[must_use]
+    pub fn intensity(mut self, intensity: f64) -> Self {
+        self.config.intensity = intensity;
+        self
+    }
+
+    /// Suppress the default panic-hook backtrace for supervised workers.
+    #[must_use]
+    pub fn quiet_panics(mut self, quiet: bool) -> Self {
+        self.config.quiet_panics = quiet;
+        self
+    }
+
+    /// Worker shards the run fans out across (clamped to at least 1).
+    /// Per-experiment outcomes and the canonical journal are
+    /// shard-invariant; see `crate::shard` for what is not.
+    #[must_use]
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Replace the whole configuration at once (escape hatch for callers
+    /// that already hold a [`RunnerConfig`]).
+    #[must_use]
+    pub fn config(mut self, config: RunnerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Finish: a [`Supervisor`] with a fresh (closed) breaker per shard.
+    pub fn build(self) -> Supervisor {
+        Supervisor {
+            breaker: CircuitBreaker::new(self.config.breaker_threshold),
+            config: self.config,
+            shards: self.shards,
+        }
+    }
 }
 
 /// Outcome of a single attempt, before retry/status mapping.
@@ -138,10 +255,16 @@ enum Attempt {
 }
 
 impl Supervisor {
-    /// Supervisor with a fresh (closed) breaker.
+    /// Supervisor with a fresh (closed) breaker. Thin shim over
+    /// [`Supervisor::builder`] kept for callers that already hold a
+    /// [`RunnerConfig`]; new code should prefer the builder.
     pub fn new(config: RunnerConfig) -> Self {
-        let breaker = CircuitBreaker::new(config.breaker_threshold);
-        Supervisor { config, breaker }
+        Supervisor::builder().config(config).build()
+    }
+
+    /// Start building a supervisor fluently.
+    pub fn builder() -> SupervisorBuilder {
+        SupervisorBuilder::default()
     }
 
     /// The configuration this supervisor runs with.
@@ -149,19 +272,50 @@ impl Supervisor {
         &self.config
     }
 
-    /// Run every spec in order, never panicking, and aggregate a report.
+    /// How many shards [`Supervisor::run`] fans out across.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Run every spec, never panicking, and aggregate a report. With more
+    /// than one shard configured, specs are partitioned contiguously
+    /// across shard threads (each with its own supervisor and breaker) and
+    /// the per-shard runs are merged back into a single run-level view.
     pub fn run(&mut self, specs: &[ExperimentSpec]) -> SupervisedRun {
+        if self.shards > 1 {
+            return run_sharded(self.config, self.shards, specs);
+        }
         let _quiet = self.config.quiet_panics.then(QuietPanics::install);
         let tel = Telemetry::new();
         tel.event(Event::new(
             "run-start",
-            format!(
-                "profile={} seed={} experiments={}",
-                self.config.profile.label(),
-                self.config.seed,
-                specs.len()
-            ),
+            run_start_detail(&self.config, specs.len()),
         ));
+        let mut run = self.run_specs(specs, &tel);
+        run.report.record_metrics(&tel);
+        tel.event(Event::new("run-end", run.report.summary_line()));
+        run.telemetry = tel.snapshot();
+        run
+    }
+
+    /// Run one shard's slice of a larger run: no `run-start`/`run-end`
+    /// boundary events, no run-level report metrics (the merge records
+    /// those once over the merged report), and every journal event stamped
+    /// with `shard`. The caller is responsible for installing the quiet
+    /// panic hook once around all shards.
+    pub fn run_shard(&mut self, specs: &[ExperimentSpec], shard: u32) -> SupervisedRun {
+        let tel = Telemetry::new();
+        tel.counter(&format!("runner.shard.{shard}.experiments"), specs.len() as u64);
+        let mut run = self.run_specs(specs, &tel);
+        run.telemetry = tel.snapshot();
+        run.telemetry.stamp_shard(shard);
+        run
+    }
+
+    /// The shared per-spec loop behind [`Supervisor::run`] and
+    /// [`Supervisor::run_shard`]. Leaves `telemetry` empty; callers
+    /// snapshot `tel` after adding their own boundary events/metrics.
+    fn run_specs(&mut self, specs: &[ExperimentSpec], tel: &Telemetry) -> SupervisedRun {
         let mut run = SupervisedRun {
             report: RunReport {
                 experiments: Vec::with_capacity(specs.len()),
@@ -172,12 +326,9 @@ impl Supervisor {
             telemetry: TelemetrySnapshot::default(),
         };
         for spec in specs {
-            let row = self.run_one(spec, &mut run.outputs, &tel);
+            let row = self.run_one(spec, &mut run.outputs, tel);
             run.report.experiments.push(row);
         }
-        run.report.record_metrics(&tel);
-        tel.event(Event::new("run-end", run.report.summary_line()));
-        run.telemetry = tel.snapshot();
         run
     }
 
@@ -381,6 +532,22 @@ impl Supervisor {
 
 const WORKER_PREFIX: &str = "humnet-exp-";
 
+/// The `run-start` event detail: every configuration knob that shapes the
+/// canonical event stream, as `key=value` tokens. The replay engine parses
+/// this line to reconstruct the [`RunnerConfig`] a captured journal ran
+/// under (the deadline is deliberately absent — it only matters under
+/// wall-clock timeouts, which are not reproducible anyway).
+pub(crate) fn run_start_detail(config: &RunnerConfig, experiments: usize) -> String {
+    format!(
+        "profile={} seed={} intensity={} retries={} breaker={} experiments={experiments}",
+        config.profile.label(),
+        config.seed,
+        config.intensity,
+        config.retries,
+        config.breaker_threshold,
+    )
+}
+
 /// Render an error and its full `source()` chain as `outer: mid: root`.
 pub fn render_chain(err: &(dyn std::error::Error + 'static)) -> String {
     let mut out = err.to_string();
@@ -412,14 +579,14 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// threads only. Panics on other threads still print as usual. A global
 /// lock serializes install/restore so concurrent supervisors (e.g. in
 /// parallel tests) cannot tangle the hook chain.
-struct QuietPanics {
+pub(crate) struct QuietPanics {
     _guard: std::sync::MutexGuard<'static, ()>,
 }
 
 static HOOK_LOCK: Mutex<()> = Mutex::new(());
 
 impl QuietPanics {
-    fn install() -> Self {
+    pub(crate) fn install() -> Self {
         let guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let previous = panic::take_hook();
         panic::set_hook(Box::new(move |info| {

@@ -19,6 +19,11 @@ pub struct Event {
     /// Experiment code the event belongs to (empty for run-level events;
     /// the supervisor stamps worker events with their experiment scope).
     pub experiment: String,
+    /// Shard the event was recorded on, for sharded supervised runs
+    /// (`None` for single-supervisor runs and run-level merge events).
+    /// Excluded from [`Event::canonical`]: the canonical journal of a
+    /// merged sharded run is byte-identical to the 1-shard run's.
+    pub shard: Option<u32>,
     /// Event kind: `fault`, `retry`, `breaker-open`, `breaker-skip`,
     /// `milestone`, `experiment-start`, `experiment-end`, `run-start`,
     /// `run-end`, `attempt-error`, `panic`, `timeout`.
@@ -71,8 +76,16 @@ impl Event {
         self
     }
 
-    /// Canonical one-line form with timings and `seq` excluded — two
-    /// same-seed runs must produce identical canonical lines.
+    /// Stamp the shard the event was recorded on.
+    #[must_use]
+    pub fn with_shard(mut self, shard: u32) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Canonical one-line form with timings, `seq`, and `shard` excluded —
+    /// two same-seed runs must produce identical canonical lines, and a
+    /// merged sharded run must canonicalize identically to a 1-shard run.
     pub fn canonical(&self) -> String {
         let step = self.step.map_or(String::new(), |s| s.to_string());
         let sev = self.severity.map_or(String::new(), |s| format!("{s:.4}"));
@@ -191,15 +204,26 @@ mod tests {
     }
 
     #[test]
-    fn canonical_excludes_seq() {
+    fn canonical_excludes_seq_and_shard() {
         let a = Event {
             seq: 1,
             ..Event::new("fault", "x").with_step(3)
         };
         let b = Event {
             seq: 9,
-            ..Event::new("fault", "x").with_step(3)
+            ..Event::new("fault", "x").with_step(3).with_shard(2)
         };
         assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn pre_shard_journals_still_parse() {
+        // A journal line captured before the `shard` field existed must
+        // deserialize with `shard: None` so old journals stay replayable.
+        let line = r#"{"seq":0,"experiment":"f1","kind":"fault","step":4,"severity":0.5,"attempt":null,"detail":"link-outage"}"#;
+        let events = from_jsonl(line).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].shard, None);
+        assert_eq!(events[0].step, Some(4));
     }
 }

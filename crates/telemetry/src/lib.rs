@@ -203,7 +203,11 @@ pub struct TelemetrySnapshot {
 
 impl TelemetrySnapshot {
     /// Merge another snapshot (e.g. from a shard) into this one; `scope`
-    /// stamps the other's unscoped events.
+    /// stamps the other's unscoped events. Counters add, gauges overwrite,
+    /// histograms and spans merge bucket-wise/by-name — all associative and
+    /// loss-free — and events append in order with `seq` reassigned, so
+    /// folding per-shard snapshots in `(shard, seq)` order reconstructs the
+    /// run-level journal.
     pub fn merge(&mut self, other: &TelemetrySnapshot, scope: &str) {
         self.metrics.merge(&other.metrics);
         trace::merge_spans(&mut self.spans, &other.spans);
@@ -217,6 +221,19 @@ impl TelemetrySnapshot {
         }
     }
 
+    /// Stamp every event that does not already carry a shard id with
+    /// `shard`. The sharded supervisor calls this on each per-shard
+    /// snapshot before the run-level merge, so a merged journal records
+    /// which shard produced every line without disturbing the canonical
+    /// (shard-invariant) form.
+    pub fn stamp_shard(&mut self, shard: u32) {
+        for event in &mut self.events {
+            if event.shard.is_none() {
+                event.shard = Some(shard);
+            }
+        }
+    }
+
     /// Canonical event lines (timings and seq excluded): two same-seed
     /// runs must produce identical output.
     pub fn canonical_events(&self) -> Vec<String> {
@@ -226,6 +243,12 @@ impl TelemetrySnapshot {
     /// Pretty-printed JSON of the whole snapshot (for `--metrics-out`).
     pub fn to_json(&self) -> Result<String, serde_json::Error> {
         serde_json::to_string_pretty(self)
+    }
+
+    /// Parse a snapshot previously written by [`TelemetrySnapshot::to_json`]
+    /// (the `experiments merge-metrics` input format).
+    pub fn from_json(text: &str) -> Result<TelemetrySnapshot, serde_json::Error> {
+        serde_json::from_str(text)
     }
 
     /// Journal as JSONL (for `--journal-out`).
@@ -371,6 +394,21 @@ mod tests {
         assert_eq!(snap.events[1].experiment, "f1");
         assert_eq!(snap.events[2].experiment, "explicit");
         assert_eq!(snap.metrics.counters["agenda.rounds"], 60);
+    }
+
+    #[test]
+    fn stamp_shard_preserves_explicit_ids_and_canonical_form() {
+        let tel = Telemetry::new();
+        tel.event(Event::new("milestone", "a"));
+        tel.event(Event::new("fault", "b").with_shard(7));
+        let mut snap = tel.snapshot();
+        let canonical_before = snap.canonical_events();
+        snap.stamp_shard(3);
+        assert_eq!(snap.events[0].shard, Some(3));
+        // An explicit shard id is never overwritten.
+        assert_eq!(snap.events[1].shard, Some(7));
+        // Shard stamping is invisible to the canonical journal.
+        assert_eq!(snap.canonical_events(), canonical_before);
     }
 
     #[test]

@@ -1,34 +1,63 @@
 //! Regenerates every table and figure recorded in `EXPERIMENTS.md`, under
-//! a supervised runner with optional fault injection.
+//! a supervised runner with optional fault injection, sharding, and
+//! journal-driven replay.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release --bin experiments                      # run everything
-//! cargo run --release --bin experiments -- f3 t1             # run a subset
-//! cargo run --release --bin experiments -- --fault-profile chaos --retries 2 --deadline-ms 30000
-//! cargo run --release --bin experiments -- --metrics-out m.json --journal-out j.jsonl
+//! cargo run --release --bin experiments -- run                # run everything
+//! cargo run --release --bin experiments -- run f3 t1          # run a subset
+//! cargo run --release --bin experiments -- run --fault-profile chaos --shards 4
+//! cargo run --release --bin experiments -- run --metrics-out m.json --journal-out j.jsonl
+//! cargo run --release --bin experiments -- list               # experiment catalog
+//! cargo run --release --bin experiments -- merge-metrics a.json b.json
+//! cargo run --release --bin experiments -- replay j.jsonl     # re-execute a capture
+//! cargo run --release --bin experiments -- f3 t1              # bare form = `run`
 //! ```
 //!
 //! Every experiment executes on a watchdogged worker thread with panic
-//! isolation, bounded retries and a per-family circuit breaker; the run
-//! ends with a status table and the process exits nonzero if any
-//! experiment failed (1) or timed out (2).
+//! isolation, bounded retries and a per-family circuit breaker. With
+//! `--shards N` the experiment list is partitioned across N in-process
+//! shards whose merged canonical journal and report are byte-identical to
+//! the single-shard run of the same seed. `replay` reconstructs a past
+//! run's configuration and fault schedule from its captured journal,
+//! re-executes it, and diffs the canonical event streams.
 //!
 //! Output is plain text: each experiment prints its rendered tables and
 //! series (with ASCII sparklines standing in for figures). The supervised
 //! run also collects telemetry — counters, latency histograms, tracing
 //! spans, and a structured event journal — which `--metrics-out`,
 //! `--journal-out`, and `--trace-summary` expose.
+//!
+//! Exit codes: 0 — all experiments completed (or replay matched);
+//! 1 — an experiment failed, or replay diverged from the capture;
+//! 2 — an experiment timed out, or bad arguments / unreadable input /
+//! unwritable output.
 
 use humnet::core::experiments::ExperimentId;
 use humnet::resilience::{
-    ExperimentSpec, FaultProfile, JobError, JobOutput, RunnerConfig, Supervisor,
+    replay, ExperimentSpec, FaultProfile, JobError, JobOutput, RunnerConfig, Supervisor,
 };
+use humnet::telemetry::{journal, TelemetrySnapshot, TextTable};
 use std::time::Duration;
 
-struct Cli {
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(args.split_off(1)),
+        Some("list") => cmd_list(args.split_off(1)),
+        Some("merge-metrics") => cmd_merge_metrics(args.split_off(1)),
+        Some("replay") => cmd_replay(args.split_off(1)),
+        // Bare `experiments [OPTIONS] [ID...]` stays an alias for `run`.
+        _ => cmd_run(args),
+    }
+}
+
+// ---------------------------------------------------------------- run --
+
+struct RunCli {
     config: RunnerConfig,
+    shards: u32,
     ids: Vec<ExperimentId>,
     report_only: bool,
     metrics_out: Option<String>,
@@ -36,32 +65,29 @@ struct Cli {
     trace_summary: bool,
 }
 
-fn main() {
-    let cli = match parse_args(std::env::args().skip(1)) {
+fn cmd_run(args: Vec<String>) -> ! {
+    let cli = match parse_run_args(args.into_iter()) {
         Ok(cli) => cli,
-        Err(msg) => {
-            eprintln!("{msg}");
-            eprintln!("{USAGE}");
-            std::process::exit(2);
-        }
+        Err(msg) => usage_error(&msg),
     };
 
-    let specs: Vec<ExperimentSpec> = cli
-        .ids
-        .iter()
-        .map(|&id| {
-            ExperimentSpec::new(id.code(), id.title(), id.family(), move |plan, tel| {
-                id.run_instrumented(plan, tel)
-                    .map(|r| JobOutput {
-                        rendered: r.rendered,
-                        faults_injected: r.faults_injected,
-                    })
-                    .map_err(|e| Box::new(e) as JobError)
-            })
-        })
-        .collect();
+    // Fail on unwritable output paths *before* spending minutes running
+    // experiments: create/truncate each output file up front.
+    for (path, what) in [
+        (&cli.metrics_out, "metrics snapshot"),
+        (&cli.journal_out, "event journal"),
+    ] {
+        if let Some(path) = path {
+            preflight_writable(path, what);
+        }
+    }
 
-    let run = Supervisor::new(cli.config).run(&specs);
+    let specs: Vec<ExperimentSpec> = cli.ids.iter().map(|&id| spec_for(id)).collect();
+    let run = Supervisor::builder()
+        .config(cli.config)
+        .shards(cli.shards)
+        .build()
+        .run(&specs);
 
     if !cli.report_only {
         for (id, row) in cli.ids.iter().zip(&run.report.experiments) {
@@ -100,37 +126,9 @@ fn main() {
     std::process::exit(run.report.exit_code());
 }
 
-fn write_or_die(path: &str, contents: &str, what: &str) {
-    if let Err(e) = std::fs::write(path, contents) {
-        die(&format!("failed to write {what} to {path}: {e}"));
-    }
-}
-
-fn die(msg: &str) -> ! {
-    eprintln!("{msg}");
-    std::process::exit(2);
-}
-
-const USAGE: &str = "\
-usage: experiments [OPTIONS] [ID...]
-
-IDs (default: all, in EXPERIMENTS.md order):
-  f1 t1 f2 t2 f3 f4 t3 f5 t4 f6 t5 f7 f8 f9 t6 t7
-
-Options:
-  --fault-profile <none|churn|outage|chaos>  fault mix to inject (default none)
-  --retries <N>        extra attempts per experiment (default 1)
-  --deadline-ms <N>    per-attempt wall-clock deadline (default 30000)
-  --seed <N>           seed for fault plans and retry jitter (default 42)
-  --intensity <X>      multiplier on the profile's fault rates (default 1.0)
-  --report-only        print only the final run report
-  --metrics-out <PATH> write the telemetry snapshot (metrics + spans) as JSON
-  --journal-out <PATH> write the structured event journal as JSONL
-  --trace-summary      print the per-span flame summary after the report
-  --help               show this help";
-
-fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+fn parse_run_args(args: impl Iterator<Item = String>) -> Result<RunCli, String> {
     let mut config = RunnerConfig::default();
+    let mut shards = 1u32;
     let mut ids = Vec::new();
     let mut report_only = false;
     let mut metrics_out = None;
@@ -176,6 +174,14 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                 }
                 config.intensity = x;
             }
+            "--shards" => {
+                let v = value("--shards")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad --shards value '{v}'"))?;
+                if n == 0 {
+                    return Err("--shards must be positive".to_owned());
+                }
+                shards = n;
+            }
             "--report-only" => report_only = true,
             "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
             "--journal-out" => journal_out = Some(value("--journal-out")?),
@@ -197,8 +203,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         // Run subsets in canonical order regardless of CLI order.
         ids.sort_by_key(|id| ExperimentId::ALL.iter().position(|a| a == id));
     }
-    Ok(Cli {
+    Ok(RunCli {
         config,
+        shards,
         ids,
         report_only,
         metrics_out,
@@ -206,6 +213,196 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         trace_summary,
     })
 }
+
+// --------------------------------------------------------------- list --
+
+fn cmd_list(args: Vec<String>) -> ! {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        std::process::exit(0);
+    }
+    if let Some(stray) = args.first() {
+        usage_error(&format!("list takes no arguments (got '{stray}')"));
+    }
+    let mut table = TextTable::new(&["code", "family", "faults", "experiment"]);
+    for id in ExperimentId::ALL {
+        table.row(vec![
+            id.code().to_owned(),
+            id.family().to_owned(),
+            if id.fault_capable() { "yes" } else { "-" }.to_owned(),
+            id.title().to_owned(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("{} experiments; run with: experiments run [ID...]", ExperimentId::ALL.len());
+    std::process::exit(0);
+}
+
+// ------------------------------------------------------ merge-metrics --
+
+fn cmd_merge_metrics(args: Vec<String>) -> ! {
+    let mut paths = Vec::new();
+    let mut out = None;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--out" => match args.next() {
+                Some(v) => out = Some(v),
+                None => usage_error("--out needs a value"),
+            },
+            flag if flag.starts_with('-') => usage_error(&format!("unknown option '{flag}'")),
+            path => paths.push(path.to_owned()),
+        }
+    }
+    if paths.is_empty() {
+        usage_error("merge-metrics needs at least one snapshot path");
+    }
+
+    let mut merged = TelemetrySnapshot::default();
+    for path in &paths {
+        let text = read_or_die(path, "metrics snapshot");
+        match TelemetrySnapshot::from_json(&text) {
+            // Scope "" leaves run-level events unscoped, exactly like the
+            // sharded supervisor's own merge.
+            Ok(snap) => merged.merge(&snap, ""),
+            Err(e) => die(&format!("failed to parse metrics snapshot {path}: {e}")),
+        }
+    }
+    match merged.to_json() {
+        Ok(json) => match &out {
+            Some(path) => write_or_die(path, &json, "merged snapshot"),
+            None => println!("{json}"),
+        },
+        Err(e) => die(&format!("failed to serialize merged snapshot: {e}")),
+    }
+    eprintln!(
+        "merged {} snapshots: {} counters, {} events",
+        paths.len(),
+        merged.metrics.counters.len(),
+        merged.events.len()
+    );
+    std::process::exit(0);
+}
+
+// -------------------------------------------------------------- replay --
+
+fn cmd_replay(args: Vec<String>) -> ! {
+    let mut path = None;
+    for arg in &args {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with('-') => usage_error(&format!("unknown option '{flag}'")),
+            p if path.is_none() => path = Some(p.to_owned()),
+            stray => usage_error(&format!("replay takes one journal path (got '{stray}')")),
+        }
+    }
+    let Some(path) = path else {
+        usage_error("replay needs a journal path (JSONL from --journal-out)");
+    };
+
+    let text = read_or_die(&path, "event journal");
+    let events = match journal::from_jsonl(&text) {
+        Ok(events) => events,
+        Err(e) => die(&format!("failed to parse event journal {path}: {e}")),
+    };
+    let factory = |code: &str| ExperimentId::parse(code).map(spec_for);
+    match replay::replay(&events, &factory) {
+        Ok(report) => {
+            print!("{}", report.render());
+            std::process::exit(report.exit_code());
+        }
+        Err(e) => die(&format!("cannot replay {path}: {e}")),
+    }
+}
+
+// ------------------------------------------------------------- shared --
+
+/// The supervised-runner job for one experiment — the single definition
+/// both `run` and `replay` execute, so a replayed experiment is driven by
+/// exactly the code that produced the capture.
+fn spec_for(id: ExperimentId) -> ExperimentSpec {
+    ExperimentSpec::new(id.code(), id.title(), id.family(), move |plan, tel| {
+        id.run_instrumented(plan, tel)
+            .map(|r| JobOutput {
+                rendered: r.rendered,
+                faults_injected: r.faults_injected,
+            })
+            .map_err(|e| Box::new(e) as JobError)
+    })
+}
+
+/// Create/truncate `path` now so an unwritable destination fails the
+/// process (exit 2) before any experiment runs, not after.
+fn preflight_writable(path: &str, what: &str) {
+    if let Err(e) = std::fs::File::create(path) {
+        die(&format!("cannot write {what} to {path}: {e}"));
+    }
+}
+
+fn read_or_die(path: &str, what: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => die(&format!("failed to read {what} from {path}: {e}")),
+    }
+}
+
+fn write_or_die(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        die(&format!("failed to write {what} to {path}: {e}"));
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+const USAGE: &str = "\
+usage: experiments <COMMAND> [ARGS]
+       experiments [OPTIONS] [ID...]        (alias for `run`)
+
+Commands:
+  run [OPTIONS] [ID...]          run experiments under the supervisor
+  list                           print the experiment catalog (codes, families, titles)
+  merge-metrics <PATH>... [--out <PATH>]
+                                 merge telemetry snapshots (e.g. per-shard
+                                 --metrics-out files) into one JSON snapshot
+  replay <JOURNAL.jsonl>         re-execute a captured run and diff canonical events
+
+IDs (default: all, in EXPERIMENTS.md order):
+  f1 t1 f2 t2 f3 f4 t3 f5 t4 f6 t5 f7 f8 f9 t6 t7
+
+Run options:
+  --fault-profile <none|churn|outage|chaos>  fault mix to inject (default none)
+  --retries <N>        extra attempts per experiment (default 1)
+  --deadline-ms <N>    per-attempt wall-clock deadline (default 30000)
+  --seed <N>           seed for fault plans and retry jitter (default 42)
+  --intensity <X>      multiplier on the profile's fault rates (default 1.0)
+  --shards <N>         partition the run across N in-process shards; the
+                       merged canonical output is shard-invariant (default 1)
+  --report-only        print only the final run report
+  --metrics-out <PATH> write the telemetry snapshot (metrics + spans) as JSON
+  --journal-out <PATH> write the structured event journal as JSONL
+  --trace-summary      print the per-span flame summary after the report
+  --help               show this help
+
+Exit codes:
+  0  all experiments completed / replay matched the capture
+  1  an experiment failed / replay diverged
+  2  an experiment timed out, or bad arguments / unreadable or unwritable files";
 
 fn banner(title: &str) {
     println!("\n{}", "=".repeat(72));

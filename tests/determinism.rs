@@ -110,9 +110,7 @@ fn experiment_suite_reproducible() {
 #[test]
 fn supervised_chaos_run_reproducible() {
     use humnet::core::experiments::ExperimentId;
-    use humnet::resilience::{
-        ExperimentSpec, FaultProfile, JobError, JobOutput, RunnerConfig, Supervisor,
-    };
+    use humnet::resilience::{ExperimentSpec, FaultProfile, JobError, JobOutput, Supervisor};
     use std::time::Duration;
 
     let specs = || -> Vec<ExperimentSpec> {
@@ -132,15 +130,16 @@ fn supervised_chaos_run_reproducible() {
             })
             .collect()
     };
-    let config = RunnerConfig {
-        retries: 2,
-        deadline: Duration::from_secs(30),
-        profile: FaultProfile::Chaos,
-        seed: 1234,
-        ..RunnerConfig::default()
+    let supervisor = |seed: u64| {
+        Supervisor::builder()
+            .retries(2)
+            .deadline(Duration::from_secs(30))
+            .fault_profile(FaultProfile::Chaos)
+            .seed(seed)
+            .build()
     };
-    let a = Supervisor::new(config).run(&specs());
-    let b = Supervisor::new(config).run(&specs());
+    let a = supervisor(1234).run(&specs());
+    let b = supervisor(1234).run(&specs());
     // Same seed + plan => byte-identical canonical report and outputs.
     assert_eq!(a.report.canonical(), b.report.canonical());
     assert_eq!(a.outputs, b.outputs);
@@ -150,8 +149,6 @@ fn supervised_chaos_run_reproducible() {
     assert_eq!(a.report.exit_code(), 0, "chaos degrades, not fails");
 
     // A different seed draws a different fault schedule.
-    let mut other = config;
-    other.seed = 4321;
-    let c = Supervisor::new(other).run(&specs());
+    let c = supervisor(4321).run(&specs());
     assert_ne!(a.report.canonical(), c.report.canonical());
 }

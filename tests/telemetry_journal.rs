@@ -4,9 +4,7 @@
 //! serde_json bit-for-bit.
 
 use humnet::core::experiments::ExperimentId;
-use humnet::resilience::{
-    ExperimentSpec, FaultProfile, JobError, JobOutput, RunnerConfig, Supervisor,
-};
+use humnet::resilience::{ExperimentSpec, FaultProfile, JobError, JobOutput, Supervisor};
 use humnet::telemetry::journal::{from_jsonl, to_jsonl};
 use std::time::Duration;
 
@@ -35,33 +33,32 @@ fn specs() -> Vec<ExperimentSpec> {
     specs
 }
 
-fn config(seed: u64) -> RunnerConfig {
-    RunnerConfig {
-        retries: 1,
-        deadline: Duration::from_secs(30),
-        profile: FaultProfile::Chaos,
-        seed,
-        breaker_threshold: 1,
-        ..RunnerConfig::default()
-    }
+fn supervisor(seed: u64) -> Supervisor {
+    Supervisor::builder()
+        .retries(1)
+        .deadline(Duration::from_secs(30))
+        .fault_profile(FaultProfile::Chaos)
+        .seed(seed)
+        .breaker_threshold(1)
+        .build()
 }
 
 #[test]
 fn same_seed_runs_produce_identical_event_sequences() {
-    let a = Supervisor::new(config(99)).run(&specs());
-    let b = Supervisor::new(config(99)).run(&specs());
+    let a = supervisor(99).run(&specs());
+    let b = supervisor(99).run(&specs());
     assert!(!a.telemetry.events.is_empty());
     assert_eq!(a.telemetry.events.len(), b.telemetry.events.len());
     assert_eq!(a.telemetry.canonical_events(), b.telemetry.canonical_events());
 
     // A different seed draws a different fault schedule.
-    let c = Supervisor::new(config(100)).run(&specs());
+    let c = supervisor(100).run(&specs());
     assert_ne!(a.telemetry.canonical_events(), c.telemetry.canonical_events());
 }
 
 #[test]
 fn journal_covers_faults_retries_and_breaker_trips() {
-    let run = Supervisor::new(config(99)).run(&specs());
+    let run = supervisor(99).run(&specs());
     let kinds: Vec<&str> = run.telemetry.events.iter().map(|e| e.kind.as_str()).collect();
     for expected in ["run-start", "experiment-start", "fault", "milestone", "retry", "attempt-error", "breaker-open", "breaker-skip", "experiment-end", "run-end"] {
         assert!(kinds.contains(&expected), "missing event kind {expected:?} in {kinds:?}");
@@ -80,7 +77,7 @@ fn journal_covers_faults_retries_and_breaker_trips() {
 
 #[test]
 fn journal_round_trips_through_jsonl() {
-    let run = Supervisor::new(config(7)).run(&specs());
+    let run = supervisor(7).run(&specs());
     let jsonl = to_jsonl(&run.telemetry.events).expect("serialize");
     assert!(!jsonl.trim().is_empty());
     assert_eq!(jsonl.trim().lines().count(), run.telemetry.events.len());
