@@ -2,8 +2,9 @@
 //! telemetry snapshots into a run-level view) and the full supervisor
 //! fan-out over cheap synthetic jobs at 1 / 2 / 4 / 8 shards. The merge
 //! bench prices the aggregation itself; the run benches price the
-//! thread-scope + per-shard-supervisor overhead that `--shards` adds on
-//! top of the work, which is what decides the break-even job size.
+//! per-shard-supervisor overhead that `--shards` adds on top of the work
+//! (pooled worker dispatch + watchdog deadlines since the scheduler
+//! runtime landed), which is what decides the break-even job size.
 //! Baselines live in `BENCH_shard.json` at the repo root.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -102,7 +103,7 @@ fn bench_merge_runs_path(c: &mut Criterion) {
     let shard_runs: Vec<_> = (0..4u32)
         .map(|k| {
             let chunk: Vec<ExperimentSpec> = specs[(k as usize * 8)..((k as usize + 1) * 8)].to_vec();
-            Supervisor::new(config).run_shard(&chunk, k)
+            Supervisor::new(config).run_shard(&chunk, k, k as usize * 8)
         })
         .collect();
     group.bench_function("merge_runs_4_shards_32_jobs", |b| {

@@ -15,7 +15,11 @@
 //! 4. [`shard`] — [`ShardPlan`] partitions a run across in-process worker
 //!    shards whose merged canonical output is byte-identical to the
 //!    1-shard run of the same seed.
-//! 5. [`replay`] — reconstruct a past run's configuration and fault
+//! 5. [`schedule`] — how shards receive work: static contiguous slices
+//!    (the default) or a work-stealing queue ([`Schedule::Steal`]) that
+//!    rebalances skewed experiment costs while preserving the canonical
+//!    output, plus the process-wide watchdog timer both paths share.
+//! 6. [`replay`] — reconstruct a past run's configuration and fault
 //!    schedule from its captured journal, re-execute it, and diff the
 //!    canonical event streams.
 
@@ -25,6 +29,7 @@ pub mod fault;
 pub mod replay;
 pub mod report;
 pub mod runner;
+pub mod schedule;
 pub mod shard;
 
 pub use backoff::Backoff;
@@ -41,4 +46,5 @@ pub use runner::{
     render_chain, ExperimentSpec, Job, JobError, JobOutput, RunnerConfig, SupervisedRun,
     Supervisor, SupervisorBuilder,
 };
-pub use shard::{merge_runs, run_sharded, ShardPlan};
+pub use schedule::{run_stealing, Schedule};
+pub use shard::{merge_runs, run_sharded, ShardPlan, ShardPlanError};

@@ -14,9 +14,13 @@
 //!
 //! Because the canonical journal is shard-invariant (see [`crate::shard`]),
 //! a journal captured from a K-shard run replays on a single shard and
-//! still matches byte-for-byte. Journals from runs that hit wall-clock
-//! timeouts are the one case replay cannot vouch for: deadlines are not
-//! reproducible, so a `timeout` event may legitimately diverge.
+//! still matches byte-for-byte. Captures from work-stealing runs (see
+//! [`crate::schedule`]) are handled by sorting both streams with
+//! [`spec_ordered`] before diffing: the events' spec-index stamps recover
+//! the deterministic spec order, so scheduling order can never register as
+//! a false divergence. Journals from runs that hit wall-clock timeouts are
+//! the one case replay cannot vouch for: deadlines are not reproducible,
+//! so a `timeout` event may legitimately diverge.
 //!
 //! For finer-grained use, [`RecordedFaults`] is a [`FaultHook`] that plays
 //! back an explicit `(step, kind) -> severity` schedule extracted from a
@@ -25,7 +29,7 @@
 
 use crate::fault::{FaultHook, FaultKind, FaultProfile};
 use crate::runner::{ExperimentSpec, RunnerConfig, SupervisedRun, Supervisor};
-use humnet_telemetry::Event;
+use humnet_telemetry::{spec_ordered, Event};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -145,10 +149,15 @@ impl std::error::Error for ReplayError {}
 /// Fault events with an unrecognized kind label are skipped rather than
 /// fatal — the full-run replay path regenerates faults from the seed and
 /// only uses this schedule for reporting and [`RecordedFaults`].
+///
+/// Events are first sorted with [`spec_ordered`], so a capture written in
+/// completion order (e.g. raw per-worker journals from a work-stealing
+/// run) reconstructs the same experiment order as the run's spec list.
 pub fn reconstruct(events: &[Event]) -> Result<ReplaySpec, ReplayError> {
     if events.is_empty() {
         return Err(ReplayError::EmptyJournal);
     }
+    let events = spec_ordered(events);
     let start = events
         .iter()
         .find(|e| e.kind == "run-start")
@@ -292,7 +301,10 @@ pub fn first_divergence(captured: &[String], replayed: &[String]) -> Option<Dive
 /// cannot know the experiment registry), re-execute under a single-shard
 /// supervisor with the recovered configuration, and diff canonical event
 /// streams. The fault schedule regenerates identically because the plan is
-/// a pure function of the recovered seed.
+/// a pure function of the recovered seed. Both streams are sorted with
+/// [`spec_ordered`] before the diff, so a capture from a work-stealing run
+/// is compared in spec order and scheduling order cannot surface as a
+/// false divergence.
 pub fn replay(
     captured: &[Event],
     factory: &dyn Fn(&str) -> Option<ExperimentSpec>,
@@ -306,8 +318,12 @@ pub fn replay(
         })
         .collect::<Result<Vec<_>, _>>()?;
     let run = Supervisor::new(spec.config).run(&specs);
-    let captured_canonical: Vec<String> = captured.iter().map(Event::canonical).collect();
-    let replayed_canonical = run.telemetry.canonical_events();
+    let captured_canonical: Vec<String> =
+        spec_ordered(captured).iter().map(Event::canonical).collect();
+    let replayed_canonical: Vec<String> = spec_ordered(&run.telemetry.events)
+        .iter()
+        .map(Event::canonical)
+        .collect();
     Ok(ReplayReport {
         config: spec.config,
         experiments: spec.experiments,

@@ -1,25 +1,33 @@
 //! Supervised experiment runner.
 //!
-//! Each experiment runs on its own worker thread so the supervisor can
-//! enforce a wall-clock deadline with [`std::sync::mpsc::Receiver::recv_timeout`]
-//! (a watchdog pattern: the worker is abandoned if it overruns — Rust
-//! offers no safe thread kill, so a timed-out worker is detached and its
-//! eventual result discarded). Panics are contained with
-//! [`std::panic::catch_unwind`], turned into `Failed` rows instead of
-//! aborting the whole run. Failures are retried with exponential backoff
-//! and deterministic jitter, and a per-family circuit breaker
-//! short-circuits experiments whose subsystem keeps failing.
+//! Experiments execute on *pooled* worker threads: a process-wide cache of
+//! recycled threads ([`pool_execute`]) that the supervisor leases an
+//! [`AttemptExecutor`] session from, so a K-shard run spawns at most K
+//! workers once and reuses them for every later attempt and run (the seed
+//! spawned one thread per attempt, which dominated supervisor cost — see
+//! `BENCH_shard.json`). Deadlines are enforced by the single process-wide
+//! watchdog timer thread in [`crate::schedule`]: the supervisor arms a
+//! deadline, blocks on the attempt's reply channel, and whichever message
+//! arrives first — the worker's result or the watchdog's timeout verdict —
+//! settles the attempt. A timed-out session is abandoned (Rust offers no
+//! safe thread kill); its thread finishes the overrunning job eventually,
+//! finds its session channel closed, and re-enlists in the pool. Panics
+//! are contained with [`std::panic::catch_unwind`] and turned into
+//! `Failed` rows instead of aborting the run. Failures are retried with
+//! exponential backoff and deterministic jitter, and a per-family circuit
+//! breaker short-circuits experiments whose subsystem keeps failing.
 
 use crate::backoff::Backoff;
 use crate::breaker::CircuitBreaker;
 use crate::fault::{FaultPlan, FaultProfile};
 use crate::report::{ExperimentReport, ExperimentStatus, RunReport};
+use crate::schedule::{arm_deadline, run_stealing, Schedule};
 use crate::shard::run_sharded;
 use humnet_telemetry::{Event, Telemetry, TelemetrySnapshot};
 use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -132,6 +140,11 @@ pub struct Supervisor {
     config: RunnerConfig,
     breaker: CircuitBreaker,
     shards: u32,
+    schedule: Schedule,
+    executor: ExecutorSlot,
+    /// Global spec index of this supervisor's first spec — 0 for whole
+    /// runs, the shard's range start when running one shard's slice.
+    spec_base: usize,
 }
 
 /// Fluent construction for [`Supervisor`] — the preferred alternative to
@@ -151,6 +164,7 @@ pub struct Supervisor {
 pub struct SupervisorBuilder {
     config: RunnerConfig,
     shards: u32,
+    schedule: Schedule,
 }
 
 impl Default for SupervisorBuilder {
@@ -158,6 +172,7 @@ impl Default for SupervisorBuilder {
         SupervisorBuilder {
             config: RunnerConfig::default(),
             shards: 1,
+            schedule: Schedule::Static,
         }
     }
 }
@@ -228,6 +243,15 @@ impl SupervisorBuilder {
         self
     }
 
+    /// How jobs map onto shard workers: [`Schedule::Static`] (contiguous
+    /// slices, the default) or [`Schedule::Steal`] (work-stealing — better
+    /// wall-clock under skewed job costs, same canonical output).
+    #[must_use]
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
     /// Replace the whole configuration at once (escape hatch for callers
     /// that already hold a [`RunnerConfig`]).
     #[must_use]
@@ -242,6 +266,9 @@ impl SupervisorBuilder {
             breaker: CircuitBreaker::new(self.config.breaker_threshold),
             config: self.config,
             shards: self.shards,
+            schedule: self.schedule,
+            executor: ExecutorSlot::default(),
+            spec_base: 0,
         }
     }
 }
@@ -252,6 +279,491 @@ enum Attempt {
     Error(String),
     Panic(String),
     Timeout,
+}
+
+// ---------------------------------------------------------------------------
+// Pooled worker threads
+// ---------------------------------------------------------------------------
+
+/// A closure executed on a pooled worker thread.
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Idle pooled workers, each addressed by the sender of its private job
+/// channel. A worker runs one job, re-enlists here, and blocks for the
+/// next — so in steady state leasing a worker is a channel round-trip
+/// (~4 µs) instead of a thread spawn (~30 µs), and a K-shard run costs K
+/// spawns *once* per process instead of one per attempt.
+static POOL_IDLE: Mutex<Vec<mpsc::Sender<PoolJob>>> = Mutex::new(Vec::new());
+
+/// Monotonic id for pooled-thread names (`humnet-exp-pool-<id>`).
+static POOL_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Idle workers kept around; a worker finishing beyond this cap exits
+/// instead of re-enlisting, bounding resident threads after a burst.
+const POOL_MAX_IDLE: usize = 32;
+
+/// Run `job` on a pooled worker thread, reusing an idle one when
+/// available. `Err` hands the job back when no idle worker existed and
+/// spawning a fresh one failed.
+fn pool_run(job: PoolJob) -> Result<(), PoolJob> {
+    let mut job = job;
+    loop {
+        let idle = POOL_IDLE.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        match idle {
+            Some(worker) => match worker.send(job) {
+                Ok(()) => return Ok(()),
+                // The worker died (cap exit raced); try the next one.
+                Err(mpsc::SendError(returned)) => job = returned,
+            },
+            None => break,
+        }
+    }
+    let id = POOL_SPAWNED.fetch_add(1, Ordering::Relaxed);
+    let (tx, rx) = mpsc::channel::<PoolJob>();
+    let spawned = thread::Builder::new()
+        // The `humnet-exp-` prefix keeps pooled threads under the quiet
+        // panic hook's filter, like the per-attempt workers they replace.
+        .name(format!("{WORKER_PREFIX}pool-{id}"))
+        .spawn(move || {
+            let mut job = job;
+            loop {
+                // Contain panics so a panicking job cannot take the pooled
+                // thread down with it (callers see the failure through
+                // their own reply channels).
+                let _ = panic::catch_unwind(AssertUnwindSafe(job));
+                {
+                    let mut idle = POOL_IDLE.lock().unwrap_or_else(|e| e.into_inner());
+                    if idle.len() >= POOL_MAX_IDLE {
+                        return;
+                    }
+                    idle.push(tx.clone());
+                }
+                match rx.recv() {
+                    Ok(next) => job = next,
+                    Err(_) => return, // pool entry dropped without a send
+                }
+            }
+        });
+    match spawned {
+        Ok(_) => Ok(()),
+        // `job` was moved into the failed builder closure only on success;
+        // on failure we cannot recover it from `thread::Builder`, so this
+        // arm is unreachable in practice — but keep the signature honest.
+        Err(_) => Err(Box::new(|| {})),
+    }
+}
+
+/// Handle to a job running on a pooled worker; [`PoolHandle::join`] blocks
+/// for its result like [`std::thread::JoinHandle::join`].
+pub(crate) struct PoolHandle<T> {
+    rx: mpsc::Receiver<thread::Result<T>>,
+}
+
+impl<T> PoolHandle<T> {
+    /// Wait for the job's result; `Err` carries the panic payload.
+    pub(crate) fn join(self) -> thread::Result<T> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(Box::new("pooled worker vanished without a result".to_owned())),
+        }
+    }
+}
+
+/// Run `f` on a pooled worker thread and return a joinable handle. Falls
+/// back to running `f` inline if no thread could be obtained at all, so
+/// the handle always resolves.
+pub(crate) fn pool_execute<T, F>(f: F) -> PoolHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let task: PoolJob = Box::new(move || {
+        let _ = tx.send(panic::catch_unwind(AssertUnwindSafe(f)));
+    });
+    if let Err(task) = pool_run(task) {
+        task();
+    }
+    PoolHandle { rx }
+}
+
+// ---------------------------------------------------------------------------
+// Attempt execution on a leased worker session
+// ---------------------------------------------------------------------------
+
+/// One attempt shipped to an executor session.
+struct ExecTask {
+    job: Job,
+    plan: FaultPlan,
+    reply: mpsc::Sender<AttemptReply>,
+}
+
+/// What settles an attempt: the worker's result or the watchdog's verdict,
+/// whichever reaches the supervisor's reply channel first.
+enum AttemptReply {
+    Done {
+        result: thread::Result<Result<JobOutput, JobError>>,
+        telemetry: TelemetrySnapshot,
+    },
+    DeadlineExceeded,
+}
+
+/// A live executor session: a pooled worker looping over [`ExecTask`]s.
+/// Dropping the session closes its task channel; the worker finishes its
+/// current job (if any) and re-enlists in the pool — which is exactly how
+/// a timed-out session is abandoned without killing the thread.
+struct AttemptExecutor {
+    tx: mpsc::Sender<ExecTask>,
+}
+
+/// Idle executor sessions kept warm across runs. Unlike [`POOL_IDLE`]
+/// workers, a cached session's thread stays parked inside its session
+/// loop, so re-leasing costs a mutex pop with no thread handoff: the
+/// first attempt of a new supervisor reuses the previous run's session
+/// without waking anyone.
+static EXEC_IDLE: Mutex<Vec<mpsc::Sender<ExecTask>>> = Mutex::new(Vec::new());
+
+/// Warm sessions kept; a release beyond this cap drops the task channel
+/// instead, sending the session thread back through the general pool.
+const EXEC_MAX_IDLE: usize = 16;
+
+impl AttemptExecutor {
+    /// Lease a session: a warm cached one when available, otherwise a
+    /// pooled worker started on a fresh session loop.
+    fn lease() -> Result<AttemptExecutor, String> {
+        let cached = EXEC_IDLE.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        if let Some(tx) = cached {
+            // A cached sender's session thread is parked on its recv and
+            // cannot exit while the sender is alive, so this is never stale.
+            return Ok(AttemptExecutor { tx });
+        }
+        let (tx, rx) = mpsc::channel::<ExecTask>();
+        let session: PoolJob = Box::new(move || {
+            while let Ok(task) = rx.recv() {
+                // `Telemetry` is `Send` but not `Sync`: one instance lives
+                // entirely inside this session, and only the plain-data
+                // snapshot crosses back over the channel — so a panicking
+                // or failing job still ships the telemetry it gathered.
+                let tel = Telemetry::new();
+                let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                    let _span = tel.span("runner.attempt");
+                    (task.job)(&task.plan, &tel)
+                }));
+                let _ = task.reply.send(AttemptReply::Done {
+                    result,
+                    telemetry: tel.into_snapshot(),
+                });
+            }
+        });
+        pool_run(session)
+            .map(|()| AttemptExecutor { tx })
+            .map_err(|_| "failed to lease a pooled worker".to_owned())
+    }
+}
+
+/// Lazily-leased executor session, abandoned and re-leased on timeout.
+/// Each static supervisor and each steal-mode worker owns one, so attempt
+/// execution costs a channel round-trip, not a thread spawn.
+#[derive(Default)]
+pub(crate) struct ExecutorSlot {
+    session: Option<AttemptExecutor>,
+}
+
+impl Drop for ExecutorSlot {
+    /// Return a healthy session to the warm cache when the supervisor
+    /// finishes. Timed-out and disconnected sessions never get here:
+    /// `attempt` drops them directly, closing the channel so the (possibly
+    /// still busy) worker re-enlists in the pool on its own time.
+    fn drop(&mut self) {
+        if let Some(session) = self.session.take() {
+            let mut idle = EXEC_IDLE.lock().unwrap_or_else(|e| e.into_inner());
+            if idle.len() < EXEC_MAX_IDLE {
+                idle.push(session.tx);
+            }
+        }
+    }
+}
+
+impl ExecutorSlot {
+    /// One attempt on the leased session, under the process watchdog's
+    /// per-attempt deadline. Returns the outcome and, when the worker
+    /// reported back in time, its telemetry snapshot (a timed-out
+    /// session keeps its telemetry; it is abandoned with it).
+    fn attempt(
+        &mut self,
+        config: &RunnerConfig,
+        spec: &ExperimentSpec,
+        attempt: u32,
+    ) -> (Attempt, Option<TelemetrySnapshot>) {
+        // Each attempt gets its own deterministic plan seed: retries see a
+        // fresh fault draw (a transient fault may clear), while the whole
+        // run — including every retry — replays identically from the same
+        // supervisor seed.
+        let plan = FaultPlan::new(
+            config.profile,
+            config.seed
+                ^ fnv1a(spec.code.as_bytes())
+                ^ u64::from(attempt).wrapping_mul(0x2545_F491_4F6C_DD1D),
+        )
+        .with_intensity(config.intensity);
+
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut sent = false;
+        // One retry: a cached session may have exited at the pool's idle
+        // cap between runs; re-lease once before giving up.
+        for _ in 0..2 {
+            let session = match &self.session {
+                Some(session) => session,
+                None => match AttemptExecutor::lease() {
+                    Ok(session) => self.session.insert(session),
+                    Err(message) => return (Attempt::Error(message), None),
+                },
+            };
+            let task = ExecTask {
+                job: Arc::clone(&spec.job),
+                plan,
+                reply: reply_tx.clone(),
+            };
+            if session.tx.send(task).is_ok() {
+                sent = true;
+                break;
+            }
+            self.session = None;
+        }
+        if !sent {
+            return (
+                Attempt::Error("failed to dispatch attempt to a pooled worker".to_owned()),
+                None,
+            );
+        }
+
+        let verdict_tx = reply_tx.clone();
+        let _deadline = arm_deadline(
+            config.deadline,
+            Box::new(move || {
+                let _ = verdict_tx.send(AttemptReply::DeadlineExceeded);
+            }),
+        );
+        drop(reply_tx);
+        match reply_rx.recv() {
+            Ok(AttemptReply::Done { result, telemetry }) => match result {
+                Ok(Ok(output)) => (Attempt::Success(output), Some(telemetry)),
+                Ok(Err(err)) => (Attempt::Error(render_chain(err.as_ref())), Some(telemetry)),
+                Err(payload) => (
+                    Attempt::Panic(panic_message(payload.as_ref())),
+                    Some(telemetry),
+                ),
+            },
+            Ok(AttemptReply::DeadlineExceeded) => {
+                // Abandon the session: the worker finishes the overrunning
+                // job on its own time, finds the channel closed, and
+                // re-enlists in the pool.
+                self.session = None;
+                (Attempt::Timeout, None)
+            }
+            Err(_) => {
+                self.session = None;
+                (
+                    Attempt::Error("worker disconnected without a result".to_owned()),
+                    None,
+                )
+            }
+        }
+    }
+}
+
+/// Circuit-breaker access for [`run_spec`]: a static supervisor owns its
+/// breaker exclusively; steal-mode workers share one behind a mutex.
+pub(crate) enum BreakerRef<'a> {
+    /// Exclusive access (single-shard and static shard supervisors).
+    Own(&'a mut CircuitBreaker),
+    /// Shared across work-stealing workers.
+    Shared(&'a Mutex<CircuitBreaker>),
+}
+
+impl BreakerRef<'_> {
+    fn is_open(&self, family: &str) -> bool {
+        match self {
+            BreakerRef::Own(breaker) => breaker.is_open(family),
+            BreakerRef::Shared(breaker) => breaker
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_open(family),
+        }
+    }
+
+    fn record_success(&mut self, family: &str) {
+        match self {
+            BreakerRef::Own(breaker) => breaker.record_success(family),
+            BreakerRef::Shared(breaker) => breaker
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .record_success(family),
+        }
+    }
+
+    fn record_failure(&mut self, family: &str) -> bool {
+        match self {
+            BreakerRef::Own(breaker) => breaker.record_failure(family),
+            BreakerRef::Shared(breaker) => breaker
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .record_failure(family),
+        }
+    }
+}
+
+/// Run one spec end to end — breaker gate, attempts with retry/backoff,
+/// status mapping, and every journal event — recording into `tel` and
+/// returning the report row plus the rendered output on success. This is
+/// the *one* per-spec execution path: the static supervisor and the
+/// work-stealing workers both call it, which is what makes their event
+/// streams identical line for line.
+pub(crate) fn run_spec(
+    config: &RunnerConfig,
+    breaker: &mut BreakerRef<'_>,
+    executor: &mut ExecutorSlot,
+    spec: &ExperimentSpec,
+    tel: &Telemetry,
+) -> (ExperimentReport, Option<String>) {
+    let started = Instant::now();
+    if breaker.is_open(&spec.family) {
+        let message = format!("circuit breaker open for family '{}'", spec.family);
+        tel.counter("runner.breaker_skips", 1);
+        tel.event(Event::new("breaker-skip", message.clone()).in_experiment(&spec.code));
+        return (
+            ExperimentReport {
+                code: spec.code.clone(),
+                title: spec.title.clone(),
+                family: spec.family.clone(),
+                status: ExperimentStatus::Failed,
+                attempts: 0,
+                faults_injected: 0,
+                message,
+                duration_ms: 0,
+            },
+            None,
+        );
+    }
+
+    tel.event(Event::new("experiment-start", spec.title.clone()).in_experiment(&spec.code));
+    let backoff = Backoff::new(config.backoff_base, config.seed ^ fnv1a(spec.code.as_bytes()));
+    let mut last_message = String::new();
+    let mut last_timed_out = false;
+    let mut attempts = 0;
+
+    for attempt in 0..=config.retries {
+        if attempt > 0 {
+            tel.counter("runner.retries", 1);
+            tel.event(
+                Event::new("retry", format!("after: {last_message}"))
+                    .with_attempt(attempt)
+                    .in_experiment(&spec.code),
+            );
+            thread::sleep(backoff.delay(attempt - 1));
+        }
+        attempts += 1;
+        let (outcome, snapshot) = executor.attempt(config, spec, attempt);
+        // Merge the worker's telemetry in execution order, scoped to
+        // this experiment, before recording the outcome event.
+        if let Some(snapshot) = snapshot {
+            tel.absorb(snapshot, &spec.code);
+        }
+        match outcome {
+            Attempt::Success(output) => {
+                breaker.record_success(&spec.family);
+                let status = if attempt > 0 {
+                    ExperimentStatus::Retried
+                } else if output.faults_injected > 0 {
+                    ExperimentStatus::Degraded
+                } else {
+                    ExperimentStatus::Ok
+                };
+                tel.observe("runner.attempt_ms", started.elapsed().as_millis() as u64);
+                tel.event(
+                    Event::new(
+                        "experiment-end",
+                        format!("{} faults={}", status.label(), output.faults_injected),
+                    )
+                    .with_attempt(attempt)
+                    .in_experiment(&spec.code),
+                );
+                return (
+                    ExperimentReport {
+                        code: spec.code.clone(),
+                        title: spec.title.clone(),
+                        family: spec.family.clone(),
+                        status,
+                        attempts,
+                        faults_injected: output.faults_injected,
+                        message: String::new(),
+                        duration_ms: started.elapsed().as_millis() as u64,
+                    },
+                    Some(output.rendered),
+                );
+            }
+            Attempt::Error(msg) => {
+                last_message = msg;
+                last_timed_out = false;
+                tel.event(
+                    Event::new("attempt-error", last_message.clone())
+                        .with_attempt(attempt)
+                        .in_experiment(&spec.code),
+                );
+            }
+            Attempt::Panic(msg) => {
+                last_message = format!("panic: {msg}");
+                last_timed_out = false;
+                tel.event(
+                    Event::new("panic", msg)
+                        .with_attempt(attempt)
+                        .in_experiment(&spec.code),
+                );
+            }
+            Attempt::Timeout => {
+                last_message = format!("deadline exceeded ({}ms)", config.deadline.as_millis());
+                last_timed_out = true;
+                tel.event(
+                    Event::new("timeout", last_message.clone())
+                        .with_attempt(attempt)
+                        .in_experiment(&spec.code),
+                );
+            }
+        }
+    }
+
+    if breaker.record_failure(&spec.family) {
+        tel.counter("runner.breaker_trips", 1);
+        tel.event(
+            Event::new("breaker-open", format!("family '{}'", spec.family))
+                .in_experiment(&spec.code),
+        );
+    }
+    let status = if last_timed_out {
+        ExperimentStatus::TimedOut
+    } else {
+        ExperimentStatus::Failed
+    };
+    tel.event(
+        Event::new(
+            "experiment-end",
+            format!("{} after {attempts} attempts", status.label()),
+        )
+        .in_experiment(&spec.code),
+    );
+    (
+        ExperimentReport {
+            code: spec.code.clone(),
+            title: spec.title.clone(),
+            family: spec.family.clone(),
+            status,
+            attempts,
+            faults_injected: 0,
+            message: last_message,
+            duration_ms: started.elapsed().as_millis() as u64,
+        },
+        None,
+    )
 }
 
 impl Supervisor {
@@ -277,13 +789,23 @@ impl Supervisor {
         self.shards
     }
 
+    /// How jobs map onto shard workers.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
     /// Run every spec, never panicking, and aggregate a report. With more
-    /// than one shard configured, specs are partitioned contiguously
-    /// across shard threads (each with its own supervisor and breaker) and
-    /// the per-shard runs are merged back into a single run-level view.
+    /// than one shard configured, specs are fanned out across shard
+    /// workers — contiguous slices under [`Schedule::Static`], a shared
+    /// work-stealing queue under [`Schedule::Steal`] — and the per-worker
+    /// results are merged back into a single run-level view whose
+    /// canonical journal, report, and outputs match the 1-shard run.
     pub fn run(&mut self, specs: &[ExperimentSpec]) -> SupervisedRun {
+        if self.schedule == Schedule::Steal {
+            return run_stealing(self.config, self.shards, specs);
+        }
         if self.shards > 1 {
-            return run_sharded(self.config, self.shards, specs);
+            return run_sharded(self.config, self.shards, self.schedule, specs);
         }
         let _quiet = self.config.quiet_panics.then(QuietPanics::install);
         let tel = Telemetry::new();
@@ -294,20 +816,27 @@ impl Supervisor {
         let mut run = self.run_specs(specs, &tel);
         run.report.record_metrics(&tel);
         tel.event(Event::new("run-end", run.report.summary_line()));
-        run.telemetry = tel.snapshot();
+        run.telemetry = tel.into_snapshot();
         run
     }
 
     /// Run one shard's slice of a larger run: no `run-start`/`run-end`
     /// boundary events, no run-level report metrics (the merge records
     /// those once over the merged report), and every journal event stamped
-    /// with `shard`. The caller is responsible for installing the quiet
-    /// panic hook once around all shards.
-    pub fn run_shard(&mut self, specs: &[ExperimentSpec], shard: u32) -> SupervisedRun {
+    /// with `shard` plus its global spec index (`spec_base` is the slice's
+    /// offset into the full spec list). The caller is responsible for
+    /// installing the quiet panic hook once around all shards.
+    pub fn run_shard(
+        &mut self,
+        specs: &[ExperimentSpec],
+        shard: u32,
+        spec_base: usize,
+    ) -> SupervisedRun {
+        self.spec_base = spec_base;
         let tel = Telemetry::new();
         tel.counter(&format!("runner.shard.{shard}.experiments"), specs.len() as u64);
         let mut run = self.run_specs(specs, &tel);
-        run.telemetry = tel.snapshot();
+        run.telemetry = tel.into_snapshot();
         run.telemetry.stamp_shard(shard);
         run
     }
@@ -315,6 +844,9 @@ impl Supervisor {
     /// The shared per-spec loop behind [`Supervisor::run`] and
     /// [`Supervisor::run_shard`]. Leaves `telemetry` empty; callers
     /// snapshot `tel` after adding their own boundary events/metrics.
+    /// Every journal event an experiment produces is stamped with its
+    /// global spec index so merged journals can be re-sorted into spec
+    /// order regardless of the schedule that produced them.
     fn run_specs(&mut self, specs: &[ExperimentSpec], tel: &Telemetry) -> SupervisedRun {
         let mut run = SupervisedRun {
             report: RunReport {
@@ -325,8 +857,10 @@ impl Supervisor {
             outputs: BTreeMap::new(),
             telemetry: TelemetrySnapshot::default(),
         };
-        for spec in specs {
+        for (i, spec) in specs.iter().enumerate() {
+            let mark = tel.event_count();
             let row = self.run_one(spec, &mut run.outputs, tel);
+            tel.stamp_spec_from(mark, (self.spec_base + i) as u64);
             run.report.experiments.push(row);
         }
         run
@@ -338,195 +872,12 @@ impl Supervisor {
         outputs: &mut BTreeMap<String, String>,
         tel: &Telemetry,
     ) -> ExperimentReport {
-        let started = Instant::now();
-        if self.breaker.is_open(&spec.family) {
-            let message = format!("circuit breaker open for family '{}'", spec.family);
-            tel.counter("runner.breaker_skips", 1);
-            tel.event(Event::new("breaker-skip", message.clone()).in_experiment(&spec.code));
-            return ExperimentReport {
-                code: spec.code.clone(),
-                title: spec.title.clone(),
-                family: spec.family.clone(),
-                status: ExperimentStatus::Failed,
-                attempts: 0,
-                faults_injected: 0,
-                message,
-                duration_ms: 0,
-            };
+        let mut breaker = BreakerRef::Own(&mut self.breaker);
+        let (row, rendered) = run_spec(&self.config, &mut breaker, &mut self.executor, spec, tel);
+        if let Some(rendered) = rendered {
+            outputs.insert(spec.code.clone(), rendered);
         }
-
-        tel.event(Event::new("experiment-start", spec.title.clone()).in_experiment(&spec.code));
-        let backoff = Backoff::new(
-            self.config.backoff_base,
-            self.config.seed ^ fnv1a(spec.code.as_bytes()),
-        );
-        let mut last_message = String::new();
-        let mut last_timed_out = false;
-        let mut attempts = 0;
-
-        for attempt in 0..=self.config.retries {
-            if attempt > 0 {
-                tel.counter("runner.retries", 1);
-                tel.event(
-                    Event::new("retry", format!("after: {last_message}"))
-                        .with_attempt(attempt)
-                        .in_experiment(&spec.code),
-                );
-                thread::sleep(backoff.delay(attempt - 1));
-            }
-            attempts += 1;
-            let (outcome, snapshot) = self.attempt(spec, attempt);
-            // Merge the worker's telemetry in execution order, scoped to
-            // this experiment, before recording the outcome event.
-            if let Some(snapshot) = snapshot {
-                tel.absorb(snapshot, &spec.code);
-            }
-            match outcome {
-                Attempt::Success(output) => {
-                    self.breaker.record_success(&spec.family);
-                    let status = if attempt > 0 {
-                        ExperimentStatus::Retried
-                    } else if output.faults_injected > 0 {
-                        ExperimentStatus::Degraded
-                    } else {
-                        ExperimentStatus::Ok
-                    };
-                    tel.observe("runner.attempt_ms", started.elapsed().as_millis() as u64);
-                    tel.event(
-                        Event::new(
-                            "experiment-end",
-                            format!("{} faults={}", status.label(), output.faults_injected),
-                        )
-                        .with_attempt(attempt)
-                        .in_experiment(&spec.code),
-                    );
-                    outputs.insert(spec.code.clone(), output.rendered);
-                    return ExperimentReport {
-                        code: spec.code.clone(),
-                        title: spec.title.clone(),
-                        family: spec.family.clone(),
-                        status,
-                        attempts,
-                        faults_injected: output.faults_injected,
-                        message: String::new(),
-                        duration_ms: started.elapsed().as_millis() as u64,
-                    };
-                }
-                Attempt::Error(msg) => {
-                    last_message = msg;
-                    last_timed_out = false;
-                    tel.event(
-                        Event::new("attempt-error", last_message.clone())
-                            .with_attempt(attempt)
-                            .in_experiment(&spec.code),
-                    );
-                }
-                Attempt::Panic(msg) => {
-                    last_message = format!("panic: {msg}");
-                    last_timed_out = false;
-                    tel.event(
-                        Event::new("panic", msg)
-                            .with_attempt(attempt)
-                            .in_experiment(&spec.code),
-                    );
-                }
-                Attempt::Timeout => {
-                    last_message =
-                        format!("deadline exceeded ({}ms)", self.config.deadline.as_millis());
-                    last_timed_out = true;
-                    tel.event(
-                        Event::new("timeout", last_message.clone())
-                            .with_attempt(attempt)
-                            .in_experiment(&spec.code),
-                    );
-                }
-            }
-        }
-
-        if self.breaker.record_failure(&spec.family) {
-            tel.counter("runner.breaker_trips", 1);
-            tel.event(
-                Event::new("breaker-open", format!("family '{}'", spec.family))
-                    .in_experiment(&spec.code),
-            );
-        }
-        let status = if last_timed_out {
-            ExperimentStatus::TimedOut
-        } else {
-            ExperimentStatus::Failed
-        };
-        tel.event(
-            Event::new("experiment-end", format!("{} after {attempts} attempts", status.label()))
-                .in_experiment(&spec.code),
-        );
-        ExperimentReport {
-            code: spec.code.clone(),
-            title: spec.title.clone(),
-            family: spec.family.clone(),
-            status,
-            attempts,
-            faults_injected: 0,
-            message: last_message,
-            duration_ms: started.elapsed().as_millis() as u64,
-        }
-    }
-
-    /// One attempt on a watchdogged worker thread. Returns the outcome and,
-    /// when the worker reported back in time, its telemetry snapshot (a
-    /// timed-out worker keeps its telemetry; it is abandoned with it).
-    fn attempt(&self, spec: &ExperimentSpec, attempt: u32) -> (Attempt, Option<TelemetrySnapshot>) {
-        // Each attempt gets its own deterministic plan seed: retries see a
-        // fresh fault draw (a transient fault may clear), while the whole
-        // run — including every retry — replays identically from the same
-        // supervisor seed.
-        let plan = FaultPlan::new(
-            self.config.profile,
-            self.config.seed
-                ^ fnv1a(spec.code.as_bytes())
-                ^ u64::from(attempt).wrapping_mul(0x2545_F491_4F6C_DD1D),
-        )
-        .with_intensity(self.config.intensity);
-
-        let (tx, rx) = mpsc::channel();
-        let job = Arc::clone(&spec.job);
-        let worker = thread::Builder::new()
-            .name(format!("{WORKER_PREFIX}{}", spec.code))
-            .spawn(move || {
-                // `Telemetry` is `Send` but not `Sync`: one instance lives
-                // entirely inside this worker, and only the plain-data
-                // snapshot crosses back over the channel — so a panicking
-                // or failing job still ships the telemetry it gathered.
-                let tel = Telemetry::new();
-                let result = panic::catch_unwind(AssertUnwindSafe(|| {
-                    let _span = tel.span("runner.attempt");
-                    job(&plan, &tel)
-                }));
-                let _ = tx.send((result, tel.snapshot()));
-            });
-        let worker = match worker {
-            Ok(handle) => handle,
-            Err(e) => return (Attempt::Error(format!("failed to spawn worker: {e}")), None),
-        };
-
-        match rx.recv_timeout(self.config.deadline) {
-            Ok((Ok(Ok(output)), snap)) => {
-                let _ = worker.join();
-                (Attempt::Success(output), Some(snap))
-            }
-            Ok((Ok(Err(err)), snap)) => {
-                let _ = worker.join();
-                (Attempt::Error(render_chain(err.as_ref())), Some(snap))
-            }
-            Ok((Err(payload), snap)) => {
-                let _ = worker.join();
-                (Attempt::Panic(panic_message(payload.as_ref())), Some(snap))
-            }
-            Err(RecvTimeoutError::Timeout) => (Attempt::Timeout, None), // worker abandoned
-            Err(RecvTimeoutError::Disconnected) => (
-                Attempt::Error("worker disconnected without a result".to_owned()),
-                None,
-            ),
-        }
+        row
     }
 }
 

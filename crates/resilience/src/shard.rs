@@ -23,11 +23,15 @@
 //! later (or never) compared to a single-shard run.
 
 use crate::report::RunReport;
-use crate::runner::{run_start_detail, ExperimentSpec, QuietPanics, RunnerConfig, SupervisedRun, Supervisor};
-use humnet_telemetry::{Event, Telemetry};
+use crate::runner::{
+    pool_execute, run_start_detail, ExperimentSpec, QuietPanics, RunnerConfig, SupervisedRun,
+    Supervisor,
+};
+use crate::schedule::{run_stealing, Schedule};
+use humnet_telemetry::{spec_order_in_place, Event, Telemetry};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::ops::Range;
-use std::thread;
 
 /// A deterministic partition of `n` experiments across `shards` workers:
 /// contiguous slices in input order, sizes differing by at most one, with
@@ -37,12 +41,40 @@ pub struct ShardPlan {
     shards: u32,
 }
 
+/// Rejected [`ShardPlan`] parameters ([`ShardPlan::try_new`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPlanError {
+    /// A plan needs at least one shard to place work on.
+    ZeroShards,
+}
+
+impl fmt::Display for ShardPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardPlanError::ZeroShards => write!(f, "shard plan requires at least one shard"),
+        }
+    }
+}
+
+impl std::error::Error for ShardPlanError {}
+
 impl ShardPlan {
-    /// Plan for `shards` workers (clamped to at least 1).
+    /// Plan for `shards` workers (clamped to at least 1). Use
+    /// [`ShardPlan::try_new`] to reject zero instead of clamping.
     pub fn new(shards: u32) -> Self {
         ShardPlan {
             shards: shards.max(1),
         }
+    }
+
+    /// Plan for `shards` workers, rejecting `shards == 0` with a typed
+    /// error instead of clamping (for callers validating user input, e.g.
+    /// a `--shards` flag).
+    pub fn try_new(shards: u32) -> Result<Self, ShardPlanError> {
+        if shards == 0 {
+            return Err(ShardPlanError::ZeroShards);
+        }
+        Ok(ShardPlan { shards })
     }
 
     /// Number of shards the plan partitions across.
@@ -77,29 +109,46 @@ impl ShardPlan {
     }
 }
 
-/// Fan `specs` out across `shards` worker threads, each running its own
-/// [`Supervisor`] over a contiguous slice, then fold the per-shard runs
-/// with [`merge_runs`]. The quiet panic hook is installed once here (it
-/// filters by worker-thread name, so it covers every shard's workers);
-/// shard supervisors must not reinstall it or the global hook lock would
-/// serialize the shards.
-pub fn run_sharded(config: RunnerConfig, shards: u32, specs: &[ExperimentSpec]) -> SupervisedRun {
+/// Fan `specs` out across `shards` workers under the given schedule.
+/// [`Schedule::Steal`] delegates to [`run_stealing`]; [`Schedule::Static`]
+/// runs each contiguous slice on a pooled worker thread with its own
+/// [`Supervisor`], then folds the per-shard runs with [`merge_runs`]. The
+/// quiet panic hook is installed once here (it filters by worker-thread
+/// name, so it covers every shard's workers); shard supervisors must not
+/// reinstall it or the global hook lock would serialize the shards.
+pub fn run_sharded(
+    config: RunnerConfig,
+    shards: u32,
+    schedule: Schedule,
+    specs: &[ExperimentSpec],
+) -> SupervisedRun {
+    if schedule == Schedule::Steal {
+        return run_stealing(config, shards, specs);
+    }
     let _quiet = config.quiet_panics.then(QuietPanics::install);
     let plan = ShardPlan::new(shards);
-    let shard_runs: Vec<SupervisedRun> = thread::scope(|scope| {
-        let handles: Vec<_> = plan
-            .assign(specs)
-            .into_iter()
-            .enumerate()
-            .map(|(k, chunk)| {
-                scope.spawn(move || Supervisor::new(config).run_shard(&chunk, k as u32))
-            })
-            .collect();
+    let mut ranges = plan.ranges(specs.len()).into_iter().enumerate();
+    // Shard 0 runs inline on the calling thread — it would only block on
+    // joins otherwise, and skipping one dispatch/join round trip matters
+    // on small chunks.
+    let first = ranges.next();
+    let handles: Vec<_> = ranges
+        .map(|(k, range)| {
+            let base = range.start;
+            let chunk = specs[range].to_vec();
+            pool_execute(move || Supervisor::new(config).run_shard(&chunk, k as u32, base))
+        })
+        .collect();
+    let mut shard_runs: Vec<SupervisedRun> = Vec::with_capacity(plan.shards() as usize);
+    if let Some((k, range)) = first {
+        let base = range.start;
+        shard_runs.push(Supervisor::new(config).run_shard(&specs[range], k as u32, base));
+    }
+    shard_runs.extend(
         handles
             .into_iter()
-            .map(|h| h.join().expect("shard supervisor never panics"))
-            .collect()
-    });
+            .map(|h| h.join().expect("shard supervisor never panics")),
+    );
     merge_runs(&config, shard_runs)
 }
 
@@ -107,8 +156,12 @@ pub fn run_sharded(config: RunnerConfig, shards: u32, specs: &[ExperimentSpec]) 
 /// run: reports concatenate, outputs union, telemetry merges through the
 /// associative `TelemetrySnapshot::merge`, and the run-level
 /// `run-start`/`run-end` boundary events plus report metrics are recorded
-/// exactly once — so the merged canonical journal matches what a single
-/// supervisor over the concatenated specs would have produced.
+/// exactly once. The merged journal is canonicalized with
+/// [`spec_order_in_place`] — a stable `(spec index, seq)` sort that's a
+/// free sweep when the input is already ordered — so the result matches
+/// what a single supervisor over the concatenated specs would have
+/// produced even when the shards completed their slices in an arbitrary
+/// order.
 pub fn merge_runs(config: &RunnerConfig, shard_runs: Vec<SupervisedRun>) -> SupervisedRun {
     let total: usize = shard_runs.iter().map(|r| r.report.experiments.len()).sum();
     let tel = Telemetry::new();
@@ -127,10 +180,12 @@ pub fn merge_runs(config: &RunnerConfig, shard_runs: Vec<SupervisedRun>) -> Supe
     }
     report.record_metrics(&tel);
     tel.event(Event::new("run-end", report.summary_line()));
+    let mut telemetry = tel.into_snapshot();
+    spec_order_in_place(&mut telemetry.events);
     SupervisedRun {
         report,
         outputs,
-        telemetry: tel.snapshot(),
+        telemetry,
     }
 }
 

@@ -24,6 +24,13 @@ pub struct Event {
     /// Excluded from [`Event::canonical`]: the canonical journal of a
     /// merged sharded run is byte-identical to the 1-shard run's.
     pub shard: Option<u32>,
+    /// Global spec index (position in the run's experiment list) of the
+    /// experiment this event belongs to (`None` for run-level events).
+    /// Like `shard`, it records provenance and is excluded from
+    /// [`Event::canonical`]; unlike `shard`, it is also an *ordering key*:
+    /// [`spec_ordered`] sorts a journal produced under dynamic (work-
+    /// stealing) scheduling back into the deterministic spec order.
+    pub spec: Option<u64>,
     /// Event kind: `fault`, `retry`, `breaker-open`, `breaker-skip`,
     /// `milestone`, `experiment-start`, `experiment-end`, `run-start`,
     /// `run-end`, `attempt-error`, `panic`, `timeout`.
@@ -83,6 +90,13 @@ impl Event {
         self
     }
 
+    /// Stamp the global spec index the event belongs to.
+    #[must_use]
+    pub fn with_spec(mut self, spec: u64) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
     /// Canonical one-line form with timings, `seq`, and `shard` excluded —
     /// two same-seed runs must produce identical canonical lines, and a
     /// merged sharded run must canonicalize identically to a 1-shard run.
@@ -124,6 +138,11 @@ impl Journal {
         &self.events
     }
 
+    /// Consume the journal, returning its events without cloning.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
     /// Number of events recorded.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -132,6 +151,62 @@ impl Journal {
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Stamp every event from index `from` onward that does not already
+    /// carry a spec index with `spec`. The supervised runner brackets each
+    /// experiment with `event_count()` marks and stamps the slice, so every
+    /// journal line knows which spec produced it.
+    pub fn stamp_spec_from(&mut self, from: usize, spec: u64) {
+        for event in self.events.iter_mut().skip(from) {
+            if event.spec.is_none() {
+                event.spec = Some(spec);
+            }
+        }
+    }
+}
+
+/// Sort key class for [`spec_ordered`]: `run-start` sorts first,
+/// `run-end` last, everything else by spec index in between.
+fn order_class(event: &Event) -> u8 {
+    match event.kind.as_str() {
+        "run-start" => 0,
+        "run-end" => 2,
+        _ => 1,
+    }
+}
+
+/// Canonical deterministic ordering for a merged journal: `run-start`
+/// first, `run-end` last, and body events stably sorted by spec index
+/// (events without one keep their relative position at the end of the
+/// body). Within one spec, the original `seq` order is preserved — the
+/// sort is stable and per-spec events are recorded sequentially — so a
+/// journal produced under work-stealing scheduling sorts back into the
+/// exact event stream a static 1-shard run emits. `seq` is reassigned
+/// densely after the sort. A no-op on journals that are already in spec
+/// order (static runs) and on pre-spec journals (every key is `None`).
+pub fn spec_ordered(events: &[Event]) -> Vec<Event> {
+    let mut sorted: Vec<Event> = events.to_vec();
+    sorted.sort_by_key(|e| (order_class(e), e.spec.unwrap_or(u64::MAX)));
+    for (seq, event) in sorted.iter_mut().enumerate() {
+        event.seq = seq as u64;
+    }
+    sorted
+}
+
+/// In-place variant of [`spec_ordered`] for hot merge paths: when the
+/// events are already in spec order — every static-schedule merge, since
+/// shards hold contiguous slices — this is a single comparison sweep with
+/// no allocation or copying. Only an actually out-of-order journal pays
+/// for the stable sort and the dense `seq` reassignment.
+pub fn spec_order_in_place(events: &mut [Event]) {
+    let key = |e: &Event| (order_class(e), e.spec.unwrap_or(u64::MAX));
+    if events.windows(2).all(|w| key(&w[0]) <= key(&w[1])) {
+        return;
+    }
+    events.sort_by_key(key);
+    for (seq, event) in events.iter_mut().enumerate() {
+        event.seq = seq as u64;
     }
 }
 
@@ -218,12 +293,68 @@ mod tests {
 
     #[test]
     fn pre_shard_journals_still_parse() {
-        // A journal line captured before the `shard` field existed must
-        // deserialize with `shard: None` so old journals stay replayable.
+        // A journal line captured before the `shard` / `spec` fields
+        // existed must deserialize with them `None` so old journals stay
+        // replayable.
         let line = r#"{"seq":0,"experiment":"f1","kind":"fault","step":4,"severity":0.5,"attempt":null,"detail":"link-outage"}"#;
         let events = from_jsonl(line).unwrap();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].shard, None);
+        assert_eq!(events[0].spec, None);
         assert_eq!(events[0].step, Some(4));
+    }
+
+    #[test]
+    fn spec_is_excluded_from_canonical() {
+        let a = Event::new("fault", "x").with_step(3);
+        let b = Event::new("fault", "x").with_step(3).with_spec(9).with_shard(1);
+        assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn stamp_spec_from_marks_only_the_tail_and_respects_existing() {
+        let mut j = Journal::default();
+        j.record(Event::new("run-start", ""));
+        let mark = j.len();
+        j.record(Event::new("experiment-start", "t"));
+        j.record(Event::new("fault", "x").with_spec(99));
+        j.stamp_spec_from(mark, 3);
+        assert_eq!(j.events()[0].spec, None);
+        assert_eq!(j.events()[1].spec, Some(3));
+        // An explicit spec index is never overwritten.
+        assert_eq!(j.events()[2].spec, Some(99));
+    }
+
+    #[test]
+    fn spec_ordered_restores_spec_order_and_reseqs() {
+        // Completion order 1, 0 (as a work-stealing run might produce),
+        // bracketed by run-start / run-end.
+        let mut j = Journal::default();
+        j.record(Event::new("run-start", "seed=1"));
+        j.record(Event::new("experiment-start", "b").with_spec(1));
+        j.record(Event::new("experiment-end", "ok").with_spec(1));
+        j.record(Event::new("experiment-start", "a").with_spec(0));
+        j.record(Event::new("experiment-end", "ok").with_spec(0));
+        j.record(Event::new("run-end", "2 ok"));
+        let sorted = spec_ordered(j.events());
+        let kinds_and_specs: Vec<(String, Option<u64>)> = sorted
+            .iter()
+            .map(|e| (e.kind.clone(), e.spec))
+            .collect();
+        assert_eq!(
+            kinds_and_specs,
+            vec![
+                ("run-start".to_owned(), None),
+                ("experiment-start".to_owned(), Some(0)),
+                ("experiment-end".to_owned(), Some(0)),
+                ("experiment-start".to_owned(), Some(1)),
+                ("experiment-end".to_owned(), Some(1)),
+                ("run-end".to_owned(), None),
+            ]
+        );
+        let seqs: Vec<u64> = sorted.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+        // Already-ordered journals pass through unchanged.
+        assert_eq!(spec_ordered(&sorted), sorted);
     }
 }

@@ -33,7 +33,7 @@ pub mod metrics;
 pub mod table;
 pub mod trace;
 
-pub use journal::{Event, Journal};
+pub use journal::{spec_order_in_place, spec_ordered, Event, Journal};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use table::TextTable;
 pub use trace::{SpanSnapshot, Tracer};
@@ -144,6 +144,15 @@ impl Telemetry {
         }
     }
 
+    /// Stamp journal events from index `from` (a prior
+    /// [`Telemetry::event_count`] mark) onward with the global spec index
+    /// `spec`, leaving events that already carry one untouched.
+    pub fn stamp_spec_from(&self, from: usize, spec: u64) {
+        if self.enabled {
+            self.inner.borrow_mut().journal.stamp_spec_from(from, spec);
+        }
+    }
+
     /// Fold a worker attempt's snapshot into this instance: counters add,
     /// gauges overwrite, histograms and spans merge, and the worker's
     /// events are appended in order with empty experiment fields stamped
@@ -167,6 +176,19 @@ impl Telemetry {
             metrics: inner.metrics.snapshot(),
             spans: inner.tracer.snapshot(),
             events: inner.journal.events().to_vec(),
+        }
+    }
+
+    /// Like [`Telemetry::snapshot`], but consumes the instance and moves
+    /// the journal out instead of cloning it. The sharded runner calls
+    /// this on per-shard and per-spec instances it owns, so event vectors
+    /// cross thread boundaries without a copy.
+    pub fn into_snapshot(self) -> TelemetrySnapshot {
+        let inner = self.inner.into_inner();
+        TelemetrySnapshot {
+            metrics: inner.metrics.snapshot(),
+            spans: inner.tracer.snapshot(),
+            events: inner.journal.into_events(),
         }
     }
 }
@@ -230,6 +252,18 @@ impl TelemetrySnapshot {
         for event in &mut self.events {
             if event.shard.is_none() {
                 event.shard = Some(shard);
+            }
+        }
+    }
+
+    /// Stamp every event that does not already carry a spec index with
+    /// `spec`. Work-stealing workers call this on each per-spec snapshot
+    /// so the merged journal can be sorted back into spec order (see
+    /// [`journal::spec_ordered`]).
+    pub fn stamp_spec(&mut self, spec: u64) {
+        for event in &mut self.events {
+            if event.spec.is_none() {
+                event.spec = Some(spec);
             }
         }
     }

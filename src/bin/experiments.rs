@@ -8,6 +8,7 @@
 //! cargo run --release --bin experiments -- run                # run everything
 //! cargo run --release --bin experiments -- run f3 t1          # run a subset
 //! cargo run --release --bin experiments -- run --fault-profile chaos --shards 4
+//! cargo run --release --bin experiments -- run --shards 4 --schedule steal
 //! cargo run --release --bin experiments -- run --metrics-out m.json --journal-out j.jsonl
 //! cargo run --release --bin experiments -- list               # experiment catalog
 //! cargo run --release --bin experiments -- merge-metrics a.json b.json
@@ -36,7 +37,7 @@
 
 use humnet::core::experiments::ExperimentId;
 use humnet::resilience::{
-    replay, ExperimentSpec, FaultProfile, JobError, JobOutput, RunnerConfig, Supervisor,
+    replay, ExperimentSpec, FaultProfile, JobError, JobOutput, RunnerConfig, Schedule, Supervisor,
 };
 use humnet::telemetry::{journal, TelemetrySnapshot, TextTable};
 use std::time::Duration;
@@ -58,6 +59,7 @@ fn main() {
 struct RunCli {
     config: RunnerConfig,
     shards: u32,
+    schedule: Schedule,
     ids: Vec<ExperimentId>,
     report_only: bool,
     metrics_out: Option<String>,
@@ -86,6 +88,7 @@ fn cmd_run(args: Vec<String>) -> ! {
     let run = Supervisor::builder()
         .config(cli.config)
         .shards(cli.shards)
+        .schedule(cli.schedule)
         .build()
         .run(&specs);
 
@@ -129,6 +132,7 @@ fn cmd_run(args: Vec<String>) -> ! {
 fn parse_run_args(args: impl Iterator<Item = String>) -> Result<RunCli, String> {
     let mut config = RunnerConfig::default();
     let mut shards = 1u32;
+    let mut schedule = Schedule::Static;
     let mut ids = Vec::new();
     let mut report_only = false;
     let mut metrics_out = None;
@@ -182,6 +186,11 @@ fn parse_run_args(args: impl Iterator<Item = String>) -> Result<RunCli, String> 
                 }
                 shards = n;
             }
+            "--schedule" => {
+                let v = value("--schedule")?;
+                schedule = Schedule::parse(&v)
+                    .ok_or_else(|| format!("unknown schedule '{v}' (static|steal)"))?;
+            }
             "--report-only" => report_only = true,
             "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
             "--journal-out" => journal_out = Some(value("--journal-out")?),
@@ -206,6 +215,7 @@ fn parse_run_args(args: impl Iterator<Item = String>) -> Result<RunCli, String> 
     Ok(RunCli {
         config,
         shards,
+        schedule,
         ids,
         report_only,
         metrics_out,
@@ -393,6 +403,10 @@ Run options:
   --intensity <X>      multiplier on the profile's fault rates (default 1.0)
   --shards <N>         partition the run across N in-process shards; the
                        merged canonical output is shard-invariant (default 1)
+  --schedule <static|steal>
+                       how shards receive work: fixed contiguous slices, or
+                       a work-stealing queue that rebalances skewed costs;
+                       the canonical output is identical (default static)
   --report-only        print only the final run report
   --metrics-out <PATH> write the telemetry snapshot (metrics + spans) as JSON
   --journal-out <PATH> write the structured event journal as JSONL
