@@ -1,4 +1,4 @@
-//! Per-family circuit breaker.
+//! Per-family circuit breaker with optional half-open recovery.
 //!
 //! Experiments are grouped into families (the simulator subsystem they
 //! exercise). When a family keeps failing, running its remaining
@@ -7,52 +7,111 @@
 //! failures and the runner short-circuits the rest of the family to
 //! `Failed` without executing them. A success while the breaker is still
 //! closed resets the count (failures must be consecutive to trip it).
+//!
+//! With a nonzero `cooldown`, an open breaker recovers through a
+//! *half-open probe*: after `cooldown` outcomes have been recorded against
+//! the open family (i.e. that many experiments were skipped), the next
+//! candidate is admitted as a probe. A successful probe closes the family;
+//! a failed probe re-opens it for another full cooldown. The default
+//! cooldown of 0 keeps the historical latch-open-for-the-run behavior.
 
 use std::collections::BTreeMap;
+
+/// What the breaker decides for the next candidate in a family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: run normally.
+    Closed,
+    /// Breaker open, cooldown elapsed: run this one as a half-open probe.
+    Probe,
+    /// Breaker open: short-circuit without running.
+    Open,
+}
+
+/// Per-family trip state.
+#[derive(Debug, Clone, Copy, Default)]
+struct FamilyState {
+    /// Consecutive failures recorded while closed (or probing).
+    consecutive: u32,
+    /// Outcomes recorded against this family while its breaker was open
+    /// (each skipped experiment counts one); drives half-open probing.
+    skips_while_open: u32,
+}
 
 /// Tracks consecutive failures per family and opens past a threshold.
 #[derive(Debug, Clone)]
 pub struct CircuitBreaker {
     threshold: u32,
-    consecutive: BTreeMap<String, u32>,
+    cooldown: u32,
+    families: BTreeMap<String, FamilyState>,
 }
 
 impl CircuitBreaker {
     /// Breaker opening after `threshold` consecutive failures in a family.
-    /// A threshold of 0 disables the breaker entirely.
+    /// A threshold of 0 disables the breaker entirely. The cooldown starts
+    /// at 0 (an open breaker latches for the whole run); see
+    /// [`CircuitBreaker::with_cooldown`].
     pub fn new(threshold: u32) -> Self {
         CircuitBreaker {
             threshold,
-            consecutive: BTreeMap::new(),
+            cooldown: 0,
+            families: BTreeMap::new(),
         }
+    }
+
+    /// Enable half-open recovery: after `cooldown` recorded outcomes with
+    /// the breaker open, one probe attempt is admitted. 0 disables
+    /// recovery (the default — an open breaker latches).
+    #[must_use]
+    pub fn with_cooldown(mut self, cooldown: u32) -> Self {
+        self.cooldown = cooldown;
+        self
     }
 
     /// Whether the family's breaker is open (short-circuit its experiments).
     pub fn is_open(&self, family: &str) -> bool {
         self.threshold > 0
             && self
-                .consecutive
+                .families
                 .get(family)
-                .is_some_and(|&n| n >= self.threshold)
+                .is_some_and(|s| s.consecutive >= self.threshold)
+    }
+
+    /// Decide the next candidate's fate and record the decision: `Closed`
+    /// runs normally, `Probe` runs as a half-open trial (cooldown elapsed),
+    /// `Open` is skipped — and the skip itself counts toward the cooldown.
+    pub fn admit(&mut self, family: &str) -> Admission {
+        if !self.is_open(family) {
+            return Admission::Closed;
+        }
+        let state = self.families.entry(family.to_owned()).or_default();
+        if self.cooldown > 0 && state.skips_while_open >= self.cooldown {
+            return Admission::Probe;
+        }
+        state.skips_while_open += 1;
+        Admission::Open
     }
 
     /// Record a success: closes the family's breaker again.
     pub fn record_success(&mut self, family: &str) {
-        self.consecutive.remove(family);
+        self.families.remove(family);
     }
 
-    /// Record a failure; returns whether the breaker is now open.
+    /// Record a failure; returns whether the breaker is now open. A failed
+    /// half-open probe lands here too: the family re-opens and must sit
+    /// out another full cooldown before the next probe.
     pub fn record_failure(&mut self, family: &str) -> bool {
-        let n = self.consecutive.entry(family.to_owned()).or_insert(0);
-        *n += 1;
+        let state = self.families.entry(family.to_owned()).or_default();
+        state.consecutive += 1;
+        state.skips_while_open = 0;
         self.is_open(family)
     }
 
     /// Families whose breaker is currently open, in sorted order.
     pub fn open_families(&self) -> Vec<&str> {
-        self.consecutive
+        self.families
             .iter()
-            .filter(|&(_, &n)| self.threshold > 0 && n >= self.threshold)
+            .filter(|&(_, s)| self.threshold > 0 && s.consecutive >= self.threshold)
             .map(|(f, _)| f.as_str())
             .collect()
     }
@@ -88,6 +147,7 @@ mod tests {
         }
         assert!(!b.is_open("x"));
         assert!(b.open_families().is_empty());
+        assert_eq!(b.admit("x"), Admission::Closed);
     }
 
     #[test]
@@ -97,5 +157,53 @@ mod tests {
         b.record_failure("a-family");
         b.record_success("c-family");
         assert_eq!(b.open_families(), vec!["a-family", "b-family"]);
+    }
+
+    #[test]
+    fn zero_cooldown_latches_open_forever() {
+        let mut b = CircuitBreaker::new(1);
+        b.record_failure("f");
+        for _ in 0..100 {
+            assert_eq!(b.admit("f"), Admission::Open);
+        }
+    }
+
+    #[test]
+    fn probe_admitted_after_cooldown_skips() {
+        let mut b = CircuitBreaker::new(1).with_cooldown(2);
+        b.record_failure("f");
+        assert_eq!(b.admit("f"), Admission::Open, "skip 1 of 2");
+        assert_eq!(b.admit("f"), Admission::Open, "skip 2 of 2");
+        assert_eq!(b.admit("f"), Admission::Probe, "cooldown elapsed");
+        // The probe decision is stable until an outcome lands.
+        assert_eq!(b.admit("f"), Admission::Probe);
+    }
+
+    #[test]
+    fn successful_probe_closes_the_family() {
+        let mut b = CircuitBreaker::new(2).with_cooldown(1);
+        b.record_failure("f");
+        b.record_failure("f");
+        assert_eq!(b.admit("f"), Admission::Open);
+        assert_eq!(b.admit("f"), Admission::Probe);
+        b.record_success("f");
+        assert_eq!(b.admit("f"), Admission::Closed);
+        assert!(!b.is_open("f"));
+        // The next failure starts counting from scratch: 1 < threshold 2.
+        assert!(!b.record_failure("f"));
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_full_cooldown() {
+        let mut b = CircuitBreaker::new(1).with_cooldown(2);
+        b.record_failure("f");
+        b.admit("f");
+        b.admit("f");
+        assert_eq!(b.admit("f"), Admission::Probe);
+        assert!(b.record_failure("f"), "failed probe keeps the breaker open");
+        // Cooldown restarted: two more skips before the next probe.
+        assert_eq!(b.admit("f"), Admission::Open);
+        assert_eq!(b.admit("f"), Admission::Open);
+        assert_eq!(b.admit("f"), Admission::Probe);
     }
 }

@@ -22,9 +22,15 @@
 //! 6. [`replay`] — reconstruct a past run's configuration and fault
 //!    schedule from its captured journal, re-execute it, and diff the
 //!    canonical event streams.
+//! 7. [`dispatch`] — the cross-process counterpart of [`shard`]:
+//!    supervised shard *child processes* with heartbeat liveness,
+//!    per-shard deadlines, crash retry, graceful partial-result
+//!    degradation, and merge-time circuit-breaker reconciliation — still
+//!    byte-identical to the in-process 1-shard run.
 
 pub mod backoff;
 pub mod breaker;
+pub mod dispatch;
 pub mod fault;
 pub mod replay;
 pub mod report;
@@ -33,7 +39,12 @@ pub mod schedule;
 pub mod shard;
 
 pub use backoff::Backoff;
-pub use breaker::CircuitBreaker;
+pub use breaker::{Admission, CircuitBreaker};
+pub use dispatch::{
+    dispatch, reconcile_breakers, BreakerReconciliation, ChaosProc, DispatchConfig,
+    DispatchError, DispatchOutcome, FamilyBreakerState, MissingShard, ShardPaths, ShardSpec,
+    CHAOS_ENV, CHAOS_KILL_CODE,
+};
 pub use fault::{
     FaultHook, FaultKind, FaultPlan, FaultProfile, InstrumentedHook, NoFaults, PlanHook,
 };
@@ -41,7 +52,7 @@ pub use replay::{
     first_divergence, reconstruct, replay, Divergence, RecordedFault, RecordedFaults,
     ReplayError, ReplayReport, ReplaySpec,
 };
-pub use report::{ExperimentReport, ExperimentStatus, RunReport};
+pub use report::{ExperimentReport, ExperimentStatus, RunArtifact, RunReport};
 pub use runner::{
     render_chain, ExperimentSpec, Job, JobError, JobOutput, RunnerConfig, SupervisedRun,
     Supervisor, SupervisorBuilder,

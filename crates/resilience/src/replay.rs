@@ -180,6 +180,7 @@ pub fn reconstruct(events: &[Event]) -> Result<ReplaySpec, ReplayError> {
             "intensity" => config.intensity = value.parse().map_err(|_| malformed())?,
             "retries" => config.retries = value.parse().map_err(|_| malformed())?,
             "breaker" => config.breaker_threshold = value.parse().map_err(|_| malformed())?,
+            "cooldown" => config.breaker_cooldown = value.parse().map_err(|_| malformed())?,
             _ => {} // experiments=N and future keys are informational
         }
     }

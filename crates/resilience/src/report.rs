@@ -6,10 +6,12 @@
 //! human-readable report and the metrics snapshot cannot drift apart.
 
 use humnet_telemetry::{Telemetry, TextTable};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Outcome of one supervised experiment, worst-last.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ExperimentStatus {
     /// Completed first try with no faults injected.
     Ok,
@@ -49,7 +51,7 @@ impl fmt::Display for ExperimentStatus {
 }
 
 /// One row of the run report.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentReport {
     /// Short experiment code (e.g. `fig1`, `tab3`).
     pub code: String,
@@ -71,7 +73,7 @@ pub struct ExperimentReport {
 }
 
 /// Aggregated outcome of a supervised run over all experiments.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Per-experiment rows, in execution order.
     pub experiments: Vec<ExperimentReport>,
@@ -220,6 +222,30 @@ impl RunReport {
             table.row(cells);
         }
         table.render()
+    }
+}
+
+/// The serializable half of a [`crate::SupervisedRun`]: what a shard child
+/// process writes with `--report-out` and the cross-process dispatcher
+/// reads back. Telemetry travels separately (`--metrics-out` carries the
+/// full [`humnet_telemetry::TelemetrySnapshot`], events included).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunArtifact {
+    /// Per-experiment statuses and the aggregate verdict.
+    pub report: RunReport,
+    /// Rendered output of every experiment that completed, by code.
+    pub outputs: BTreeMap<String, String>,
+}
+
+impl RunArtifact {
+    /// Pretty-printed JSON (the `--report-out` file format).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parse a `--report-out` file back.
+    pub fn from_json(text: &str) -> Result<RunArtifact, serde_json::Error> {
+        serde_json::from_str(text)
     }
 }
 

@@ -91,6 +91,9 @@ pub struct RunnerConfig {
     pub backoff_base: Duration,
     /// Consecutive family failures before the breaker opens (0 = disabled).
     pub breaker_threshold: u32,
+    /// Recorded outcomes an open breaker sits out before admitting one
+    /// half-open probe attempt (0 = latch open for the whole run).
+    pub breaker_cooldown: u32,
     /// Seed for the fault plans and the jitter stream.
     pub seed: u64,
     /// Fault mix injected into every experiment.
@@ -109,6 +112,7 @@ impl Default for RunnerConfig {
             deadline: Duration::from_secs(30),
             backoff_base: Duration::from_millis(25),
             breaker_threshold: 2,
+            breaker_cooldown: 0,
             seed: 42,
             profile: FaultProfile::None,
             intensity: 1.0,
@@ -206,6 +210,14 @@ impl SupervisorBuilder {
         self
     }
 
+    /// Recorded outcomes an open breaker waits before a half-open probe
+    /// (0 = latch open, the default).
+    #[must_use]
+    pub fn breaker_cooldown(mut self, cooldown: u32) -> Self {
+        self.config.breaker_cooldown = cooldown;
+        self
+    }
+
     /// Seed for the fault plans and the jitter stream.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
@@ -263,7 +275,8 @@ impl SupervisorBuilder {
     /// Finish: a [`Supervisor`] with a fresh (closed) breaker per shard.
     pub fn build(self) -> Supervisor {
         Supervisor {
-            breaker: CircuitBreaker::new(self.config.breaker_threshold),
+            breaker: CircuitBreaker::new(self.config.breaker_threshold)
+                .with_cooldown(self.config.breaker_cooldown),
             config: self.config,
             shards: self.shards,
             schedule: self.schedule,
@@ -582,13 +595,13 @@ pub(crate) enum BreakerRef<'a> {
 }
 
 impl BreakerRef<'_> {
-    fn is_open(&self, family: &str) -> bool {
+    fn admit(&mut self, family: &str) -> crate::breaker::Admission {
         match self {
-            BreakerRef::Own(breaker) => breaker.is_open(family),
+            BreakerRef::Own(breaker) => breaker.admit(family),
             BreakerRef::Shared(breaker) => breaker
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
-                .is_open(family),
+                .admit(family),
         }
     }
 
@@ -627,23 +640,36 @@ pub(crate) fn run_spec(
     tel: &Telemetry,
 ) -> (ExperimentReport, Option<String>) {
     let started = Instant::now();
-    if breaker.is_open(&spec.family) {
-        let message = format!("circuit breaker open for family '{}'", spec.family);
-        tel.counter("runner.breaker_skips", 1);
-        tel.event(Event::new("breaker-skip", message.clone()).in_experiment(&spec.code));
-        return (
-            ExperimentReport {
-                code: spec.code.clone(),
-                title: spec.title.clone(),
-                family: spec.family.clone(),
-                status: ExperimentStatus::Failed,
-                attempts: 0,
-                faults_injected: 0,
-                message,
-                duration_ms: 0,
-            },
-            None,
-        );
+    match breaker.admit(&spec.family) {
+        crate::breaker::Admission::Closed => {}
+        crate::breaker::Admission::Probe => {
+            // Cooldown elapsed: this experiment runs as the half-open
+            // probe. Success below closes the family; failure re-opens it
+            // for another full cooldown.
+            tel.counter("runner.breaker_probes", 1);
+            tel.event(
+                Event::new("breaker-probe", format!("family '{}'", spec.family))
+                    .in_experiment(&spec.code),
+            );
+        }
+        crate::breaker::Admission::Open => {
+            let message = format!("circuit breaker open for family '{}'", spec.family);
+            tel.counter("runner.breaker_skips", 1);
+            tel.event(Event::new("breaker-skip", message.clone()).in_experiment(&spec.code));
+            return (
+                ExperimentReport {
+                    code: spec.code.clone(),
+                    title: spec.title.clone(),
+                    family: spec.family.clone(),
+                    status: ExperimentStatus::Failed,
+                    attempts: 0,
+                    faults_injected: 0,
+                    message,
+                    duration_ms: 0,
+                },
+                None,
+            );
+        }
     }
 
     tel.event(Event::new("experiment-start", spec.title.clone()).in_experiment(&spec.code));
@@ -890,12 +916,13 @@ const WORKER_PREFIX: &str = "humnet-exp-";
 /// wall-clock timeouts, which are not reproducible anyway).
 pub(crate) fn run_start_detail(config: &RunnerConfig, experiments: usize) -> String {
     format!(
-        "profile={} seed={} intensity={} retries={} breaker={} experiments={experiments}",
+        "profile={} seed={} intensity={} retries={} breaker={} cooldown={} experiments={experiments}",
         config.profile.label(),
         config.seed,
         config.intensity,
         config.retries,
         config.breaker_threshold,
+        config.breaker_cooldown,
     )
 }
 
@@ -980,6 +1007,7 @@ mod tests {
             deadline: Duration::from_millis(500),
             backoff_base: Duration::from_millis(1),
             breaker_threshold: 2,
+            breaker_cooldown: 0,
             seed: 7,
             profile: FaultProfile::None,
             intensity: 1.0,

@@ -389,7 +389,9 @@ pub fn run_stealing(
     let n = specs.len();
     let workers = (workers.max(1) as usize).min(n.max(1));
     let queue = Arc::new(StealQueue::seeded(workers, n));
-    let breaker = Arc::new(Mutex::new(CircuitBreaker::new(config.breaker_threshold)));
+    let breaker = Arc::new(Mutex::new(
+        CircuitBreaker::new(config.breaker_threshold).with_cooldown(config.breaker_cooldown),
+    ));
     let specs: Arc<[ExperimentSpec]> = specs.to_vec().into();
     let (slot_tx, slot_rx) = mpsc::channel::<(usize, SpecSlot)>();
 

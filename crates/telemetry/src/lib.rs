@@ -268,6 +268,22 @@ impl TelemetrySnapshot {
         }
     }
 
+    /// Shift every stamped spec index by `base`. A child process running
+    /// one shard's slice numbers its specs from 0; the cross-process
+    /// dispatcher re-bases each shard's events onto the slice's offset in
+    /// the full spec list, so the merged journal sorts into the same
+    /// global spec order an in-process run produces.
+    pub fn offset_spec(&mut self, base: u64) {
+        if base == 0 {
+            return;
+        }
+        for event in &mut self.events {
+            if let Some(spec) = event.spec.as_mut() {
+                *spec += base;
+            }
+        }
+    }
+
     /// Canonical event lines (timings and seq excluded): two same-seed
     /// runs must produce identical output.
     pub fn canonical_events(&self) -> Vec<String> {

@@ -1,6 +1,6 @@
 //! Regenerates every table and figure recorded in `EXPERIMENTS.md`, under
-//! a supervised runner with optional fault injection, sharding, and
-//! journal-driven replay.
+//! a supervised runner with optional fault injection, sharding,
+//! journal-driven replay, and cross-process dispatch.
 //!
 //! Usage:
 //!
@@ -10,6 +10,8 @@
 //! cargo run --release --bin experiments -- run --fault-profile chaos --shards 4
 //! cargo run --release --bin experiments -- run --shards 4 --schedule steal
 //! cargo run --release --bin experiments -- run --metrics-out m.json --journal-out j.jsonl
+//! cargo run --release --bin experiments -- dispatch --procs 4  # child processes
+//! cargo run --release --bin experiments -- dispatch --procs 4 --chaos-proc kill:2
 //! cargo run --release --bin experiments -- list               # experiment catalog
 //! cargo run --release --bin experiments -- merge-metrics a.json b.json
 //! cargo run --release --bin experiments -- replay j.jsonl     # re-execute a capture
@@ -20,39 +22,78 @@
 //! isolation, bounded retries and a per-family circuit breaker. With
 //! `--shards N` the experiment list is partitioned across N in-process
 //! shards whose merged canonical journal and report are byte-identical to
-//! the single-shard run of the same seed. `replay` reconstructs a past
-//! run's configuration and fault schedule from its captured journal,
-//! re-executes it, and diffs the canonical event streams.
+//! the single-shard run of the same seed. `dispatch --procs K` lifts the
+//! same partition to K supervised *child processes* (the binary re-invokes
+//! itself per shard): children heartbeat, crashed or hung shards are
+//! killed and retried with deterministic backoff, `--allow-partial`
+//! degrades gracefully when a shard stays dead, and the merged canonical
+//! output remains byte-identical to the in-process run. `replay`
+//! reconstructs a past run's configuration and fault schedule from its
+//! captured journal, re-executes it, and diffs the canonical event
+//! streams.
 //!
 //! Output is plain text: each experiment prints its rendered tables and
 //! series (with ASCII sparklines standing in for figures). The supervised
 //! run also collects telemetry — counters, latency histograms, tracing
 //! spans, and a structured event journal — which `--metrics-out`,
-//! `--journal-out`, and `--trace-summary` expose.
+//! `--journal-out`, and `--trace-summary` expose; `--report-out` writes
+//! the serialized report+outputs artifact the dispatcher consumes.
 //!
 //! Exit codes: 0 — all experiments completed (or replay matched);
 //! 1 — an experiment failed, or replay diverged from the capture;
-//! 2 — an experiment timed out, or bad arguments / unreadable input /
-//! unwritable output.
+//! 2 — an experiment timed out, a shard died without `--allow-partial`,
+//! or bad arguments / unreadable input / unwritable output;
+//! 3 — dispatch degraded to partial results under `--allow-partial`.
 
 use humnet::core::experiments::ExperimentId;
 use humnet::resilience::{
-    replay, ExperimentSpec, FaultProfile, JobError, JobOutput, RunnerConfig, Schedule, Supervisor,
+    dispatch, replay, ChaosProc, DispatchConfig, DispatchOutcome, ExperimentSpec, FaultProfile,
+    JobError, JobOutput, RunArtifact, RunnerConfig, Schedule, ShardPlan, ShardSpec, Supervisor,
+    CHAOS_ENV, CHAOS_KILL_CODE,
 };
 use humnet::telemetry::{journal, TelemetrySnapshot, TextTable};
+use std::process::ExitCode;
 use std::time::Duration;
 
-fn main() {
+fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(args.split_off(1)),
+        Some("dispatch") => cmd_dispatch(args.split_off(1)),
         Some("list") => cmd_list(args.split_off(1)),
         Some("merge-metrics") => cmd_merge_metrics(args.split_off(1)),
         Some("replay") => cmd_replay(args.split_off(1)),
         // Bare `experiments [OPTIONS] [ID...]` stays an alias for `run`.
         _ => cmd_run(args),
+    };
+    ExitCode::from(result.unwrap_or_else(Failure::report))
+}
+
+/// A command that cannot proceed: the single exit path for every error,
+/// so no subcommand calls `std::process::exit` from the middle of its
+/// control flow.
+enum Failure {
+    /// Bad CLI input — print the message and the usage text.
+    Usage(String),
+    /// Anything else fatal — unreadable input, unwritable output, a dead
+    /// shard without `--allow-partial`.
+    Fatal(String),
+}
+
+impl Failure {
+    fn report(self) -> u8 {
+        match self {
+            Failure::Usage(msg) => {
+                eprintln!("{msg}");
+                eprintln!("{USAGE}");
+            }
+            Failure::Fatal(msg) => eprintln!("{msg}"),
+        }
+        2
     }
 }
+
+type CmdResult = Result<u8, Failure>;
 
 // ---------------------------------------------------------------- run --
 
@@ -64,13 +105,15 @@ struct RunCli {
     report_only: bool,
     metrics_out: Option<String>,
     journal_out: Option<String>,
+    report_out: Option<String>,
     trace_summary: bool,
+    heartbeat: Option<String>,
+    heartbeat_every: Duration,
 }
 
-fn cmd_run(args: Vec<String>) -> ! {
-    let cli = match parse_run_args(args.into_iter()) {
-        Ok(cli) => cli,
-        Err(msg) => usage_error(&msg),
+fn cmd_run(args: Vec<String>) -> CmdResult {
+    let Some(cli) = parse_run_args(args.into_iter())? else {
+        return Ok(0); // --help
     };
 
     // Fail on unwritable output paths *before* spending minutes running
@@ -78,10 +121,34 @@ fn cmd_run(args: Vec<String>) -> ! {
     for (path, what) in [
         (&cli.metrics_out, "metrics snapshot"),
         (&cli.journal_out, "event journal"),
+        (&cli.report_out, "report artifact"),
+        (&cli.heartbeat, "heartbeat file"),
     ] {
         if let Some(path) = path {
-            preflight_writable(path, what);
+            preflight_writable(path, what)?;
         }
+    }
+
+    // Cooperative process-level fault injection: a dispatch parent under
+    // --chaos-proc stamps this variable on the targeted (shard, attempt)
+    // spawn. `kill` simulates a crash before any work or heartbeat;
+    // `hang` wedges silently so liveness/deadline supervision must fire.
+    match std::env::var(CHAOS_ENV).as_deref() {
+        Ok("kill") => {
+            eprintln!("chaos-proc: kill — exiting {CHAOS_KILL_CODE}");
+            return Ok(CHAOS_KILL_CODE as u8);
+        }
+        Ok("hang") => {
+            eprintln!("chaos-proc: hang — sleeping without heartbeats");
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        _ => {}
+    }
+
+    if let Some(path) = &cli.heartbeat {
+        start_heartbeat(path.clone(), cli.heartbeat_every);
     }
 
     let specs: Vec<ExperimentSpec> = cli.ids.iter().map(|&id| spec_for(id)).collect();
@@ -114,125 +181,434 @@ fn cmd_run(args: Vec<String>) -> ! {
         println!("\n{}", run.telemetry.render_trace_summary());
     }
     if let Some(path) = &cli.metrics_out {
-        match run.telemetry.to_json() {
-            Ok(json) => write_or_die(path, &json, "metrics snapshot"),
-            Err(e) => die(&format!("failed to serialize metrics snapshot: {e}")),
-        }
+        let json = run
+            .telemetry
+            .to_json()
+            .map_err(|e| Failure::Fatal(format!("failed to serialize metrics snapshot: {e}")))?;
+        write_file(path, &json, "metrics snapshot")?;
     }
     if let Some(path) = &cli.journal_out {
-        match run.telemetry.to_jsonl() {
-            Ok(jsonl) => write_or_die(path, &jsonl, "event journal"),
-            Err(e) => die(&format!("failed to serialize event journal: {e}")),
-        }
+        let jsonl = run
+            .telemetry
+            .to_jsonl()
+            .map_err(|e| Failure::Fatal(format!("failed to serialize event journal: {e}")))?;
+        write_file(path, &jsonl, "event journal")?;
+    }
+    if let Some(path) = &cli.report_out {
+        let artifact = RunArtifact {
+            report: run.report.clone(),
+            outputs: run.outputs.clone(),
+        };
+        let json = artifact
+            .to_json()
+            .map_err(|e| Failure::Fatal(format!("failed to serialize report artifact: {e}")))?;
+        write_file(path, &json, "report artifact")?;
     }
 
-    std::process::exit(run.report.exit_code());
+    Ok(run.report.exit_code() as u8)
 }
 
-fn parse_run_args(args: impl Iterator<Item = String>) -> Result<RunCli, String> {
-    let mut config = RunnerConfig::default();
-    let mut shards = 1u32;
-    let mut schedule = Schedule::Static;
-    let mut ids = Vec::new();
-    let mut report_only = false;
-    let mut metrics_out = None;
-    let mut journal_out = None;
-    let mut trace_summary = false;
+/// `Ok(None)` means `--help` was printed; there is nothing to run.
+fn parse_run_args(args: impl Iterator<Item = String>) -> Result<Option<RunCli>, Failure> {
+    let mut cli = RunCli {
+        config: RunnerConfig::default(),
+        shards: 1,
+        schedule: Schedule::Static,
+        ids: Vec::new(),
+        report_only: false,
+        metrics_out: None,
+        journal_out: None,
+        report_out: None,
+        trace_summary: false,
+        heartbeat: None,
+        heartbeat_every: Duration::from_millis(100),
+    };
     let mut args = args.peekable();
 
     while let Some(arg) = args.next() {
-        let mut value = |flag: &str| -> Result<String, String> {
-            args.next().ok_or_else(|| format!("{flag} needs a value"))
+        let mut value = |flag: &str| -> Result<String, Failure> {
+            args.next()
+                .ok_or_else(|| Failure::Usage(format!("{flag} needs a value")))
         };
         match arg.as_str() {
             "--help" | "-h" => {
                 println!("{USAGE}");
-                std::process::exit(0);
+                return Ok(None);
             }
             "--fault-profile" => {
                 let v = value("--fault-profile")?;
-                config.profile = FaultProfile::parse(&v)
-                    .ok_or_else(|| format!("unknown fault profile '{v}' (none|churn|outage|chaos)"))?;
+                cli.config.profile = FaultProfile::parse(&v).ok_or_else(|| {
+                    Failure::Usage(format!("unknown fault profile '{v}' (none|churn|outage|chaos)"))
+                })?;
             }
             "--retries" => {
-                let v = value("--retries")?;
-                config.retries = v.parse().map_err(|_| format!("bad --retries value '{v}'"))?;
+                cli.config.retries = parse_num(&value("--retries")?, "--retries")?;
             }
             "--deadline-ms" => {
-                let v = value("--deadline-ms")?;
-                let ms: u64 = v.parse().map_err(|_| format!("bad --deadline-ms value '{v}'"))?;
+                let ms: u64 = parse_num(&value("--deadline-ms")?, "--deadline-ms")?;
                 if ms == 0 {
-                    return Err("--deadline-ms must be positive".to_owned());
+                    return Err(Failure::Usage("--deadline-ms must be positive".to_owned()));
                 }
-                config.deadline = Duration::from_millis(ms);
+                cli.config.deadline = Duration::from_millis(ms);
             }
             "--seed" => {
-                let v = value("--seed")?;
-                config.seed = v.parse().map_err(|_| format!("bad --seed value '{v}'"))?;
+                cli.config.seed = parse_num(&value("--seed")?, "--seed")?;
             }
             "--intensity" => {
                 let v = value("--intensity")?;
-                let x: f64 = v.parse().map_err(|_| format!("bad --intensity value '{v}'"))?;
+                let x: f64 = v
+                    .parse()
+                    .map_err(|_| Failure::Usage(format!("bad --intensity value '{v}'")))?;
                 if !x.is_finite() || x < 0.0 {
-                    return Err("--intensity must be a nonnegative number".to_owned());
+                    return Err(Failure::Usage(
+                        "--intensity must be a nonnegative number".to_owned(),
+                    ));
                 }
-                config.intensity = x;
+                cli.config.intensity = x;
+            }
+            "--breaker-cooldown" => {
+                cli.config.breaker_cooldown =
+                    parse_num(&value("--breaker-cooldown")?, "--breaker-cooldown")?;
             }
             "--shards" => {
-                let v = value("--shards")?;
-                let n: u32 = v.parse().map_err(|_| format!("bad --shards value '{v}'"))?;
+                let n: u32 = parse_num(&value("--shards")?, "--shards")?;
                 if n == 0 {
-                    return Err("--shards must be positive".to_owned());
+                    return Err(Failure::Usage("--shards must be positive".to_owned()));
                 }
-                shards = n;
+                cli.shards = n;
             }
             "--schedule" => {
                 let v = value("--schedule")?;
-                schedule = Schedule::parse(&v)
-                    .ok_or_else(|| format!("unknown schedule '{v}' (static|steal)"))?;
+                cli.schedule = Schedule::parse(&v).ok_or_else(|| {
+                    Failure::Usage(format!("unknown schedule '{v}' (static|steal)"))
+                })?;
             }
-            "--report-only" => report_only = true,
-            "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
-            "--journal-out" => journal_out = Some(value("--journal-out")?),
-            "--trace-summary" => trace_summary = true,
-            flag if flag.starts_with('-') => return Err(format!("unknown option '{flag}'")),
+            "--report-only" => cli.report_only = true,
+            "--metrics-out" => cli.metrics_out = Some(value("--metrics-out")?),
+            "--journal-out" => cli.journal_out = Some(value("--journal-out")?),
+            "--report-out" => cli.report_out = Some(value("--report-out")?),
+            "--trace-summary" => cli.trace_summary = true,
+            "--heartbeat" => cli.heartbeat = Some(value("--heartbeat")?),
+            "--heartbeat-ms" => {
+                let ms: u64 = parse_num(&value("--heartbeat-ms")?, "--heartbeat-ms")?;
+                if ms == 0 {
+                    return Err(Failure::Usage("--heartbeat-ms must be positive".to_owned()));
+                }
+                cli.heartbeat_every = Duration::from_millis(ms);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(Failure::Usage(format!("unknown option '{flag}'")));
+            }
             id => {
                 let parsed = ExperimentId::parse(id)
-                    .ok_or_else(|| format!("unknown experiment id '{id}'"))?;
-                if !ids.contains(&parsed) {
-                    ids.push(parsed);
+                    .ok_or_else(|| Failure::Usage(format!("unknown experiment id '{id}'")))?;
+                if !cli.ids.contains(&parsed) {
+                    cli.ids.push(parsed);
                 }
             }
         }
     }
 
-    if ids.is_empty() {
-        ids = ExperimentId::ALL.to_vec();
-    } else {
-        // Run subsets in canonical order regardless of CLI order.
-        ids.sort_by_key(|id| ExperimentId::ALL.iter().position(|a| a == id));
+    canonicalize_ids(&mut cli.ids);
+    Ok(Some(cli))
+}
+
+// ----------------------------------------------------------- dispatch --
+
+struct DispatchCli {
+    config: RunnerConfig,
+    procs: u32,
+    ids: Vec<ExperimentId>,
+    dispatch: DispatchConfig,
+    heartbeat_every: Duration,
+    keep_scratch: bool,
+    report_only: bool,
+    metrics_out: Option<String>,
+    journal_out: Option<String>,
+    trace_summary: bool,
+}
+
+fn cmd_dispatch(args: Vec<String>) -> CmdResult {
+    let Some(cli) = parse_dispatch_args(args.into_iter())? else {
+        return Ok(0); // --help
+    };
+
+    for (path, what) in [
+        (&cli.metrics_out, "metrics snapshot"),
+        (&cli.journal_out, "event journal"),
+    ] {
+        if let Some(path) = path {
+            preflight_writable(path, what)?;
+        }
     }
-    Ok(RunCli {
-        config,
-        shards,
-        schedule,
-        ids,
-        report_only,
-        metrics_out,
-        journal_out,
-        trace_summary,
-    })
+
+    let exe = std::env::current_exe()
+        .map_err(|e| Failure::Fatal(format!("cannot locate own executable: {e}")))?;
+    let plan = ShardPlan::new(cli.procs);
+    let shards: Vec<ShardSpec> = (0..cli.procs)
+        .map(|k| {
+            let range = plan.range(k, cli.ids.len());
+            ShardSpec {
+                shard: k,
+                spec_base: range.start as u64,
+                codes: cli.ids[range].iter().map(|id| id.code().to_owned()).collect(),
+            }
+        })
+        .collect();
+
+    let config = cli.config;
+    let heartbeat_ms = cli.heartbeat_every.as_millis().to_string();
+    let build = |spec: &ShardSpec, paths: &humnet::resilience::ShardPaths| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("run")
+            .arg("--shards")
+            .arg("1")
+            .arg("--fault-profile")
+            .arg(config.profile.label())
+            .arg("--retries")
+            .arg(config.retries.to_string())
+            .arg("--deadline-ms")
+            .arg(config.deadline.as_millis().to_string())
+            .arg("--seed")
+            .arg(config.seed.to_string())
+            .arg("--intensity")
+            .arg(config.intensity.to_string())
+            .arg("--breaker-cooldown")
+            .arg(config.breaker_cooldown.to_string())
+            .arg("--report-only")
+            .arg("--metrics-out")
+            .arg(&paths.metrics)
+            .arg("--journal-out")
+            .arg(&paths.journal)
+            .arg("--report-out")
+            .arg(&paths.report)
+            .arg("--heartbeat")
+            .arg(&paths.heartbeat)
+            .arg("--heartbeat-ms")
+            .arg(&heartbeat_ms)
+            .args(&spec.codes);
+        cmd
+    };
+
+    let outcome = dispatch(&cli.dispatch, &config, shards, build)
+        .map_err(|e| Failure::Fatal(format!("dispatch failed: {e}")))?;
+
+    print_dispatch(&cli, &outcome)?;
+
+    if cli.keep_scratch || outcome.degraded() {
+        eprintln!(
+            "dispatch scratch kept at {}",
+            cli.dispatch.scratch.display()
+        );
+    } else {
+        let _ = std::fs::remove_dir_all(&cli.dispatch.scratch);
+    }
+    Ok(outcome.exit_code() as u8)
+}
+
+/// Render a finished dispatch exactly like `run` renders: per-experiment
+/// outputs (missing ones flagged), the report, the dispatch verdict with
+/// breaker reconciliation, then the optional metrics/journal artifacts.
+fn print_dispatch(cli: &DispatchCli, outcome: &DispatchOutcome) -> Result<(), Failure> {
+    let run = &outcome.run;
+    if !cli.report_only {
+        for id in &cli.ids {
+            banner(&format!("{} — {}", id.code().to_uppercase(), id.title()));
+            match run.outputs.get(id.code()) {
+                Some(rendered) => println!("{rendered}"),
+                None => {
+                    let row = run.report.experiments.iter().find(|r| r.code == id.code());
+                    match row {
+                        Some(row) => eprintln!(
+                            "{} {}: {}",
+                            id.code().to_uppercase(),
+                            row.status,
+                            row.message
+                        ),
+                        None => eprintln!(
+                            "{}: missing — its shard died and --allow-partial degraded the run",
+                            id.code().to_uppercase()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    println!("\n{}", run.report.render());
+    print!("{}", outcome.render_summary());
+
+    if !cli.report_only {
+        println!("\n{}", run.telemetry.render_metrics_table());
+    }
+    if cli.trace_summary {
+        println!("\n{}", run.telemetry.render_trace_summary());
+    }
+    if let Some(path) = &cli.metrics_out {
+        let json = run
+            .telemetry
+            .to_json()
+            .map_err(|e| Failure::Fatal(format!("failed to serialize metrics snapshot: {e}")))?;
+        write_file(path, &json, "metrics snapshot")?;
+    }
+    if let Some(path) = &cli.journal_out {
+        let jsonl = run
+            .telemetry
+            .to_jsonl()
+            .map_err(|e| Failure::Fatal(format!("failed to serialize event journal: {e}")))?;
+        write_file(path, &jsonl, "event journal")?;
+    }
+    Ok(())
+}
+
+fn parse_dispatch_args(args: impl Iterator<Item = String>) -> Result<Option<DispatchCli>, Failure> {
+    let mut cli = DispatchCli {
+        config: RunnerConfig::default(),
+        procs: 0,
+        ids: Vec::new(),
+        dispatch: DispatchConfig::default(),
+        heartbeat_every: Duration::from_millis(100),
+        keep_scratch: false,
+        report_only: false,
+        metrics_out: None,
+        journal_out: None,
+        trace_summary: false,
+    };
+    cli.dispatch.chaos.clear();
+    let mut args = args.peekable();
+
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> Result<String, Failure> {
+            args.next()
+                .ok_or_else(|| Failure::Usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--fault-profile" => {
+                let v = value("--fault-profile")?;
+                cli.config.profile = FaultProfile::parse(&v).ok_or_else(|| {
+                    Failure::Usage(format!("unknown fault profile '{v}' (none|churn|outage|chaos)"))
+                })?;
+            }
+            "--retries" => {
+                cli.config.retries = parse_num(&value("--retries")?, "--retries")?;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = parse_num(&value("--deadline-ms")?, "--deadline-ms")?;
+                if ms == 0 {
+                    return Err(Failure::Usage("--deadline-ms must be positive".to_owned()));
+                }
+                cli.config.deadline = Duration::from_millis(ms);
+            }
+            "--seed" => {
+                cli.config.seed = parse_num(&value("--seed")?, "--seed")?;
+            }
+            "--intensity" => {
+                let v = value("--intensity")?;
+                let x: f64 = v
+                    .parse()
+                    .map_err(|_| Failure::Usage(format!("bad --intensity value '{v}'")))?;
+                if !x.is_finite() || x < 0.0 {
+                    return Err(Failure::Usage(
+                        "--intensity must be a nonnegative number".to_owned(),
+                    ));
+                }
+                cli.config.intensity = x;
+            }
+            "--breaker-cooldown" => {
+                cli.config.breaker_cooldown =
+                    parse_num(&value("--breaker-cooldown")?, "--breaker-cooldown")?;
+            }
+            "--procs" => {
+                let n: u32 = parse_num(&value("--procs")?, "--procs")?;
+                if n == 0 {
+                    return Err(Failure::Usage("--procs must be positive".to_owned()));
+                }
+                cli.procs = n;
+            }
+            "--shard-retries" => {
+                cli.dispatch.shard_retries =
+                    parse_num(&value("--shard-retries")?, "--shard-retries")?;
+            }
+            "--shard-deadline-ms" => {
+                let ms: u64 = parse_num(&value("--shard-deadline-ms")?, "--shard-deadline-ms")?;
+                if ms == 0 {
+                    return Err(Failure::Usage(
+                        "--shard-deadline-ms must be positive".to_owned(),
+                    ));
+                }
+                cli.dispatch.shard_deadline = Duration::from_millis(ms);
+            }
+            "--liveness-ms" => {
+                // 0 is allowed: it disables heartbeat liveness checking and
+                // leaves only the shard deadline.
+                let ms: u64 = parse_num(&value("--liveness-ms")?, "--liveness-ms")?;
+                cli.dispatch.liveness = Duration::from_millis(ms);
+            }
+            "--heartbeat-ms" => {
+                let ms: u64 = parse_num(&value("--heartbeat-ms")?, "--heartbeat-ms")?;
+                if ms == 0 {
+                    return Err(Failure::Usage("--heartbeat-ms must be positive".to_owned()));
+                }
+                cli.heartbeat_every = Duration::from_millis(ms);
+            }
+            "--allow-partial" => cli.dispatch.allow_partial = true,
+            "--chaos-proc" => {
+                let v = value("--chaos-proc")?;
+                let chaos = ChaosProc::parse(&v).ok_or_else(|| {
+                    Failure::Usage(format!(
+                        "bad --chaos-proc '{v}' (kill:<shard>[:attempt] | hang:<shard>[:attempt])"
+                    ))
+                })?;
+                cli.dispatch.chaos.push(chaos);
+            }
+            "--scratch" => {
+                cli.dispatch.scratch = std::path::PathBuf::from(value("--scratch")?);
+            }
+            "--keep-scratch" => cli.keep_scratch = true,
+            "--report-only" => cli.report_only = true,
+            "--metrics-out" => cli.metrics_out = Some(value("--metrics-out")?),
+            "--journal-out" => cli.journal_out = Some(value("--journal-out")?),
+            "--trace-summary" => cli.trace_summary = true,
+            flag if flag.starts_with('-') => {
+                return Err(Failure::Usage(format!("unknown option '{flag}'")));
+            }
+            id => {
+                let parsed = ExperimentId::parse(id)
+                    .ok_or_else(|| Failure::Usage(format!("unknown experiment id '{id}'")))?;
+                if !cli.ids.contains(&parsed) {
+                    cli.ids.push(parsed);
+                }
+            }
+        }
+    }
+
+    if cli.procs == 0 {
+        return Err(Failure::Usage(
+            "dispatch needs --procs <K> (number of child processes)".to_owned(),
+        ));
+    }
+    canonicalize_ids(&mut cli.ids);
+    // The retry backoff jitter stream derives from the run seed, like
+    // every other deterministic decision.
+    cli.dispatch.seed = cli.config.seed;
+    Ok(Some(cli))
 }
 
 // --------------------------------------------------------------- list --
 
-fn cmd_list(args: Vec<String>) -> ! {
+fn cmd_list(args: Vec<String>) -> CmdResult {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{USAGE}");
-        std::process::exit(0);
+        return Ok(0);
     }
     if let Some(stray) = args.first() {
-        usage_error(&format!("list takes no arguments (got '{stray}')"));
+        return Err(Failure::Usage(format!(
+            "list takes no arguments (got '{stray}')"
+        )));
     }
     let mut table = TextTable::new(&["code", "family", "faults", "experiment"]);
     for id in ExperimentId::ALL {
@@ -245,12 +621,12 @@ fn cmd_list(args: Vec<String>) -> ! {
     }
     println!("{}", table.render());
     println!("{} experiments; run with: experiments run [ID...]", ExperimentId::ALL.len());
-    std::process::exit(0);
+    Ok(0)
 }
 
 // ------------------------------------------------------ merge-metrics --
 
-fn cmd_merge_metrics(args: Vec<String>) -> ! {
+fn cmd_merge_metrics(args: Vec<String>) -> CmdResult {
     let mut paths = Vec::new();
     let mut out = None;
     let mut args = args.into_iter();
@@ -258,36 +634,40 @@ fn cmd_merge_metrics(args: Vec<String>) -> ! {
         match arg.as_str() {
             "--help" | "-h" => {
                 println!("{USAGE}");
-                std::process::exit(0);
+                return Ok(0);
             }
             "--out" => match args.next() {
                 Some(v) => out = Some(v),
-                None => usage_error("--out needs a value"),
+                None => return Err(Failure::Usage("--out needs a value".to_owned())),
             },
-            flag if flag.starts_with('-') => usage_error(&format!("unknown option '{flag}'")),
+            flag if flag.starts_with('-') => {
+                return Err(Failure::Usage(format!("unknown option '{flag}'")));
+            }
             path => paths.push(path.to_owned()),
         }
     }
     if paths.is_empty() {
-        usage_error("merge-metrics needs at least one snapshot path");
+        return Err(Failure::Usage(
+            "merge-metrics needs at least one snapshot path".to_owned(),
+        ));
     }
 
     let mut merged = TelemetrySnapshot::default();
     for path in &paths {
-        let text = read_or_die(path, "metrics snapshot");
-        match TelemetrySnapshot::from_json(&text) {
-            // Scope "" leaves run-level events unscoped, exactly like the
-            // sharded supervisor's own merge.
-            Ok(snap) => merged.merge(&snap, ""),
-            Err(e) => die(&format!("failed to parse metrics snapshot {path}: {e}")),
-        }
+        let text = read_file(path, "metrics snapshot")?;
+        // Scope "" leaves run-level events unscoped, exactly like the
+        // sharded supervisor's own merge.
+        let snap = TelemetrySnapshot::from_json(&text).map_err(|e| {
+            Failure::Fatal(format!("failed to parse metrics snapshot {path}: {e}"))
+        })?;
+        merged.merge(&snap, "");
     }
-    match merged.to_json() {
-        Ok(json) => match &out {
-            Some(path) => write_or_die(path, &json, "merged snapshot"),
-            None => println!("{json}"),
-        },
-        Err(e) => die(&format!("failed to serialize merged snapshot: {e}")),
+    let json = merged
+        .to_json()
+        .map_err(|e| Failure::Fatal(format!("failed to serialize merged snapshot: {e}")))?;
+    match &out {
+        Some(path) => write_file(path, &json, "merged snapshot")?,
+        None => println!("{json}"),
     }
     eprintln!(
         "merged {} snapshots: {} counters, {} events",
@@ -295,47 +675,51 @@ fn cmd_merge_metrics(args: Vec<String>) -> ! {
         merged.metrics.counters.len(),
         merged.events.len()
     );
-    std::process::exit(0);
+    Ok(0)
 }
 
 // -------------------------------------------------------------- replay --
 
-fn cmd_replay(args: Vec<String>) -> ! {
+fn cmd_replay(args: Vec<String>) -> CmdResult {
     let mut path = None;
     for arg in &args {
         match arg.as_str() {
             "--help" | "-h" => {
                 println!("{USAGE}");
-                std::process::exit(0);
+                return Ok(0);
             }
-            flag if flag.starts_with('-') => usage_error(&format!("unknown option '{flag}'")),
+            flag if flag.starts_with('-') => {
+                return Err(Failure::Usage(format!("unknown option '{flag}'")));
+            }
             p if path.is_none() => path = Some(p.to_owned()),
-            stray => usage_error(&format!("replay takes one journal path (got '{stray}')")),
+            stray => {
+                return Err(Failure::Usage(format!(
+                    "replay takes one journal path (got '{stray}')"
+                )));
+            }
         }
     }
     let Some(path) = path else {
-        usage_error("replay needs a journal path (JSONL from --journal-out)");
+        return Err(Failure::Usage(
+            "replay needs a journal path (JSONL from --journal-out)".to_owned(),
+        ));
     };
 
-    let text = read_or_die(&path, "event journal");
-    let events = match journal::from_jsonl(&text) {
-        Ok(events) => events,
-        Err(e) => die(&format!("failed to parse event journal {path}: {e}")),
-    };
+    let text = read_file(&path, "event journal")?;
+    let events = journal::from_jsonl(&text)
+        .map_err(|e| Failure::Fatal(format!("failed to parse event journal {path}: {e}")))?;
     let factory = |code: &str| ExperimentId::parse(code).map(spec_for);
-    match replay::replay(&events, &factory) {
-        Ok(report) => {
-            print!("{}", report.render());
-            std::process::exit(report.exit_code());
-        }
-        Err(e) => die(&format!("cannot replay {path}: {e}")),
-    }
+    let report = replay::replay(&events, &factory)
+        .map_err(|e| Failure::Fatal(format!("cannot replay {path}: {e}")))?;
+    print!("{}", report.render());
+    Ok(report.exit_code() as u8)
 }
 
 // ------------------------------------------------------------- shared --
 
 /// The supervised-runner job for one experiment — the single definition
-/// both `run` and `replay` execute, so a replayed experiment is driven by
+/// both `run` and `replay` execute (and, via self-invocation, every
+/// dispatch child), so a replayed or dispatched experiment is driven by
 /// exactly the code that produced the capture.
 fn spec_for(id: ExperimentId) -> ExperimentSpec {
     ExperimentSpec::new(id.code(), id.title(), id.family(), move |plan, tel| {
@@ -348,36 +732,60 @@ fn spec_for(id: ExperimentId) -> ExperimentSpec {
     })
 }
 
+/// Default to every experiment; run explicit subsets in canonical order
+/// regardless of CLI order (contiguous shard slices depend on it).
+fn canonicalize_ids(ids: &mut Vec<ExperimentId>) {
+    if ids.is_empty() {
+        *ids = ExperimentId::ALL.to_vec();
+    } else {
+        ids.sort_by_key(|id| ExperimentId::ALL.iter().position(|a| a == id));
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, Failure> {
+    v.parse()
+        .map_err(|_| Failure::Usage(format!("bad {flag} value '{v}'")))
+}
+
+/// Append a heartbeat line to `path` every `every` until process exit, on
+/// a detached thread. The dispatch parent only watches the file *grow* —
+/// the contents are for humans debugging a shard.
+fn start_heartbeat(path: String, every: Duration) {
+    let _ = std::thread::Builder::new()
+        .name("humnet-heartbeat".to_owned())
+        .spawn(move || {
+            let mut beat = 0u64;
+            loop {
+                if let Ok(mut f) = std::fs::OpenOptions::new()
+                    .append(true)
+                    .create(true)
+                    .open(&path)
+                {
+                    use std::io::Write as _;
+                    let _ = writeln!(f, "hb {beat} pid={}", std::process::id());
+                }
+                beat += 1;
+                std::thread::sleep(every);
+            }
+        });
+}
+
 /// Create/truncate `path` now so an unwritable destination fails the
 /// process (exit 2) before any experiment runs, not after.
-fn preflight_writable(path: &str, what: &str) {
-    if let Err(e) = std::fs::File::create(path) {
-        die(&format!("cannot write {what} to {path}: {e}"));
-    }
+fn preflight_writable(path: &str, what: &str) -> Result<(), Failure> {
+    std::fs::File::create(path)
+        .map(drop)
+        .map_err(|e| Failure::Fatal(format!("cannot write {what} to {path}: {e}")))
 }
 
-fn read_or_die(path: &str, what: &str) -> String {
-    match std::fs::read_to_string(path) {
-        Ok(text) => text,
-        Err(e) => die(&format!("failed to read {what} from {path}: {e}")),
-    }
+fn read_file(path: &str, what: &str) -> Result<String, Failure> {
+    std::fs::read_to_string(path)
+        .map_err(|e| Failure::Fatal(format!("failed to read {what} from {path}: {e}")))
 }
 
-fn write_or_die(path: &str, contents: &str, what: &str) {
-    if let Err(e) = std::fs::write(path, contents) {
-        die(&format!("failed to write {what} to {path}: {e}"));
-    }
-}
-
-fn die(msg: &str) -> ! {
-    eprintln!("{msg}");
-    std::process::exit(2);
-}
-
-fn usage_error(msg: &str) -> ! {
-    eprintln!("{msg}");
-    eprintln!("{USAGE}");
-    std::process::exit(2);
+fn write_file(path: &str, contents: &str, what: &str) -> Result<(), Failure> {
+    std::fs::write(path, contents)
+        .map_err(|e| Failure::Fatal(format!("failed to write {what} to {path}: {e}")))
 }
 
 const USAGE: &str = "\
@@ -386,6 +794,10 @@ usage: experiments <COMMAND> [ARGS]
 
 Commands:
   run [OPTIONS] [ID...]          run experiments under the supervisor
+  dispatch --procs <K> [OPTIONS] [ID...]
+                                 partition the run across K supervised child
+                                 processes (crash retry, heartbeats, graceful
+                                 partial-result degradation)
   list                           print the experiment catalog (codes, families, titles)
   merge-metrics <PATH>... [--out <PATH>]
                                  merge telemetry snapshots (e.g. per-shard
@@ -401,6 +813,9 @@ Run options:
   --deadline-ms <N>    per-attempt wall-clock deadline (default 30000)
   --seed <N>           seed for fault plans and retry jitter (default 42)
   --intensity <X>      multiplier on the profile's fault rates (default 1.0)
+  --breaker-cooldown <N>
+                       admit one half-open probe after N outcomes recorded
+                       against an open breaker; 0 latches open (default 0)
   --shards <N>         partition the run across N in-process shards; the
                        merged canonical output is shard-invariant (default 1)
   --schedule <static|steal>
@@ -410,13 +825,36 @@ Run options:
   --report-only        print only the final run report
   --metrics-out <PATH> write the telemetry snapshot (metrics + spans) as JSON
   --journal-out <PATH> write the structured event journal as JSONL
+  --report-out <PATH>  write the report+outputs artifact as JSON (what a
+                       dispatch child hands back to its parent)
+  --heartbeat <PATH>   append a liveness line to PATH while running
+  --heartbeat-ms <N>   heartbeat period (default 100)
   --trace-summary      print the per-span flame summary after the report
   --help               show this help
+
+Dispatch options (in addition to the run options above, minus --shards,
+--schedule, --report-out and --heartbeat, which dispatch manages itself):
+  --procs <K>          number of child processes (required); the merged
+                       canonical output is byte-identical to the in-process
+                       1-shard run of the same seed
+  --shard-retries <N>  extra spawn attempts per crashed/hung shard (default 1)
+  --shard-deadline-ms <N>
+                       per-attempt wall-clock budget for one child (default 120000)
+  --liveness-ms <N>    kill a child whose heartbeat file stalls this long;
+                       0 disables liveness checking (default 10000)
+  --allow-partial      degrade to a partial merged result (exit 3) instead of
+                       failing when a shard exhausts its retries
+  --chaos-proc <kill:<shard>[:attempt] | hang:<shard>[:attempt]>
+                       deterministic process-fault injection (repeatable)
+  --scratch <DIR>      artifact scratch directory (default under the temp dir)
+  --keep-scratch       keep per-shard artifacts and child logs on success
 
 Exit codes:
   0  all experiments completed / replay matched the capture
   1  an experiment failed / replay diverged
-  2  an experiment timed out, or bad arguments / unreadable or unwritable files";
+  2  an experiment timed out, a shard died without --allow-partial, or bad
+     arguments / unreadable or unwritable files
+  3  dispatch degraded to partial results under --allow-partial";
 
 fn banner(title: &str) {
     println!("\n{}", "=".repeat(72));
