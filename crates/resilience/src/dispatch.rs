@@ -143,6 +143,11 @@ pub struct DispatchConfig {
     pub backoff_base: Duration,
     /// Seed for the retry backoff jitter (per-shard streams derive from it).
     pub seed: u64,
+    /// Keep per-(shard, attempt) scratch directories after a successful
+    /// attempt instead of removing them once their artifacts are parsed.
+    /// Failed attempts always keep theirs — the child log is the only
+    /// evidence of what went wrong.
+    pub keep_scratch: bool,
 }
 
 impl Default for DispatchConfig {
@@ -157,6 +162,7 @@ impl Default for DispatchConfig {
             scratch: std::env::temp_dir().join(format!("humnet-dispatch-{}", std::process::id())),
             backoff_base: Duration::from_millis(25),
             seed: 42,
+            keep_scratch: false,
         }
     }
 }
@@ -587,7 +593,16 @@ where
 
     let mut child = cmd.spawn().map_err(|e| AttemptFailure::Spawn(e.to_string()))?;
     match watch(&mut child, &paths, config) {
-        Verdict::Exited(status) if status.success() => collect(&paths),
+        Verdict::Exited(status) if status.success() => {
+            let yielded = collect(&paths)?;
+            // Artifacts are in memory now; the attempt dir has served its
+            // purpose. (A collect failure above keeps the dir: unusable
+            // artifacts are exactly when you want to inspect them.)
+            if !config.keep_scratch {
+                let _ = fs::remove_dir_all(&paths.dir);
+            }
+            Ok(yielded)
+        }
         Verdict::Exited(status) => Err(AttemptFailure::Exited(status.to_string())),
         Verdict::TimedOut => {
             let _ = child.kill();
@@ -680,6 +695,7 @@ fn merge_outcomes(
         experiments: Vec::with_capacity(planned),
         profile: runner.profile.label().to_owned(),
         seed: runner.seed,
+        code_rev: crate::code_rev(),
     };
     let mut outputs = BTreeMap::new();
     for outcome in outcomes {
@@ -849,6 +865,7 @@ mod tests {
                 experiments: vec![row(&code, "fam", ExperimentStatus::Ok, 1)],
                 profile: "none".to_owned(),
                 seed: 1,
+                code_rev: String::new(),
             },
             outputs: std::iter::once((code.clone(), format!("{code} output"))).collect(),
         };
@@ -1046,6 +1063,43 @@ mod tests {
         // Seqs are dense after the canonical sort.
         let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, (0..events.len() as u64).collect::<Vec<_>>());
+        let _ = fs::remove_dir_all(&config.scratch);
+    }
+
+    #[test]
+    fn successful_attempt_dirs_are_cleaned_and_failed_ones_kept() {
+        let config = quick_config("lifecycle");
+        let specs = vec![shard_spec(0, 0, &["e0"]), shard_spec(1, 1, &["e1"])];
+        let outcome = dispatch(&config, &RunnerConfig::default(), specs, |spec, paths| {
+            if spec.shard == 1 && paths.attempt == 0 {
+                let mut cmd = Command::new("sh");
+                cmd.arg("-c").arg("exit 7");
+                cmd
+            } else {
+                good_child(spec, paths)
+            }
+        })
+        .unwrap();
+        assert!(!outcome.degraded());
+        // Parsed-and-merged attempts leave nothing behind …
+        assert!(!ShardPaths::new(&config.scratch, 0, 0).dir.exists());
+        assert!(!ShardPaths::new(&config.scratch, 1, 1).dir.exists());
+        // … but the crashed first attempt of shard 1 keeps its log.
+        assert!(ShardPaths::new(&config.scratch, 1, 0).dir.exists());
+        let _ = fs::remove_dir_all(&config.scratch);
+    }
+
+    #[test]
+    fn keep_scratch_preserves_successful_attempt_dirs() {
+        let mut config = quick_config("keep");
+        config.keep_scratch = true;
+        let specs = vec![shard_spec(0, 0, &["e0"])];
+        let outcome =
+            dispatch(&config, &RunnerConfig::default(), specs, good_child).unwrap();
+        assert!(!outcome.degraded());
+        let kept = ShardPaths::new(&config.scratch, 0, 0);
+        assert!(kept.dir.exists());
+        assert!(kept.report.exists());
         let _ = fs::remove_dir_all(&config.scratch);
     }
 

@@ -29,6 +29,16 @@
 //!    byte-identical to the in-process 1-shard run.
 
 pub mod backoff;
+
+/// The code revision this binary was built from: crate version plus the
+/// build-time git rev (stamped by `build.rs`, `unknown` outside a git
+/// checkout). Stamped into every [`RunReport`] so artifacts say what code
+/// produced them, and mixed into the serve cache key so a rebuilt daemon
+/// never serves a stale artifact.
+pub fn code_rev() -> String {
+    format!("{}+{}", env!("CARGO_PKG_VERSION"), env!("HUMNET_GIT_REV"))
+}
+
 pub mod breaker;
 pub mod dispatch;
 pub mod fault;

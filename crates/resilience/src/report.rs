@@ -81,6 +81,9 @@ pub struct RunReport {
     pub profile: String,
     /// Seed the fault plan and jitter streams were derived from.
     pub seed: u64,
+    /// Code revision that produced the report ([`crate::code_rev`]);
+    /// empty on hand-built reports.
+    pub code_rev: String,
 }
 
 impl RunReport {
@@ -141,13 +144,24 @@ impl RunReport {
         format!("{} experiments: {}", self.experiments.len(), parts.join(", "))
     }
 
+    /// The `run report` header line. The rev token only appears on
+    /// stamped reports, so hand-built reports (and pre-stamp captures)
+    /// render exactly as before.
+    fn header(&self) -> String {
+        if self.code_rev.is_empty() {
+            format!("run report  profile={}  seed={}\n", self.profile, self.seed)
+        } else {
+            format!(
+                "run report  profile={}  seed={}  rev={}\n",
+                self.profile, self.seed, self.code_rev
+            )
+        }
+    }
+
     /// Human-readable table including wall-clock durations.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!(
-            "run report  profile={}  seed={}\n",
-            self.profile, self.seed
-        ));
+        out.push_str(&self.header());
         out.push_str(&self.render_rows(true));
         out.push_str(&self.summary_line());
         out.push('\n');
@@ -159,10 +173,7 @@ impl RunReport {
     /// durations are excluded.
     pub fn canonical(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!(
-            "run report  profile={}  seed={}\n",
-            self.profile, self.seed
-        ));
+        out.push_str(&self.header());
         out.push_str(&self.render_rows(false));
         out.push_str(&self.summary_line());
         out.push('\n');
@@ -246,6 +257,19 @@ impl RunArtifact {
     /// Parse a `--report-out` file back.
     pub fn from_json(text: &str) -> Result<RunArtifact, serde_json::Error> {
         serde_json::from_str(text)
+    }
+
+    /// Byte-reproducible form: wall-clock durations zeroed, everything
+    /// else untouched. Two same-seed runs of the same binary serialize a
+    /// canonicalized artifact to identical bytes — the invariant the
+    /// serve cache's hit-equals-miss contract rests on — so this is what
+    /// `--report-out` writes and what the daemon caches.
+    pub fn canonicalized(&self) -> RunArtifact {
+        let mut out = self.clone();
+        for row in &mut out.report.experiments {
+            row.duration_ms = 0;
+        }
+        out
     }
 }
 
@@ -331,6 +355,39 @@ mod tests {
         assert_eq!(snap.metrics.counters["runner.status.ok"], 1);
         assert_eq!(snap.metrics.counters["runner.status.failed"], 1);
         assert!(!snap.metrics.counters.contains_key("runner.status.retried"));
+    }
+
+    #[test]
+    fn code_rev_renders_only_when_stamped() {
+        let mut r = RunReport::default();
+        r.experiments.push(row("f1", ExperimentStatus::Ok));
+        assert!(!r.render().contains("rev="), "{}", r.render());
+        r.code_rev = "0.1.0+abcdef123456".to_owned();
+        assert!(r.render().contains("rev=0.1.0+abcdef123456"));
+        assert!(r.canonical().contains("rev=0.1.0+abcdef123456"));
+    }
+
+    #[test]
+    fn canonicalized_artifact_zeroes_durations_only() {
+        let mut report = RunReport::default();
+        report.code_rev = "0.1.0+feedface0000".to_owned();
+        report.experiments.push(row("f1", ExperimentStatus::Ok));
+        let mut artifact = RunArtifact {
+            report,
+            outputs: std::iter::once(("f1".to_owned(), "out".to_owned())).collect(),
+        };
+        artifact.report.experiments[0].duration_ms = 777;
+        let mut other = artifact.clone();
+        other.report.experiments[0].duration_ms = 12;
+        assert_ne!(artifact.to_json().unwrap(), other.to_json().unwrap());
+        let a = artifact.canonicalized();
+        let b = other.canonicalized();
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+        assert_eq!(a.report.experiments[0].duration_ms, 0);
+        assert_eq!(a.report.code_rev, "0.1.0+feedface0000");
+        assert_eq!(a.outputs["f1"], "out");
+        // Canonicalization does not mutate the original.
+        assert_eq!(artifact.report.experiments[0].duration_ms, 777);
     }
 
     #[test]

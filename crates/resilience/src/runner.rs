@@ -879,6 +879,7 @@ impl Supervisor {
                 experiments: Vec::with_capacity(specs.len()),
                 profile: self.config.profile.label().to_owned(),
                 seed: self.config.seed,
+                code_rev: crate::code_rev(),
             },
             outputs: BTreeMap::new(),
             telemetry: TelemetrySnapshot::default(),

@@ -437,6 +437,7 @@ pub fn run_stealing(
         experiments: Vec::with_capacity(n),
         profile: config.profile.label().to_owned(),
         seed: config.seed,
+        code_rev: crate::code_rev(),
     };
     let mut outputs = std::collections::BTreeMap::new();
     for (index, slot) in slots.into_iter().enumerate() {

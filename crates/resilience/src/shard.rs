@@ -171,6 +171,7 @@ pub fn merge_runs(config: &RunnerConfig, shard_runs: Vec<SupervisedRun>) -> Supe
         experiments: Vec::with_capacity(total),
         profile: config.profile.label().to_owned(),
         seed: config.seed,
+        code_rev: crate::code_rev(),
     };
     let mut outputs = BTreeMap::new();
     for run in shard_runs {

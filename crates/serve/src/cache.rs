@@ -1,0 +1,404 @@
+//! Content-addressed result cache.
+//!
+//! Every cached result is one JSON file named by the 128-bit FNV-1a hash
+//! of its request tuple — `experiment | seed | profile | intensity bits |
+//! retries | code-rev` — so the filesystem *is* the index and two daemons
+//! pointed at the same directory agree on addresses. Writes go through a
+//! temp-file-then-rename so a crash mid-write can never leave a torn
+//! entry under a valid name; a restarted daemon rehydrates by scanning
+//! the directory, re-checking every entry's self-checksum, and evicting
+//! (deleting) anything corrupt or misfiled.
+//!
+//! The in-memory index holds the full entries (artifact and metrics
+//! strings included): a hit is answered from memory without touching the
+//! disk, which is what makes cached reads cost microseconds.
+//!
+//! The code-rev component means a rebuilt binary simply *misses* on every
+//! old entry rather than serving results a different code produced; stale
+//! entries age out by never being read again.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// 128-bit FNV-1a over `bytes` — the same hash family the runner's
+/// deterministic jitter uses, widened so tuple collisions are out of the
+/// picture at any realistic cache size.
+fn fnv1a_128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u128::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// The content address of one request tuple, as 32 hex characters.
+///
+/// `intensity` enters through its IEEE-754 bit pattern so every distinct
+/// float is a distinct address (no formatting round-trip); `deadline` is
+/// deliberately absent — it bounds wall-clock, which canonical artifacts
+/// exclude — while `retries` is included because it changes what a
+/// faulted run reports.
+pub fn cache_key(
+    experiment: &str,
+    seed: u64,
+    profile: &str,
+    intensity: f64,
+    retries: u32,
+    code_rev: &str,
+) -> String {
+    // String fields are length-prefixed so a delimiter *inside* one can
+    // never splice into its neighbor's position.
+    let tuple = format!(
+        "{}:{experiment}|{seed}|{}:{profile}|{:016x}|{retries}|{}:{code_rev}",
+        experiment.len(),
+        profile.len(),
+        intensity.to_bits(),
+        code_rev.len()
+    );
+    format!("{:032x}", fnv1a_128(tuple.as_bytes()))
+}
+
+/// One cached result: the request tuple it answers, the artifacts, and a
+/// self-checksum so corruption is detectable without re-running anything.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// Content address ([`cache_key`] of the tuple below).
+    pub key: String,
+    /// Experiment code.
+    pub experiment: String,
+    /// Seed.
+    pub seed: u64,
+    /// Fault profile label.
+    pub profile: String,
+    /// Fault-rate multiplier.
+    pub intensity: f64,
+    /// Retry budget the run executed under.
+    pub retries: u32,
+    /// Code revision that produced the artifact.
+    pub code_rev: String,
+    /// Canonicalized `RunArtifact` JSON, verbatim.
+    pub artifact: String,
+    /// The run's telemetry snapshot JSON, verbatim.
+    pub metrics: String,
+    /// FNV-1a-128 over `artifact` and `metrics` (see [`CacheEntry::checksum_of`]).
+    pub checksum: String,
+}
+
+impl CacheEntry {
+    /// The checksum an intact entry must carry.
+    pub fn checksum_of(artifact: &str, metrics: &str) -> String {
+        let mut bytes = Vec::with_capacity(artifact.len() + metrics.len() + 1);
+        bytes.extend_from_slice(artifact.as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(metrics.as_bytes());
+        format!("{:032x}", fnv1a_128(&bytes))
+    }
+
+    /// Whether the entry is self-consistent: its stored key matches its
+    /// tuple and its checksum matches its payload.
+    pub fn intact(&self) -> bool {
+        self.key
+            == cache_key(
+                &self.experiment,
+                self.seed,
+                &self.profile,
+                self.intensity,
+                self.retries,
+                &self.code_rev,
+            )
+            && self.checksum == CacheEntry::checksum_of(&self.artifact, &self.metrics)
+    }
+}
+
+/// What a [`ResultCache::open`] scan found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RehydrateStats {
+    /// Intact entries loaded into the index.
+    pub loaded: usize,
+    /// Corrupt or misfiled entries deleted from disk.
+    pub evicted: usize,
+}
+
+/// The cache: a directory of content-addressed entry files fronted by an
+/// in-memory index. All methods take `&self`; the index mutex is held
+/// only for map operations, never across disk I/O of other callers' keys.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    index: Mutex<HashMap<String, Arc<CacheEntry>>>,
+}
+
+impl ResultCache {
+    /// Open (creating if needed) the cache at `dir` and rehydrate the
+    /// index from whatever intact entries a previous daemon left behind.
+    /// Corrupt entries — torn JSON, checksum mismatch, an entry filed
+    /// under a name that is not its own key — are deleted, so the next
+    /// request for that tuple recomputes instead of serving damage.
+    pub fn open(dir: &Path) -> io::Result<(ResultCache, RehydrateStats)> {
+        fs::create_dir_all(dir)?;
+        let mut stats = RehydrateStats::default();
+        let mut index = HashMap::new();
+        for dirent in fs::read_dir(dir)? {
+            let path = dirent?.path();
+            let Some(stem) = entry_key_of(&path) else {
+                continue; // index.json, temp files, strays
+            };
+            match fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| serde_json::from_str::<CacheEntry>(&text).ok())
+            {
+                Some(entry) if entry.intact() && entry.key == stem => {
+                    index.insert(entry.key.clone(), Arc::new(entry));
+                    stats.loaded += 1;
+                }
+                _ => {
+                    let _ = fs::remove_file(&path);
+                    stats.evicted += 1;
+                }
+            }
+        }
+        let cache = ResultCache {
+            dir: dir.to_owned(),
+            index: Mutex::new(index),
+        };
+        Ok((cache, stats))
+    }
+
+    /// Look up a content address in the in-memory index.
+    pub fn get(&self, key: &str) -> Option<Arc<CacheEntry>> {
+        self.index.lock().expect("cache index lock").get(key).cloned()
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.index.lock().expect("cache index lock").len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Persist an entry (write-then-rename, so readers and crashes only
+    /// ever observe whole files) and publish it to the index. Two racing
+    /// inserts of the same key write identical bytes, so last-rename-wins
+    /// is harmless.
+    pub fn insert(&self, entry: CacheEntry) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(&entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = self.dir.join(format!(".tmp-{}", entry.key));
+        let fin = self.entry_path(&entry.key);
+        fs::write(&tmp, &json)?;
+        fs::rename(&tmp, &fin)?;
+        self.index
+            .lock()
+            .expect("cache index lock")
+            .insert(entry.key.clone(), Arc::new(entry));
+        Ok(())
+    }
+
+    /// Drop an entry from the index and disk (used by tests and by
+    /// operators pruning by hand; rehydration evicts corruption itself).
+    pub fn evict(&self, key: &str) {
+        self.index.lock().expect("cache index lock").remove(key);
+        let _ = fs::remove_file(self.entry_path(key));
+    }
+
+    /// Write `index.json`: the sorted key list plus each entry's tuple,
+    /// one advisory summary an operator (or the next daemon's logs) can
+    /// read without scanning every entry file. Called at graceful
+    /// shutdown; rehydration itself trusts only the entry files.
+    pub fn flush_index(&self) -> io::Result<()> {
+        let index = self.index.lock().expect("cache index lock");
+        let mut keys: Vec<&String> = index.keys().collect();
+        keys.sort();
+        let mut lines = String::from("{\n  \"entries\": [\n");
+        for (i, key) in keys.iter().enumerate() {
+            let e = &index[key.as_str()];
+            lines.push_str(&format!(
+                "    {{\"key\": \"{key}\", \"experiment\": \"{}\", \"seed\": {}, \"profile\": \"{}\", \"retries\": {}, \"code_rev\": \"{}\"}}{}\n",
+                e.experiment,
+                e.seed,
+                e.profile,
+                e.retries,
+                e.code_rev,
+                if i + 1 < keys.len() { "," } else { "" },
+            ));
+        }
+        lines.push_str("  ]\n}\n");
+        drop(index);
+        let tmp = self.dir.join(".tmp-index");
+        fs::write(&tmp, &lines)?;
+        fs::rename(&tmp, self.dir.join("index.json"))
+    }
+
+    /// The on-disk path of a key's entry file.
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+}
+
+/// The cache key a directory entry claims to hold, if its name has the
+/// `<32-hex>.json` shape entry files use.
+fn entry_key_of(path: &Path) -> Option<String> {
+    let name = path.file_name()?.to_str()?;
+    let stem = name.strip_suffix(".json")?;
+    (stem.len() == 32 && stem.bytes().all(|b| b.is_ascii_hexdigit()))
+        .then(|| stem.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "humnet-serve-cache-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry(seed: u64) -> CacheEntry {
+        let (artifact, metrics) = (format!("{{\"seed\": {seed}}}"), "{}".to_owned());
+        CacheEntry {
+            key: cache_key("f1", seed, "none", 1.0, 1, "0.1.0+test"),
+            experiment: "f1".to_owned(),
+            seed,
+            profile: "none".to_owned(),
+            intensity: 1.0,
+            retries: 1,
+            code_rev: "0.1.0+test".to_owned(),
+            checksum: CacheEntry::checksum_of(&artifact, &metrics),
+            artifact,
+            metrics,
+        }
+    }
+
+    #[test]
+    fn every_tuple_component_changes_the_key() {
+        let base = cache_key("f1", 7, "none", 1.0, 1, "0.1.0+aaa");
+        assert_eq!(base, cache_key("f1", 7, "none", 1.0, 1, "0.1.0+aaa"));
+        assert_eq!(base.len(), 32);
+        for other in [
+            cache_key("f2", 7, "none", 1.0, 1, "0.1.0+aaa"),
+            cache_key("f1", 8, "none", 1.0, 1, "0.1.0+aaa"),
+            cache_key("f1", 7, "chaos", 1.0, 1, "0.1.0+aaa"),
+            cache_key("f1", 7, "none", 1.5, 1, "0.1.0+aaa"),
+            cache_key("f1", 7, "none", 1.0, 2, "0.1.0+aaa"),
+            cache_key("f1", 7, "none", 1.0, 1, "0.1.0+bbb"),
+        ] {
+            assert_ne!(base, other);
+        }
+    }
+
+    #[test]
+    fn key_is_delimiter_safe() {
+        // "ab|c" + "d" must not collide with "ab" + "c|d": the length
+        // prefixes on string fields break up naive splices.
+        assert_ne!(
+            cache_key("f1|2", 0, "none", 1.0, 0, "r"),
+            cache_key("f1", 2, "0|none", 1.0, 0, "r"),
+        );
+    }
+
+    #[test]
+    fn insert_get_survives_reopen_byte_identically() {
+        let dir = scratch("roundtrip");
+        let (cache, stats) = ResultCache::open(&dir).unwrap();
+        assert_eq!(stats, RehydrateStats::default());
+        let e = entry(7);
+        cache.insert(e.clone()).unwrap();
+        assert_eq!(cache.get(&e.key).unwrap().artifact, e.artifact);
+        drop(cache);
+
+        let (cache, stats) = ResultCache::open(&dir).unwrap();
+        assert_eq!(stats, RehydrateStats { loaded: 1, evicted: 0 });
+        let back = cache.get(&e.key).unwrap();
+        assert_eq!(back.artifact, e.artifact);
+        assert_eq!(back.metrics, e.metrics);
+        assert_eq!(*back, e);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_evicted_on_open() {
+        let dir = scratch("corrupt");
+        let (cache, _) = ResultCache::open(&dir).unwrap();
+        let good = entry(1);
+        let torn = entry(2);
+        let lying = entry(3);
+        cache.insert(good.clone()).unwrap();
+        cache.insert(torn.clone()).unwrap();
+        cache.insert(lying.clone()).unwrap();
+        // Tear one entry mid-file and flip a payload byte in another
+        // without updating its checksum.
+        fs::write(cache.entry_path(&torn.key), "{\"key\": \"trunc").unwrap();
+        let mut tampered = lying.clone();
+        tampered.artifact.push('!');
+        fs::write(
+            cache.entry_path(&lying.key),
+            serde_json::to_string_pretty(&tampered).unwrap(),
+        )
+        .unwrap();
+        drop(cache);
+
+        let (cache, stats) = ResultCache::open(&dir).unwrap();
+        assert_eq!(stats, RehydrateStats { loaded: 1, evicted: 2 });
+        assert!(cache.get(&good.key).is_some());
+        assert!(cache.get(&torn.key).is_none());
+        assert!(cache.get(&lying.key).is_none());
+        assert!(!cache.entry_path(&torn.key).exists(), "evicted from disk too");
+        // The evicted tuples recompute cleanly: a fresh insert under the
+        // same key round-trips again.
+        cache.insert(entry(2)).unwrap();
+        assert!(cache.get(&entry(2).key).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn misfiled_entries_are_evicted() {
+        let dir = scratch("misfiled");
+        let (cache, _) = ResultCache::open(&dir).unwrap();
+        let e = entry(4);
+        // An intact entry filed under some other tuple's name must not
+        // be served for that name.
+        let wrong = cache_key("f9", 999, "chaos", 2.0, 0, "elsewhere");
+        fs::write(
+            cache.entry_path(&wrong),
+            serde_json::to_string_pretty(&e).unwrap(),
+        )
+        .unwrap();
+        drop(cache);
+        let (cache, stats) = ResultCache::open(&dir).unwrap();
+        assert_eq!(stats, RehydrateStats { loaded: 0, evicted: 1 });
+        assert!(cache.get(&wrong).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_index_writes_the_advisory_summary() {
+        let dir = scratch("flush");
+        let (cache, _) = ResultCache::open(&dir).unwrap();
+        cache.insert(entry(1)).unwrap();
+        cache.insert(entry(2)).unwrap();
+        cache.flush_index().unwrap();
+        let text = fs::read_to_string(dir.join("index.json")).unwrap();
+        assert!(text.contains(&entry(1).key), "{text}");
+        assert!(text.contains("\"seed\": 2"), "{text}");
+        // index.json is advisory: rehydration ignores it (and never
+        // mistakes it for an entry).
+        let (cache, stats) = ResultCache::open(&dir).unwrap();
+        assert_eq!(stats.loaded, 2);
+        assert_eq!(cache.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

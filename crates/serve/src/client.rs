@@ -1,0 +1,95 @@
+//! One-shot client for the serve protocol: connect, send one request
+//! line, read one response line. Used by `experiments query` and the
+//! serve tests.
+
+use crate::protocol::{Request, Response};
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a query failed before a well-formed response arrived (connect,
+/// I/O, or parse trouble — a daemon-side `error` status is NOT a
+/// `ClientError`; it comes back as a normal [`Response`]).
+#[derive(Debug)]
+pub struct ClientError {
+    message: String,
+}
+
+impl ClientError {
+    fn new(message: String) -> ClientError {
+        ClientError { message }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for ClientError {}
+
+/// Send one request to the daemon at `addr` and wait (up to `timeout`
+/// per socket operation) for its response line.
+pub fn query(addr: &str, request: &Request, timeout: Duration) -> Result<Response, ClientError> {
+    let targets: Vec<_> = addr
+        .to_socket_addrs()
+        .map_err(|e| ClientError::new(format!("cannot resolve '{addr}': {e}")))?
+        .collect();
+    let mut stream = None;
+    let mut last_err = None;
+    for target in &targets {
+        match TcpStream::connect_timeout(target, timeout) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let mut stream = stream.ok_or_else(|| {
+        ClientError::new(match last_err {
+            Some(e) => format!("cannot connect to {addr}: {e}"),
+            None => format!("'{addr}' resolved to no addresses"),
+        })
+    })?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| ClientError::new(format!("socket setup: {e}")))?;
+
+    let line = request
+        .to_line()
+        .map_err(|e| ClientError::new(format!("request serialization: {e}")))?;
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .map_err(|e| ClientError::new(format!("send to {addr}: {e}")))?;
+
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.contains(&b'\n') {
+                    break;
+                }
+            }
+            Err(e) => {
+                return Err(ClientError::new(format!("read from {addr}: {e}")));
+            }
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let line = text
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| ClientError::new(format!("{addr} closed without responding")))?;
+    Response::from_line(line)
+        .map_err(|e| ClientError::new(format!("malformed response from {addr}: {e}")))
+}

@@ -1,0 +1,42 @@
+//! # humnet-serve
+//!
+//! A long-lived experiment service: accept `{experiment, seed, profile,
+//! intensity}` requests over a tiny line-delimited JSON protocol on TCP,
+//! execute misses on the existing pooled scheduler runtime (warm executor
+//! sessions — no per-request process spawn), and answer repeats from a
+//! content-addressed result cache.
+//!
+//! The whole design leans on one invariant the rest of the workspace
+//! enforces by test: same-seed runs are **byte-identical**. That makes
+//! `(experiment, seed, profile, intensity, retries, code-rev)` a perfect
+//! cache key — a hit returns the exact bytes a fresh run would produce,
+//! at in-memory-lookup latency instead of simulation cost.
+//!
+//! Three layers:
+//!
+//! 1. [`protocol`] — the wire format: one JSON [`protocol::Request`] per
+//!    line in, one JSON [`protocol::Response`] per line out.
+//! 2. [`cache`] — [`cache::ResultCache`]: an in-memory index over
+//!    content-addressed on-disk entries (atomic write-then-rename, FNV-1a
+//!    128-bit keys and checksums, corruption-evicting rehydration).
+//! 3. [`server`] — [`server::Server`]: the daemon itself, with admission
+//!    control (bounded pending queue, concurrency cap, explicit
+//!    load-shedding), daemon telemetry behind a `stats` request, and
+//!    graceful shutdown on SIGTERM or a `shutdown` request.
+//!
+//! [`client`] is the matching one-request helper the `experiments query`
+//! subcommand and the tests use.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{cache_key, CacheEntry, RehydrateStats, ResultCache};
+pub use client::{query, ClientError};
+pub use protocol::{Request, Response};
+pub use server::{
+    install_signal_handlers, ServeConfig, ServeSummary, Server, SpecFactory,
+};

@@ -193,6 +193,69 @@ impl Telemetry {
     }
 }
 
+/// A `Sync` recording facade for long-lived multi-threaded services.
+///
+/// [`Telemetry`] is deliberately `Send`-but-not-`Sync` (`RefCell`): the
+/// batch runner gives each worker attempt its own instance and merges
+/// snapshots. A daemon is different — many connection handlers record
+/// into *one* live instance whose totals must be observable at any time
+/// (a `stats` request), so this wrapper serializes access through a
+/// mutex. Only cold paths (request accounting, not simulator inner
+/// loops) should record through it.
+#[derive(Debug, Default)]
+pub struct SharedTelemetry {
+    inner: std::sync::Mutex<Telemetry>,
+}
+
+impl SharedTelemetry {
+    /// A recording instance.
+    pub fn new() -> Self {
+        SharedTelemetry {
+            inner: std::sync::Mutex::new(Telemetry::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Telemetry> {
+        // Telemetry recording never panics while the lock is held, so a
+        // poisoned mutex only means some *other* panic unwound through a
+        // recording call; the data is still sound to read.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Add `by` to the named counter.
+    pub fn counter(&self, name: &str, by: u64) {
+        self.lock().counter(name, by);
+    }
+
+    /// Set the named gauge.
+    pub fn gauge(&self, name: &str, v: f64) {
+        self.lock().gauge(name, v);
+    }
+
+    /// Record a raw value into the named histogram.
+    pub fn observe(&self, name: &str, v: u64) {
+        self.lock().observe(name, v);
+    }
+
+    /// Append an event to the journal.
+    pub fn event(&self, event: Event) {
+        self.lock().event(event);
+    }
+
+    /// Fold a finished run's snapshot into the live totals.
+    pub fn absorb(&self, snap: TelemetrySnapshot, scope: &str) {
+        self.lock().absorb(snap, scope);
+    }
+
+    /// Plain-data view of everything recorded so far.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.lock().snapshot()
+    }
+}
+
 /// Guard returned by [`Telemetry::span`]; closes the span on drop.
 #[derive(Debug)]
 pub struct SpanGuard<'a> {
@@ -499,6 +562,26 @@ mod tests {
             TelemetrySnapshot::default().render_metrics_table(),
             "(no metrics recorded)\n"
         );
+    }
+
+    #[test]
+    fn shared_telemetry_is_sync_and_aggregates_across_threads() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<SharedTelemetry>();
+        let tel = SharedTelemetry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        tel.counter("serve.requests", 1);
+                        tel.observe("serve.hit_ns", 50);
+                    }
+                });
+            }
+        });
+        let snap = tel.snapshot();
+        assert_eq!(snap.metrics.counters["serve.requests"], 400);
+        assert_eq!(snap.metrics.histograms["serve.hit_ns"].count, 400);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! cargo run --release --bin experiments -- list               # experiment catalog
 //! cargo run --release --bin experiments -- merge-metrics a.json b.json
 //! cargo run --release --bin experiments -- replay j.jsonl     # re-execute a capture
+//! cargo run --release --bin experiments -- serve              # long-lived daemon
+//! cargo run --release --bin experiments -- query f3 --seed 7  # ask the daemon
 //! cargo run --release --bin experiments -- f3 t1              # bare form = `run`
 //! ```
 //!
@@ -51,7 +53,9 @@ use humnet::resilience::{
     JobError, JobOutput, RunArtifact, RunnerConfig, Schedule, ShardPlan, ShardSpec, Supervisor,
     CHAOS_ENV, CHAOS_KILL_CODE,
 };
+use humnet::serve::{install_signal_handlers, query, Request, ServeConfig, Server};
 use humnet::telemetry::{journal, TelemetrySnapshot, TextTable};
+use std::sync::Arc;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -63,6 +67,8 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(args.split_off(1)),
         Some("merge-metrics") => cmd_merge_metrics(args.split_off(1)),
         Some("replay") => cmd_replay(args.split_off(1)),
+        Some("serve") => cmd_serve(args.split_off(1)),
+        Some("query") => cmd_query(args.split_off(1)),
         // Bare `experiments [OPTIONS] [ID...]` stays an alias for `run`.
         _ => cmd_run(args),
     };
@@ -195,10 +201,14 @@ fn cmd_run(args: Vec<String>) -> CmdResult {
         write_file(path, &jsonl, "event journal")?;
     }
     if let Some(path) = &cli.report_out {
+        // Canonicalized: the artifact is the reproducible face of the run
+        // (the serve cache equates it byte-for-byte across same-seed
+        // runs); wall-clock durations live in render() and the metrics.
         let artifact = RunArtifact {
             report: run.report.clone(),
             outputs: run.outputs.clone(),
-        };
+        }
+        .canonicalized();
         let json = artifact
             .to_json()
             .map_err(|e| Failure::Fatal(format!("failed to serialize report artifact: {e}")))?;
@@ -595,6 +605,7 @@ fn parse_dispatch_args(args: impl Iterator<Item = String>) -> Result<Option<Disp
     // The retry backoff jitter stream derives from the run seed, like
     // every other deterministic decision.
     cli.dispatch.seed = cli.config.seed;
+    cli.dispatch.keep_scratch = cli.keep_scratch;
     Ok(Some(cli))
 }
 
@@ -715,6 +726,233 @@ fn cmd_replay(args: Vec<String>) -> CmdResult {
     Ok(report.exit_code() as u8)
 }
 
+// -------------------------------------------------------------- serve --
+
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7077";
+
+fn cmd_serve(args: Vec<String>) -> CmdResult {
+    let mut cfg = ServeConfig::default();
+    cfg.addr = DEFAULT_SERVE_ADDR.to_owned();
+    let mut ready_file = None;
+    let mut args = args.into_iter().peekable();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> Result<String, Failure> {
+            args.next()
+                .ok_or_else(|| Failure::Usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(0);
+            }
+            "--addr" => cfg.addr = value("--addr")?,
+            "--cache-dir" => cfg.cache_dir = std::path::PathBuf::from(value("--cache-dir")?),
+            "--queue-depth" => {
+                cfg.queue_depth = parse_num(&value("--queue-depth")?, "--queue-depth")?;
+            }
+            "--concurrency" => {
+                let n: usize = parse_num(&value("--concurrency")?, "--concurrency")?;
+                if n == 0 {
+                    return Err(Failure::Usage("--concurrency must be positive".to_owned()));
+                }
+                cfg.concurrency = n;
+            }
+            "--fault-profile" => {
+                let v = value("--fault-profile")?;
+                cfg.runner.profile = FaultProfile::parse(&v).ok_or_else(|| {
+                    Failure::Usage(format!("unknown fault profile '{v}' (none|churn|outage|chaos)"))
+                })?;
+            }
+            "--retries" => cfg.runner.retries = parse_num(&value("--retries")?, "--retries")?,
+            "--deadline-ms" => {
+                let ms: u64 = parse_num(&value("--deadline-ms")?, "--deadline-ms")?;
+                if ms == 0 {
+                    return Err(Failure::Usage("--deadline-ms must be positive".to_owned()));
+                }
+                cfg.runner.deadline = Duration::from_millis(ms);
+            }
+            "--seed" => cfg.runner.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--intensity" => {
+                let v = value("--intensity")?;
+                let x: f64 = v
+                    .parse()
+                    .map_err(|_| Failure::Usage(format!("bad --intensity value '{v}'")))?;
+                if !x.is_finite() || x < 0.0 {
+                    return Err(Failure::Usage(
+                        "--intensity must be a nonnegative number".to_owned(),
+                    ));
+                }
+                cfg.runner.intensity = x;
+            }
+            "--hold-ms" => {
+                // Deterministic-delay knob for overload tests, like
+                // --chaos-proc is for dispatch tests.
+                cfg.hold = Duration::from_millis(parse_num(&value("--hold-ms")?, "--hold-ms")?);
+            }
+            "--ready-file" => ready_file = Some(value("--ready-file")?),
+            flag if flag.starts_with('-') => {
+                return Err(Failure::Usage(format!("unknown option '{flag}'")));
+            }
+            stray => {
+                return Err(Failure::Usage(format!(
+                    "serve takes no positional arguments (got '{stray}')"
+                )));
+            }
+        }
+    }
+
+    install_signal_handlers();
+    let factory = Arc::new(|code: &str| ExperimentId::parse(code).map(spec_for));
+    let server = Server::bind(cfg, factory)
+        .map_err(|e| Failure::Fatal(format!("serve: cannot start: {e}")))?;
+    let addr = server.local_addr();
+    let rehydrated = server.rehydrated();
+    // The ready file lets scripts (and tests) bind to port 0 and discover
+    // the actual address without racing the daemon's startup.
+    if let Some(path) = &ready_file {
+        write_file(path, &addr.to_string(), "ready file")?;
+    }
+    eprintln!(
+        "serve: listening on {addr} ({} cache entries rehydrated, {} evicted)",
+        rehydrated.loaded, rehydrated.evicted
+    );
+
+    let summary = server
+        .run()
+        .map_err(|e| Failure::Fatal(format!("serve: {e}")))?;
+    let counters = &summary.stats.metrics.counters;
+    let n = |name: &str| counters.get(name).copied().unwrap_or(0);
+    eprintln!(
+        "serve: drained — {} requests ({} hits, {} misses, {} shed, {} errors), {} cache entries",
+        n("serve.requests"),
+        n("serve.cache_hit"),
+        n("serve.cache_miss"),
+        n("serve.shed"),
+        n("serve.error"),
+        summary.cache_entries
+    );
+    Ok(0)
+}
+
+// -------------------------------------------------------------- query --
+
+fn cmd_query(args: Vec<String>) -> CmdResult {
+    let mut addr = DEFAULT_SERVE_ADDR.to_owned();
+    let mut req = Request::stats();
+    req.cmd.clear();
+    let mut artifact_out = None;
+    let mut timeout = Duration::from_secs(120);
+    let mut args = args.into_iter().peekable();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> Result<String, Failure> {
+            args.next()
+                .ok_or_else(|| Failure::Usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(0);
+            }
+            "--addr" => addr = value("--addr")?,
+            "--stats" | "--shutdown" => {
+                if !req.cmd.is_empty() {
+                    return Err(Failure::Usage(
+                        "query takes one of: an experiment id, --stats, or --shutdown".to_owned(),
+                    ));
+                }
+                req.cmd = arg.trim_start_matches('-').to_owned();
+            }
+            "--seed" => req.seed = Some(parse_num(&value("--seed")?, "--seed")?),
+            "--fault-profile" => {
+                let v = value("--fault-profile")?;
+                FaultProfile::parse(&v).ok_or_else(|| {
+                    Failure::Usage(format!("unknown fault profile '{v}' (none|churn|outage|chaos)"))
+                })?;
+                req.profile = Some(v);
+            }
+            "--intensity" => {
+                let v = value("--intensity")?;
+                let x: f64 = v
+                    .parse()
+                    .map_err(|_| Failure::Usage(format!("bad --intensity value '{v}'")))?;
+                req.intensity = Some(x);
+            }
+            "--retries" => req.retries = Some(parse_num(&value("--retries")?, "--retries")?),
+            "--deadline-ms" => {
+                req.deadline_ms = Some(parse_num(&value("--deadline-ms")?, "--deadline-ms")?);
+            }
+            "--timeout-ms" => {
+                let ms: u64 = parse_num(&value("--timeout-ms")?, "--timeout-ms")?;
+                if ms == 0 {
+                    return Err(Failure::Usage("--timeout-ms must be positive".to_owned()));
+                }
+                timeout = Duration::from_millis(ms);
+            }
+            "--artifact-out" => artifact_out = Some(value("--artifact-out")?),
+            flag if flag.starts_with('-') => {
+                return Err(Failure::Usage(format!("unknown option '{flag}'")));
+            }
+            id => {
+                if !req.cmd.is_empty() {
+                    return Err(Failure::Usage(
+                        "query takes one of: an experiment id, --stats, or --shutdown".to_owned(),
+                    ));
+                }
+                let parsed = ExperimentId::parse(id)
+                    .ok_or_else(|| Failure::Usage(format!("unknown experiment id '{id}'")))?;
+                req.cmd = "run".to_owned();
+                req.experiment = Some(parsed.code().to_owned());
+            }
+        }
+    }
+    if req.cmd.is_empty() {
+        return Err(Failure::Usage(
+            "query needs an experiment id, --stats, or --shutdown".to_owned(),
+        ));
+    }
+    if let Some(path) = &artifact_out {
+        preflight_writable(path, "artifact")?;
+    }
+
+    let resp = query(&addr, &req, timeout)
+        .map_err(|e| Failure::Fatal(format!("query: {e}")))?;
+    match resp.status.as_str() {
+        "hit" | "miss" => {
+            eprintln!(
+                "query: {} key={} rev={}",
+                resp.status,
+                resp.key.as_deref().unwrap_or("?"),
+                resp.code_rev.as_deref().unwrap_or("?")
+            );
+            let artifact = resp.artifact.unwrap_or_default();
+            match &artifact_out {
+                Some(path) => write_file(path, &artifact, "artifact")?,
+                None => println!("{artifact}"),
+            }
+            Ok(0)
+        }
+        "stats" => {
+            println!("{}", resp.stats.unwrap_or_default());
+            Ok(0)
+        }
+        "ok" => {
+            eprintln!("query: {}", resp.message.unwrap_or_default());
+            Ok(0)
+        }
+        "overloaded" => {
+            eprintln!(
+                "query: daemon overloaded: {}",
+                resp.message.unwrap_or_default()
+            );
+            Ok(3)
+        }
+        _ => {
+            eprintln!("query: server error: {}", resp.message.unwrap_or_default());
+            Ok(1)
+        }
+    }
+}
+
 // ------------------------------------------------------------- shared --
 
 /// The supervised-runner job for one experiment — the single definition
@@ -803,6 +1041,12 @@ Commands:
                                  merge telemetry snapshots (e.g. per-shard
                                  --metrics-out files) into one JSON snapshot
   replay <JOURNAL.jsonl>         re-execute a captured run and diff canonical events
+  serve [OPTIONS]                long-lived daemon: answer run requests over
+                                 line-delimited JSON on TCP, from a
+                                 content-addressed result cache (misses execute
+                                 on the warm in-process pool)
+  query [OPTIONS] <ID> | --stats | --shutdown
+                                 one request against a running daemon
 
 IDs (default: all, in EXPERIMENTS.md order):
   f1 t1 f2 t2 f3 f4 t3 f5 t4 f6 t5 f7 f8 f9 t6 t7
@@ -849,12 +1093,37 @@ Dispatch options (in addition to the run options above, minus --shards,
   --scratch <DIR>      artifact scratch directory (default under the temp dir)
   --keep-scratch       keep per-shard artifacts and child logs on success
 
+Serve options (plus --fault-profile/--retries/--deadline-ms/--seed/--intensity
+above, which set the daemon's per-request defaults):
+  --addr <HOST:PORT>   listen address (default 127.0.0.1:7077; port 0 picks
+                       a free port — see --ready-file)
+  --cache-dir <DIR>    content-addressed result cache (default under the temp
+                       dir; survives restarts and is rehydrated on startup)
+  --queue-depth <N>    pending-run queue; requests beyond it are answered
+                       `overloaded` instead of waiting (default 32)
+  --concurrency <N>    worker threads executing cache misses (default 2)
+  --hold-ms <N>        hold each miss N ms before executing — deterministic
+                       load knob for overload testing (default 0)
+  --ready-file <PATH>  write the bound address here once listening
+  The daemon drains and exits on SIGTERM or a `query --shutdown`.
+
+Query options:
+  --addr <HOST:PORT>   daemon address (default 127.0.0.1:7077)
+  --seed/--fault-profile/--intensity/--retries/--deadline-ms
+                       request tuple (daemon defaults fill whatever is absent;
+                       deadline is wall-clock only and never part of the
+                       cache key)
+  --timeout-ms <N>     socket timeout (default 120000)
+  --artifact-out <PATH>
+                       write the returned artifact JSON here instead of stdout
+
 Exit codes:
-  0  all experiments completed / replay matched the capture
-  1  an experiment failed / replay diverged
+  0  all experiments completed / replay matched the capture / query answered
+  1  an experiment failed / replay diverged / the daemon reported an error
   2  an experiment timed out, a shard died without --allow-partial, or bad
-     arguments / unreadable or unwritable files
-  3  dispatch degraded to partial results under --allow-partial";
+     arguments / unreadable or unwritable files / the daemon is unreachable
+  3  dispatch degraded to partial results under --allow-partial, or the
+     daemon shed the query as overloaded";
 
 fn banner(title: &str) {
     println!("\n{}", "=".repeat(72));

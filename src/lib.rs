@@ -27,6 +27,7 @@
 //! | [`agenda`] | `humnet-agenda` | research-ecosystem ABM + venue gatekeeping |
 //! | [`survey`] | `humnet-survey` | Likert instruments, sampling bias, positionality detection |
 //! | [`resilience`] | `humnet-resilience` | deterministic fault injection, supervised experiment runner |
+//! | [`serve`] | `humnet-serve` | long-lived experiment daemon with a content-addressed result cache |
 //! | [`telemetry`] | `humnet-telemetry` | metrics registry, tracing spans, structured event journal |
 //! | [`core`] | `humnet-core` | PAR / ethnography / reflexivity workflows, methods auditor, experiment suite |
 //!
@@ -55,6 +56,7 @@ pub use humnet_graph as graph;
 pub use humnet_ixp as ixp;
 pub use humnet_qual as qual;
 pub use humnet_resilience as resilience;
+pub use humnet_serve as serve;
 pub use humnet_stats as stats;
 pub use humnet_survey as survey;
 pub use humnet_telemetry as telemetry;
