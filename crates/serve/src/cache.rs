@@ -15,7 +15,9 @@
 //!
 //! The code-rev component means a rebuilt binary simply *misses* on every
 //! old entry rather than serving results a different code produced; stale
-//! entries age out by never being read again.
+//! entries age out by never being read again — or, under a configured
+//! size bound ([`ResultCache::open_bounded`]), get evicted
+//! least-recently-used first when an insert would exceed the cap.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -124,6 +126,31 @@ pub struct RehydrateStats {
     pub loaded: usize,
     /// Corrupt or misfiled entries deleted from disk.
     pub evicted: usize,
+    /// Intact entries dropped (from index and disk) because they exceeded
+    /// a configured size bound on rehydration.
+    pub trimmed: usize,
+}
+
+/// One indexed entry plus its recency stamp for LRU eviction.
+#[derive(Debug)]
+struct Slot {
+    entry: Arc<CacheEntry>,
+    last_used: u64,
+}
+
+/// The mutex-guarded index state: the map plus a monotone tick that
+/// stamps every touch (hit or insert) for least-recently-used ordering.
+#[derive(Debug, Default)]
+struct Index {
+    map: HashMap<String, Slot>,
+    tick: u64,
+}
+
+impl Index {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
 }
 
 /// The cache: a directory of content-addressed entry files fronted by an
@@ -132,7 +159,9 @@ pub struct RehydrateStats {
 #[derive(Debug)]
 pub struct ResultCache {
     dir: PathBuf,
-    index: Mutex<HashMap<String, Arc<CacheEntry>>>,
+    /// `0` = unbounded; otherwise inserts evict LRU entries above this.
+    max_entries: usize,
+    index: Mutex<Index>,
 }
 
 impl ResultCache {
@@ -142,9 +171,21 @@ impl ResultCache {
     /// under a name that is not its own key — are deleted, so the next
     /// request for that tuple recomputes instead of serving damage.
     pub fn open(dir: &Path) -> io::Result<(ResultCache, RehydrateStats)> {
+        ResultCache::open_bounded(dir, 0)
+    }
+
+    /// [`ResultCache::open`] with a size bound: at most `max_entries`
+    /// entries are kept (`0` = unbounded). Rehydration trims an
+    /// over-full directory down to the bound (deterministically, by key
+    /// order — recency is unknowable across a restart), and subsequent
+    /// [`ResultCache::insert`]s evict least-recently-used entries.
+    pub fn open_bounded(
+        dir: &Path,
+        max_entries: usize,
+    ) -> io::Result<(ResultCache, RehydrateStats)> {
         fs::create_dir_all(dir)?;
         let mut stats = RehydrateStats::default();
-        let mut index = HashMap::new();
+        let mut loaded: Vec<CacheEntry> = Vec::new();
         for dirent in fs::read_dir(dir)? {
             let path = dirent?.path();
             let Some(stem) = entry_key_of(&path) else {
@@ -155,7 +196,7 @@ impl ResultCache {
                 .and_then(|text| serde_json::from_str::<CacheEntry>(&text).ok())
             {
                 Some(entry) if entry.intact() && entry.key == stem => {
-                    index.insert(entry.key.clone(), Arc::new(entry));
+                    loaded.push(entry);
                     stats.loaded += 1;
                 }
                 _ => {
@@ -164,21 +205,52 @@ impl ResultCache {
                 }
             }
         }
+        loaded.sort_by(|a, b| a.key.cmp(&b.key));
         let cache = ResultCache {
             dir: dir.to_owned(),
-            index: Mutex::new(index),
+            max_entries,
+            index: Mutex::new(Index::default()),
         };
+        let mut index = cache.index.lock().expect("cache index lock");
+        for entry in loaded {
+            if max_entries > 0 && index.map.len() >= max_entries {
+                let _ = fs::remove_file(cache.entry_path(&entry.key));
+                stats.trimmed += 1;
+                stats.loaded -= 1;
+                continue;
+            }
+            let stamp = index.touch();
+            index.map.insert(
+                entry.key.clone(),
+                Slot {
+                    entry: Arc::new(entry),
+                    last_used: stamp,
+                },
+            );
+        }
+        drop(index);
         Ok((cache, stats))
     }
 
-    /// Look up a content address in the in-memory index.
+    /// The configured size bound (`0` = unbounded).
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Look up a content address in the in-memory index, freshening its
+    /// recency stamp.
     pub fn get(&self, key: &str) -> Option<Arc<CacheEntry>> {
-        self.index.lock().expect("cache index lock").get(key).cloned()
+        let mut index = self.index.lock().expect("cache index lock");
+        let stamp = index.touch();
+        index.map.get_mut(key).map(|slot| {
+            slot.last_used = stamp;
+            slot.entry.clone()
+        })
     }
 
     /// Number of indexed entries.
     pub fn len(&self) -> usize {
-        self.index.lock().expect("cache index lock").len()
+        self.index.lock().expect("cache index lock").map.len()
     }
 
     /// Whether the index is empty.
@@ -189,25 +261,52 @@ impl ResultCache {
     /// Persist an entry (write-then-rename, so readers and crashes only
     /// ever observe whole files) and publish it to the index. Two racing
     /// inserts of the same key write identical bytes, so last-rename-wins
-    /// is harmless.
-    pub fn insert(&self, entry: CacheEntry) -> io::Result<()> {
+    /// is harmless. Under a size bound, least-recently-used entries are
+    /// evicted (index and disk) to make room; the count of evictions is
+    /// returned so the daemon can feed its `serve.evicted` counter.
+    pub fn insert(&self, entry: CacheEntry) -> io::Result<usize> {
         let json = serde_json::to_string_pretty(&entry)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         let tmp = self.dir.join(format!(".tmp-{}", entry.key));
         let fin = self.entry_path(&entry.key);
         fs::write(&tmp, &json)?;
         fs::rename(&tmp, &fin)?;
-        self.index
-            .lock()
-            .expect("cache index lock")
-            .insert(entry.key.clone(), Arc::new(entry));
-        Ok(())
+        let mut index = self.index.lock().expect("cache index lock");
+        let stamp = index.touch();
+        let key = entry.key.clone();
+        index.map.insert(
+            key,
+            Slot {
+                entry: Arc::new(entry),
+                last_used: stamp,
+            },
+        );
+        // Evict past the bound. The entry just inserted carries the
+        // freshest stamp, so it is never its own victim.
+        let mut victims = Vec::new();
+        while self.max_entries > 0 && index.map.len() > self.max_entries {
+            let Some(lru) = index
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(key, _)| key.clone())
+            else {
+                break;
+            };
+            index.map.remove(&lru);
+            victims.push(lru);
+        }
+        drop(index);
+        for victim in &victims {
+            let _ = fs::remove_file(self.entry_path(victim));
+        }
+        Ok(victims.len())
     }
 
     /// Drop an entry from the index and disk (used by tests and by
     /// operators pruning by hand; rehydration evicts corruption itself).
     pub fn evict(&self, key: &str) {
-        self.index.lock().expect("cache index lock").remove(key);
+        self.index.lock().expect("cache index lock").map.remove(key);
         let _ = fs::remove_file(self.entry_path(key));
     }
 
@@ -217,11 +316,11 @@ impl ResultCache {
     /// shutdown; rehydration itself trusts only the entry files.
     pub fn flush_index(&self) -> io::Result<()> {
         let index = self.index.lock().expect("cache index lock");
-        let mut keys: Vec<&String> = index.keys().collect();
+        let mut keys: Vec<&String> = index.map.keys().collect();
         keys.sort();
         let mut lines = String::from("{\n  \"entries\": [\n");
         for (i, key) in keys.iter().enumerate() {
-            let e = &index[key.as_str()];
+            let e = &index.map[key.as_str()].entry;
             lines.push_str(&format!(
                 "    {{\"key\": \"{key}\", \"experiment\": \"{}\", \"seed\": {}, \"profile\": \"{}\", \"retries\": {}, \"code_rev\": \"{}\"}}{}\n",
                 e.experiment,
@@ -321,7 +420,7 @@ mod tests {
         drop(cache);
 
         let (cache, stats) = ResultCache::open(&dir).unwrap();
-        assert_eq!(stats, RehydrateStats { loaded: 1, evicted: 0 });
+        assert_eq!(stats, RehydrateStats { loaded: 1, evicted: 0, trimmed: 0 });
         let back = cache.get(&e.key).unwrap();
         assert_eq!(back.artifact, e.artifact);
         assert_eq!(back.metrics, e.metrics);
@@ -352,7 +451,7 @@ mod tests {
         drop(cache);
 
         let (cache, stats) = ResultCache::open(&dir).unwrap();
-        assert_eq!(stats, RehydrateStats { loaded: 1, evicted: 2 });
+        assert_eq!(stats, RehydrateStats { loaded: 1, evicted: 2, trimmed: 0 });
         assert!(cache.get(&good.key).is_some());
         assert!(cache.get(&torn.key).is_none());
         assert!(cache.get(&lying.key).is_none());
@@ -379,8 +478,63 @@ mod tests {
         .unwrap();
         drop(cache);
         let (cache, stats) = ResultCache::open(&dir).unwrap();
-        assert_eq!(stats, RehydrateStats { loaded: 0, evicted: 1 });
+        assert_eq!(stats, RehydrateStats { loaded: 0, evicted: 1, trimmed: 0 });
         assert!(cache.get(&wrong).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounded_insert_evicts_least_recently_used() {
+        let dir = scratch("lru");
+        let (cache, _) = ResultCache::open_bounded(&dir, 2).unwrap();
+        assert_eq!(cache.max_entries(), 2);
+        let (e1, e2, e3) = (entry(1), entry(2), entry(3));
+        assert_eq!(cache.insert(e1.clone()).unwrap(), 0);
+        assert_eq!(cache.insert(e2.clone()).unwrap(), 0);
+        // Touch e1 so e2 becomes the LRU victim.
+        assert!(cache.get(&e1.key).is_some());
+        assert_eq!(cache.insert(e3.clone()).unwrap(), 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&e2.key).is_none(), "LRU entry evicted");
+        assert!(!cache.entry_path(&e2.key).exists(), "and removed from disk");
+        assert!(cache.get(&e1.key).is_some());
+        assert!(cache.get(&e3.key).is_some());
+        // An evicted tuple can be recomputed and re-inserted.
+        assert_eq!(cache.insert(entry(2)).unwrap(), 1);
+        assert!(cache.get(&e2.key).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts_on_insert() {
+        let dir = scratch("unbounded");
+        let (cache, _) = ResultCache::open(&dir).unwrap();
+        for seed in 0..16 {
+            assert_eq!(cache.insert(entry(seed)).unwrap(), 0);
+        }
+        assert_eq!(cache.len(), 16);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bounded_reopen_trims_an_overfull_directory_to_the_cap() {
+        let dir = scratch("trim");
+        let (cache, _) = ResultCache::open(&dir).unwrap();
+        for seed in 0..5 {
+            cache.insert(entry(seed)).unwrap();
+        }
+        drop(cache);
+        let (cache, stats) = ResultCache::open_bounded(&dir, 3).unwrap();
+        assert_eq!(stats.loaded, 3);
+        assert_eq!(stats.trimmed, 2);
+        assert_eq!(stats.evicted, 0);
+        assert_eq!(cache.len(), 3);
+        // Disk agrees with the index: exactly the cap remains.
+        let on_disk = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|d| entry_key_of(&d.unwrap().path()))
+            .count();
+        assert_eq!(on_disk, 3);
         let _ = fs::remove_dir_all(&dir);
     }
 

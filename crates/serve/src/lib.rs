@@ -24,19 +24,33 @@
 //!    load-shedding), daemon telemetry behind a `stats` request, and
 //!    graceful shutdown on SIGTERM or a `shutdown` request.
 //!
-//! [`client`] is the matching one-request helper the `experiments query`
-//! subcommand and the tests use.
+//! [`client`] is the matching side: [`client::ServeClient`] owns one
+//! persistent connection (the line protocol already permits N requests
+//! per connection, answered in order, so the client pipelines), and
+//! [`client::ClientPool`] recycles handles across `experiments query`
+//! invocations and capacity-ramp workers.
+//!
+//! [`ramp`] is the closed-loop capacity harness built on that client:
+//! drive the daemon with rising open-loop load, stop when an SLO breaks,
+//! bisect to the max sustainable RPS, and emit a code-rev-stamped
+//! `CAPACITY.json`.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod client;
 pub mod protocol;
+pub mod ramp;
 pub mod server;
 
 pub use cache::{cache_key, CacheEntry, RehydrateStats, ResultCache};
-pub use client::{query, ClientError};
+#[allow(deprecated)]
+pub use client::query;
+pub use client::{ClientError, ClientPool, ServeClient};
 pub use protocol::{Request, Response};
+pub use ramp::{
+    find_capacity, run_ramp, CapacityReport, RampPlan, RequestMix, Slo, StepRecord,
+};
 pub use server::{
     install_signal_handlers, ServeConfig, ServeSummary, Server, SpecFactory,
 };

