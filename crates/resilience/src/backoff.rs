@@ -25,6 +25,13 @@ impl Backoff {
         }
     }
 
+    /// The per-shard retry schedule both dispatch tiers share: jitter
+    /// stream `seed ^ shard`, so shard K sleeps identically whether its
+    /// retries target a local child or a remote worker.
+    pub fn for_shard(base: Duration, seed: u64, shard: u32) -> Self {
+        Backoff::new(base, seed ^ u64::from(shard))
+    }
+
     /// Delay before retry number `attempt` (0 = first retry). Jitter is a
     /// pure function of `(seed, attempt)`: no global RNG, no wall clock.
     pub fn delay(&self, attempt: u32) -> Duration {

@@ -221,12 +221,15 @@ impl ShardPaths {
 
 /// Why one shard attempt failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum AttemptFailure {
+pub(crate) enum AttemptFailure {
     Spawn(String),
     Exited(String),
     TimedOut(Duration),
     Hung(Duration),
     Artifact(String),
+    /// A remote lease failed ([`crate::remote`]); the message carries the
+    /// worker address and the connection-level reason.
+    Remote(String),
 }
 
 impl fmt::Display for AttemptFailure {
@@ -243,21 +246,22 @@ impl fmt::Display for AttemptFailure {
                 d.as_millis()
             ),
             AttemptFailure::Artifact(e) => write!(f, "child artifacts unusable: {e}"),
+            AttemptFailure::Remote(e) => write!(f, "{e}"),
         }
     }
 }
 
 /// What a successful shard hands back after artifact parsing.
-struct ShardYield {
-    artifact: RunArtifact,
-    telemetry: TelemetrySnapshot,
+pub(crate) struct ShardYield {
+    pub(crate) artifact: RunArtifact,
+    pub(crate) telemetry: TelemetrySnapshot,
 }
 
 /// Final per-shard supervision outcome.
-struct ShardOutcome {
-    spec: ShardSpec,
-    attempts: u32,
-    result: Result<ShardYield, AttemptFailure>,
+pub(crate) struct ShardOutcome {
+    pub(crate) spec: ShardSpec,
+    pub(crate) attempts: u32,
+    pub(crate) result: Result<ShardYield, AttemptFailure>,
 }
 
 /// A shard that never produced a usable result (after all retries).
@@ -526,12 +530,13 @@ where
 }
 
 /// Supervise one shard: spawn, watch, retry. Returns the last attempt's
-/// parsed artifacts or the last failure.
-fn supervise_shard<F>(config: &DispatchConfig, spec: ShardSpec, build: &F) -> ShardOutcome
+/// parsed artifacts or the last failure. Also the local-failover rung of
+/// [`crate::remote::dispatch_remote`]'s ladder.
+pub(crate) fn supervise_shard<F>(config: &DispatchConfig, spec: ShardSpec, build: &F) -> ShardOutcome
 where
     F: Fn(&ShardSpec, &ShardPaths) -> Command,
 {
-    let backoff = Backoff::new(config.backoff_base, config.seed ^ u64::from(spec.shard));
+    let backoff = Backoff::for_shard(config.backoff_base, config.seed, spec.shard);
     let mut last = AttemptFailure::Spawn("never attempted".to_owned());
     let mut attempts = 0;
     for attempt in 0..=config.shard_retries {
@@ -677,7 +682,10 @@ fn collect(paths: &ShardPaths) -> Result<ShardYield, AttemptFailure> {
 /// run total — so the merge must *not* re-record them; and each child's
 /// journal carries its own `run-start`/`run-end` pair plus 0-based spec
 /// indices, which the merge strips and re-bases before the canonical sort.
-fn merge_outcomes(
+/// Shared verbatim with [`crate::remote::dispatch_remote`] — a worker's
+/// final frame and a child's artifact files parse into the same
+/// [`ShardYield`], so remote and local shards merge identically.
+pub(crate) fn merge_outcomes(
     runner: &RunnerConfig,
     planned: usize,
     outcomes: Vec<ShardOutcome>,

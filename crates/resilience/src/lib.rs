@@ -27,6 +27,12 @@
 //!    per-shard deadlines, crash retry, graceful partial-result
 //!    degradation, and merge-time circuit-breaker reconciliation — still
 //!    byte-identical to the in-process 1-shard run.
+//! 8. [`remote`] — the cross-machine tier: shard-slice *leases* over a
+//!    line-delimited TCP worker protocol with inline heartbeats,
+//!    connection-level liveness and deadline revocation, retry rotated
+//!    across surviving workers, local child-process failover, and
+//!    `--chaos-net` partition/stall/garble injection — same merge, same
+//!    byte-identity.
 
 pub mod backoff;
 
@@ -42,6 +48,7 @@ pub fn code_rev() -> String {
 pub mod breaker;
 pub mod dispatch;
 pub mod fault;
+pub mod remote;
 pub mod replay;
 pub mod report;
 pub mod runner;
@@ -57,6 +64,10 @@ pub use dispatch::{
 };
 pub use fault::{
     FaultHook, FaultKind, FaultPlan, FaultProfile, InstrumentedHook, NoFaults, PlanHook,
+};
+pub use remote::{
+    dispatch_remote, ChaosKind, ChaosNet, Lease, RemoteOptions, Worker, WorkerChaos,
+    WorkerConfig, WorkerFactory, WorkerFrame, WorkerSummary, CHAOS_NET_ENV,
 };
 pub use replay::{
     first_divergence, reconstruct, replay, Divergence, RecordedFault, RecordedFaults,

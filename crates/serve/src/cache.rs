@@ -17,7 +17,11 @@
 //! old entry rather than serving results a different code produced; stale
 //! entries age out by never being read again — or, under a configured
 //! size bound ([`ResultCache::open_bounded`]), get evicted
-//! least-recently-used first when an insert would exceed the cap.
+//! least-recently-used first when an insert would exceed the cap. An
+//! *age* bound ([`ResultCache::open_with`]) additionally evicts entries
+//! whose file mtime is older than the bound, both at rehydrate and via
+//! [`ResultCache::sweep_stale`] — the LRU bound is size-only, so without
+//! it artifacts from dead code revisions pin a roomy cache forever.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -25,6 +29,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, SystemTime};
 
 /// 128-bit FNV-1a over `bytes` — the same hash family the runner's
 /// deterministic jitter uses, widened so tuple collisions are out of the
@@ -129,6 +134,9 @@ pub struct RehydrateStats {
     /// Intact entries dropped (from index and disk) because they exceeded
     /// a configured size bound on rehydration.
     pub trimmed: usize,
+    /// Entries deleted because their file mtime exceeded a configured
+    /// age bound.
+    pub stale: usize,
 }
 
 /// One indexed entry plus its recency stamp for LRU eviction.
@@ -161,6 +169,9 @@ pub struct ResultCache {
     dir: PathBuf,
     /// `0` = unbounded; otherwise inserts evict LRU entries above this.
     max_entries: usize,
+    /// Zero = no age bound; otherwise entries older than this (by file
+    /// mtime) are evicted at rehydrate and by [`ResultCache::sweep_stale`].
+    max_age: Duration,
     index: Mutex<Index>,
 }
 
@@ -171,7 +182,7 @@ impl ResultCache {
     /// under a name that is not its own key — are deleted, so the next
     /// request for that tuple recomputes instead of serving damage.
     pub fn open(dir: &Path) -> io::Result<(ResultCache, RehydrateStats)> {
-        ResultCache::open_bounded(dir, 0)
+        ResultCache::open_with(dir, 0, Duration::ZERO)
     }
 
     /// [`ResultCache::open`] with a size bound: at most `max_entries`
@@ -183,7 +194,22 @@ impl ResultCache {
         dir: &Path,
         max_entries: usize,
     ) -> io::Result<(ResultCache, RehydrateStats)> {
+        ResultCache::open_with(dir, max_entries, Duration::ZERO)
+    }
+
+    /// [`ResultCache::open_bounded`] with an additional age bound:
+    /// entries whose file mtime is older than `max_age` are deleted
+    /// during the rehydration scan (counted in [`RehydrateStats::stale`])
+    /// and by later [`ResultCache::sweep_stale`] calls (`ZERO` = no age
+    /// bound). Age is judged before the size trim so a directory full of
+    /// expired entries does not crowd out live ones.
+    pub fn open_with(
+        dir: &Path,
+        max_entries: usize,
+        max_age: Duration,
+    ) -> io::Result<(ResultCache, RehydrateStats)> {
         fs::create_dir_all(dir)?;
+        let now = SystemTime::now();
         let mut stats = RehydrateStats::default();
         let mut loaded: Vec<CacheEntry> = Vec::new();
         for dirent in fs::read_dir(dir)? {
@@ -191,6 +217,11 @@ impl ResultCache {
             let Some(stem) = entry_key_of(&path) else {
                 continue; // index.json, temp files, strays
             };
+            if is_stale(&path, max_age, now) {
+                let _ = fs::remove_file(&path);
+                stats.stale += 1;
+                continue;
+            }
             match fs::read_to_string(&path)
                 .ok()
                 .and_then(|text| serde_json::from_str::<CacheEntry>(&text).ok())
@@ -209,6 +240,7 @@ impl ResultCache {
         let cache = ResultCache {
             dir: dir.to_owned(),
             max_entries,
+            max_age,
             index: Mutex::new(Index::default()),
         };
         let mut index = cache.index.lock().expect("cache index lock");
@@ -235,6 +267,35 @@ impl ResultCache {
     /// The configured size bound (`0` = unbounded).
     pub fn max_entries(&self) -> usize {
         self.max_entries
+    }
+
+    /// The configured age bound (`ZERO` = no age-out).
+    pub fn max_age(&self) -> Duration {
+        self.max_age
+    }
+
+    /// Evict every indexed entry whose file mtime is older than the age
+    /// bound; returns how many died. A no-op without an age bound. Stats
+    /// run outside the index lock; an entry re-inserted between the stat
+    /// and the eviction just recomputes on its next request — the same
+    /// harmless outcome any eviction has.
+    pub fn sweep_stale(&self) -> usize {
+        if self.max_age.is_zero() {
+            return 0;
+        }
+        let now = SystemTime::now();
+        let keys: Vec<String> = {
+            let index = self.index.lock().expect("cache index lock");
+            index.map.keys().cloned().collect()
+        };
+        let mut evicted = 0;
+        for key in keys {
+            if is_stale(&self.entry_path(&key), self.max_age, now) {
+                self.evict(&key);
+                evicted += 1;
+            }
+        }
+        evicted
     }
 
     /// Look up a content address in the in-memory index, freshening its
@@ -344,6 +405,19 @@ impl ResultCache {
     }
 }
 
+/// Whether `path`'s mtime is older than `max_age` relative to `now`.
+/// Unreadable metadata (entry deleted under us, exotic filesystem) reads
+/// as fresh: age-out must never evict on doubt.
+fn is_stale(path: &Path, max_age: Duration, now: SystemTime) -> bool {
+    if max_age.is_zero() {
+        return false;
+    }
+    match fs::metadata(path).and_then(|m| m.modified()) {
+        Ok(mtime) => now.duration_since(mtime).is_ok_and(|age| age > max_age),
+        Err(_) => false,
+    }
+}
+
 /// The cache key a directory entry claims to hold, if its name has the
 /// `<32-hex>.json` shape entry files use.
 fn entry_key_of(path: &Path) -> Option<String> {
@@ -420,7 +494,7 @@ mod tests {
         drop(cache);
 
         let (cache, stats) = ResultCache::open(&dir).unwrap();
-        assert_eq!(stats, RehydrateStats { loaded: 1, evicted: 0, trimmed: 0 });
+        assert_eq!(stats, RehydrateStats { loaded: 1, evicted: 0, trimmed: 0, stale: 0 });
         let back = cache.get(&e.key).unwrap();
         assert_eq!(back.artifact, e.artifact);
         assert_eq!(back.metrics, e.metrics);
@@ -451,7 +525,7 @@ mod tests {
         drop(cache);
 
         let (cache, stats) = ResultCache::open(&dir).unwrap();
-        assert_eq!(stats, RehydrateStats { loaded: 1, evicted: 2, trimmed: 0 });
+        assert_eq!(stats, RehydrateStats { loaded: 1, evicted: 2, trimmed: 0, stale: 0 });
         assert!(cache.get(&good.key).is_some());
         assert!(cache.get(&torn.key).is_none());
         assert!(cache.get(&lying.key).is_none());
@@ -478,7 +552,7 @@ mod tests {
         .unwrap();
         drop(cache);
         let (cache, stats) = ResultCache::open(&dir).unwrap();
-        assert_eq!(stats, RehydrateStats { loaded: 0, evicted: 1, trimmed: 0 });
+        assert_eq!(stats, RehydrateStats { loaded: 0, evicted: 1, trimmed: 0, stale: 0 });
         assert!(cache.get(&wrong).is_none());
         let _ = fs::remove_dir_all(&dir);
     }
@@ -535,6 +609,47 @@ mod tests {
             .filter_map(|d| entry_key_of(&d.unwrap().path()))
             .count();
         assert_eq!(on_disk, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aged_out_entries_die_at_rehydrate_and_under_the_sweep() {
+        let dir = scratch("age");
+        let (cache, _) = ResultCache::open(&dir).unwrap();
+        cache.insert(entry(1)).unwrap();
+        cache.insert(entry(2)).unwrap();
+        drop(cache);
+        std::thread::sleep(Duration::from_millis(120));
+
+        // Rehydrate with a bound both entries have outlived.
+        let bound = Duration::from_millis(50);
+        let (cache, stats) = ResultCache::open_with(&dir, 0, bound).unwrap();
+        assert_eq!(stats, RehydrateStats { loaded: 0, evicted: 0, trimmed: 0, stale: 2 });
+        assert!(cache.is_empty());
+        assert!(!cache.entry_path(&entry(1).key).exists());
+
+        // A fresh insert is young; after outliving the bound the sweep
+        // takes it (index and disk), and a re-insert round-trips again.
+        assert_eq!(cache.max_age(), bound);
+        cache.insert(entry(3)).unwrap();
+        assert_eq!(cache.sweep_stale(), 0, "fresh entries survive the sweep");
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(cache.sweep_stale(), 1);
+        assert!(cache.get(&entry(3).key).is_none());
+        assert!(!cache.entry_path(&entry(3).key).exists());
+        cache.insert(entry(3)).unwrap();
+        assert!(cache.get(&entry(3).key).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_without_an_age_bound_is_a_no_op() {
+        let dir = scratch("no-age");
+        let (cache, _) = ResultCache::open(&dir).unwrap();
+        cache.insert(entry(1)).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(cache.sweep_stale(), 0);
+        assert_eq!(cache.len(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -39,20 +39,35 @@ use std::time::{Duration, Instant};
 /// Why a request failed before a well-formed response arrived (connect,
 /// I/O, timeout, or parse trouble — a daemon-side `error` status is NOT a
 /// `ClientError`; it comes back as a normal [`Response`]).
+///
+/// [`ClientError::Timeout`] is its own variant because callers react
+/// differently to it: a stalled daemon is worth retrying elsewhere (the
+/// ramp steps down, a pool re-dials), while a framing or protocol error
+/// usually means a bug. Both poison the connection either way.
 #[derive(Debug)]
-pub struct ClientError {
-    message: String,
+pub enum ClientError {
+    /// The read budget elapsed with the response still outstanding.
+    Timeout(String),
+    /// Connect, I/O, framing, or protocol-misuse trouble.
+    Transport(String),
 }
 
 impl ClientError {
     fn new(message: String) -> ClientError {
-        ClientError { message }
+        ClientError::Transport(message)
+    }
+
+    /// Whether this is the read-budget-elapsed case.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, ClientError::Timeout(_))
     }
 }
 
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.message)
+        match self {
+            ClientError::Timeout(msg) | ClientError::Transport(msg) => f.write_str(msg),
+        }
     }
 }
 
@@ -63,8 +78,11 @@ impl Error for ClientError {}
 pub struct ServeClient {
     addr: String,
     stream: TcpStream,
-    /// Socket timeout for connects, writes, and blocking reads.
+    /// Socket timeout for connects and writes.
     timeout: Duration,
+    /// How long a blocking [`ServeClient::recv`] waits before declaring
+    /// the daemon stalled. Defaults to the connect timeout.
+    read_timeout: Duration,
     /// Bytes read off the socket but not yet consumed as a line.
     rbuf: Vec<u8>,
     /// Requests sent whose responses have not been received yet.
@@ -107,10 +125,36 @@ impl ServeClient {
             addr: addr.to_owned(),
             stream,
             timeout,
+            read_timeout: timeout,
             rbuf: Vec::new(),
             in_flight: 0,
             broken: false,
         })
+    }
+
+    /// Builder form of [`ServeClient::set_read_timeout`].
+    pub fn with_read_timeout(mut self, read_timeout: Duration) -> ServeClient {
+        self.read_timeout = read_timeout;
+        self
+    }
+
+    /// Bound how long a blocking [`ServeClient::recv`] (and so
+    /// [`ServeClient::request`]) waits for a response before poisoning
+    /// the connection with [`ClientError::Timeout`]. Without a bound
+    /// tighter than the connect timeout, one stalled daemon pins a
+    /// one-shot caller for the full connect budget.
+    pub fn set_read_timeout(&mut self, read_timeout: Duration) {
+        self.read_timeout = read_timeout;
+    }
+
+    /// The blocking-read budget currently in force.
+    pub fn read_timeout(&self) -> Duration {
+        self.read_timeout
+    }
+
+    /// The connect/write budget this client was dialed with.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
     }
 
     /// The address this client dialed.
@@ -276,18 +320,19 @@ impl ServeClient {
         }
     }
 
-    /// Wait (up to the client timeout) for the next pipelined response;
-    /// timing out is an error and breaks the connection, because the
-    /// response may still arrive later and desynchronize the framing.
+    /// Wait (up to the read timeout) for the next pipelined response;
+    /// timing out is a [`ClientError::Timeout`] and breaks the
+    /// connection, because the response may still arrive later and
+    /// desynchronize the framing.
     pub fn recv(&mut self) -> Result<Response, ClientError> {
-        match self.recv_timeout(self.timeout)? {
+        match self.recv_timeout(self.read_timeout)? {
             Some(resp) => Ok(resp),
             None => {
-                let msg = format!(
+                self.broken = true;
+                Err(ClientError::Timeout(format!(
                     "timed out after {:?} waiting for {} response(s) from {}",
-                    self.timeout, self.in_flight, self.addr
-                );
-                self.poison(msg)
+                    self.read_timeout, self.in_flight, self.addr
+                )))
             }
         }
     }
@@ -360,6 +405,7 @@ impl Drop for ServeClient {
 pub struct ClientPool {
     addr: String,
     timeout: Duration,
+    read_timeout: Duration,
     max_idle: usize,
     idle: Mutex<Vec<ServeClient>>,
 }
@@ -370,9 +416,20 @@ impl ClientPool {
         ClientPool {
             addr: addr.to_owned(),
             timeout,
+            read_timeout: timeout,
             max_idle,
             idle: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Builder: apply `read_timeout` to every connection this pool hands
+    /// out, so a stalled daemon surfaces as [`ClientError::Timeout`]
+    /// after this budget instead of the (usually longer) connect budget.
+    /// Timed-out clients are poisoned and discarded at check-in like any
+    /// other dead connection.
+    pub fn read_timeout(mut self, read_timeout: Duration) -> ClientPool {
+        self.read_timeout = read_timeout;
+        self
     }
 
     /// The daemon address this pool dials.
@@ -390,7 +447,7 @@ impl ClientPool {
         if let Some(client) = self.idle.lock().expect("client pool lock").pop() {
             return Ok(client);
         }
-        ServeClient::connect(&self.addr, self.timeout)
+        Ok(ServeClient::connect(&self.addr, self.timeout)?.with_read_timeout(self.read_timeout))
     }
 
     /// Return a connection for reuse (dropped if broken, mid-pipeline,
@@ -550,6 +607,62 @@ mod tests {
         pool.checkin(again);
         assert_eq!(pool.idle_count(), 0);
         let _ = server.join();
+    }
+
+    #[test]
+    fn a_stalled_daemon_times_out_with_a_typed_error_and_is_not_pooled() {
+        // The toy server sleeps 10x the read budget before answering.
+        let (addr, server) = toy_line_server(Duration::from_millis(500));
+        let pool = ClientPool::new(&addr, TIMEOUT, 4).read_timeout(Duration::from_millis(50));
+        let mut client = pool.checkout().unwrap();
+        assert_eq!(client.read_timeout(), Duration::from_millis(50));
+
+        let t0 = Instant::now();
+        let err = client.run("exp", 1, "none", 1.0).unwrap_err();
+        assert!(t0.elapsed() < TIMEOUT / 2, "timed out on the read budget, not the connect budget");
+        assert!(err.is_timeout(), "{err}");
+        assert!(err.to_string().contains("timed out"), "{err}");
+        // The response may still arrive later and desynchronize framing,
+        // so the client is poisoned and the pool refuses to keep it.
+        assert!(client.is_broken());
+        pool.checkin(client);
+        assert_eq!(pool.idle_count(), 0, "timed-out clients are not pooled");
+        drop(server); // toy server thread parks in its sleep; process exit reaps it
+    }
+
+    #[test]
+    fn checkout_dials_fresh_after_a_dead_connection_is_discarded() {
+        // A toy server that exits stands in for a crashed daemon: the
+        // pooled connection dies, the pool declines it at check-in, and
+        // the next checkout re-dials rather than serving a stale handle.
+        let (addr1, server1) = toy_line_server(Duration::ZERO);
+        let pool = ClientPool::new(&addr1, TIMEOUT, 4);
+        let mut client = pool.checkout().unwrap();
+        client.send(&Request::shutdown()).unwrap();
+        assert_eq!(client.recv().unwrap().status, crate::protocol::STATUS_OK);
+        let _ = server1.join();
+        client
+            .send(&Request::run("exp", 1, "none", 1.0))
+            .and_then(|()| client.recv().map(drop))
+            .unwrap_err();
+        pool.checkin(client);
+        assert_eq!(pool.idle_count(), 0);
+
+        // Nothing is listening on the dead address: a fresh dial fails
+        // with a transport (not timeout) error instead of a stale handle.
+        let err = pool.checkout().unwrap_err();
+        assert!(!err.is_timeout(), "{err}");
+        assert!(err.to_string().contains("cannot connect"), "{err}");
+    }
+
+    #[test]
+    fn non_timeout_errors_report_as_transport() {
+        let err = ClientError::new("cannot resolve 'nowhere'".to_owned());
+        assert!(!err.is_timeout());
+        assert_eq!(err.to_string(), "cannot resolve 'nowhere'");
+        let timeout = ClientError::Timeout("timed out after 1s".to_owned());
+        assert!(timeout.is_timeout());
+        assert_eq!(timeout.to_string(), "timed out after 1s");
     }
 
     #[test]

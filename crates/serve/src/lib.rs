@@ -47,9 +47,10 @@ pub use cache::{cache_key, CacheEntry, RehydrateStats, ResultCache};
 #[allow(deprecated)]
 pub use client::query;
 pub use client::{ClientError, ClientPool, ServeClient};
-pub use protocol::{Request, Response};
+pub use protocol::{LineBuffer, Request, Response};
 pub use ramp::{
-    find_capacity, run_ramp, CapacityReport, RampPlan, RequestMix, Slo, StepRecord,
+    append_history, find_capacity, read_history, render_trend, run_ramp, CapacityReport,
+    CapacityTrendEntry, RampPlan, RequestMix, Slo, StepRecord,
 };
 pub use server::{
     install_signal_handlers, ServeConfig, ServeSummary, Server, SpecFactory,

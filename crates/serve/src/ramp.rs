@@ -37,12 +37,18 @@ use crate::protocol::{Request, Response, STATUS_HIT, STATUS_MISS, STATUS_OVERLOA
 use humnet_telemetry::{Histogram, TelemetrySnapshot, TextTable};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::fs;
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Schema tag stamped into every [`CapacityReport`].
 pub const CAPACITY_SCHEMA: &str = "humnet-capacity/1";
+
+/// Schema tag stamped into every [`CapacityTrendEntry`].
+pub const CAPACITY_TREND_SCHEMA: &str = "humnet-capacity-trend/1";
 
 /// Requests a worker may leave unanswered on its connection before it
 /// starts counting scheduled sends as `skipped` instead of deepening the
@@ -704,6 +710,100 @@ impl CapacityReport {
     }
 }
 
+/// One line of the capacity-trend history (`CAPACITY_HISTORY.jsonl`):
+/// the headline number of one ramp, keyed by the code revision that
+/// produced it. The full per-step detail stays in that revision's
+/// `CAPACITY.json`; the history answers "how has the knee moved across
+/// revisions" without re-running anything. Deliberately has no wall-clock
+/// timestamp: the code revision *is* the axis, and identical inputs must
+/// append identical lines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityTrendEntry {
+    /// Always [`CAPACITY_TREND_SCHEMA`].
+    pub schema: String,
+    /// Code revision the ramp drove.
+    pub code_rev: String,
+    /// The bisection-refined maximum sustainable rate.
+    pub max_sustainable_rps: f64,
+    /// Whether the knee was inside the tested range.
+    pub saturated: bool,
+    /// Load-generator worker threads.
+    pub workers: u64,
+    /// Human description of the request mix.
+    pub mix: String,
+}
+
+impl CapacityTrendEntry {
+    /// The trend line a finished ramp contributes.
+    pub fn of(report: &CapacityReport) -> CapacityTrendEntry {
+        CapacityTrendEntry {
+            schema: CAPACITY_TREND_SCHEMA.to_owned(),
+            code_rev: report.code_rev.clone(),
+            max_sustainable_rps: report.max_sustainable_rps,
+            saturated: report.saturated,
+            workers: report.workers,
+            mix: report.mix.clone(),
+        }
+    }
+}
+
+/// Parse a trend history file: one [`CapacityTrendEntry`] JSON object per
+/// line, in append order. Blank and malformed lines are skipped — a torn
+/// final line from a crashed appender must not wedge every later ramp.
+pub fn read_history(path: &Path) -> io::Result<Vec<CapacityTrendEntry>> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(text
+        .lines()
+        .filter_map(|line| serde_json::from_str::<CapacityTrendEntry>(line.trim()).ok())
+        .collect())
+}
+
+/// Append `report`'s headline to the trend history at `path`, creating
+/// the file if needed. Returns `false` (appending nothing) when the
+/// history already has an entry for the same code revision — re-running
+/// a ramp on unchanged code refines nothing and would bloat the axis.
+pub fn append_history(path: &Path, report: &CapacityReport) -> io::Result<bool> {
+    let existing = read_history(path)?;
+    if existing.iter().any(|e| e.code_rev == report.code_rev) {
+        return Ok(false);
+    }
+    let line = serde_json::to_string(&CapacityTrendEntry::of(report))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut text = fs::read_to_string(path).unwrap_or_default();
+    if !text.is_empty() && !text.ends_with('\n') {
+        text.push('\n');
+    }
+    text.push_str(&line);
+    text.push('\n');
+    fs::write(path, text)?;
+    Ok(true)
+}
+
+/// Render the trend history as a per-revision table (append order, which
+/// is revision order — the history has no other axis).
+pub fn render_trend(entries: &[CapacityTrendEntry]) -> String {
+    let mut t = TextTable::new(&["code_rev", "max_rps", "knee", "workers", "mix"])
+        .with_heading("Capacity trend");
+    for e in entries {
+        t.row(vec![
+            e.code_rev.clone(),
+            format!("{:.1}", e.max_sustainable_rps),
+            if e.saturated { "saturated" } else { "untested>" }.to_owned(),
+            e.workers.to_string(),
+            e.mix.clone(),
+        ]);
+    }
+    if entries.is_empty() {
+        format!("{}\n(no ramps recorded)\n", t.render())
+    } else {
+        format!("{}\n{} revision(s)\n", t.render(), entries.len())
+    }
+}
+
 /// Run the whole closed-loop capacity search against a live daemon:
 /// warm the cycling mix (so steady-state hit-rate is what the mix says),
 /// ramp, bisect, and assemble the code-rev-stamped report.
@@ -877,6 +977,71 @@ mod tests {
         }
         assert_eq!(seeds.len(), 100, "fresh seeds must never repeat");
         assert!(fresh.warmup_requests().is_empty());
+    }
+
+    fn toy_report() -> CapacityReport {
+        CapacityReport {
+            schema: CAPACITY_SCHEMA.to_owned(),
+            code_rev: "0.1.0+aaaa".to_owned(),
+            addr: "127.0.0.1:7070".to_owned(),
+            workers: 4,
+            step_duration_ms: 2_000,
+            mix: "experiments=[f1] profile=none intensity=1 seeds=8".to_owned(),
+            slo: Slo::default(),
+            initial_rps: 100.0,
+            increment_rps: 100.0,
+            max_rps: 1_000.0,
+            saturated: true,
+            max_sustainable_rps: 312.5,
+            steps: vec![StepRecord::synthetic("ramp", 100.0, true)],
+        }
+    }
+
+    #[test]
+    fn trend_history_appends_once_per_code_rev_and_renders() {
+        let dir = std::env::temp_dir().join(format!(
+            "humnet-serve-trend-test-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("CAPACITY_HISTORY.jsonl");
+
+        assert_eq!(read_history(&path).unwrap(), vec![], "missing file reads empty");
+        let mut report = toy_report();
+        assert!(append_history(&path, &report).unwrap());
+        assert!(
+            !append_history(&path, &report).unwrap(),
+            "a second ramp of the same code revision appends nothing"
+        );
+        report.code_rev = "0.1.0+bbbb".to_owned();
+        report.max_sustainable_rps = 450.0;
+        report.saturated = false;
+        assert!(append_history(&path, &report).unwrap());
+
+        let entries = read_history(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].code_rev, "0.1.0+aaaa");
+        assert_eq!(entries[1].max_sustainable_rps, 450.0);
+        assert!(entries.iter().all(|e| e.schema == CAPACITY_TREND_SCHEMA));
+
+        let rendered = render_trend(&entries);
+        assert!(rendered.contains("0.1.0+aaaa"), "{rendered}");
+        assert!(rendered.contains("312.5"), "{rendered}");
+        assert!(rendered.contains("untested>"), "{rendered}");
+        assert!(rendered.contains("2 revision(s)"), "{rendered}");
+        assert!(render_trend(&[]).contains("no ramps recorded"));
+
+        // A torn final line (crashed appender) is skipped on read and
+        // healed by the next append.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"schema\": \"humnet-capa");
+        fs::write(&path, &text).unwrap();
+        assert_eq!(read_history(&path).unwrap().len(), 2);
+        report.code_rev = "0.1.0+cccc".to_owned();
+        assert!(append_history(&path, &report).unwrap());
+        assert_eq!(read_history(&path).unwrap().len(), 3);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

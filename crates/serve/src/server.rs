@@ -64,6 +64,12 @@ pub struct ServeConfig {
     /// evicting least-recently-used on insert (`0` = unbounded).
     /// Evictions are counted in `serve.evicted`.
     pub cache_max_entries: usize,
+    /// Result-cache age bound: entries whose file mtime is older than
+    /// this are evicted at rehydrate and by a periodic sweep (`0` =
+    /// disabled). The LRU bound is size-only, so without an age-out
+    /// artifacts from dead code revisions pin the cache forever. Sweep
+    /// evictions are counted in `serve.evicted_stale`.
+    pub cache_max_age: Duration,
     /// Worker threads executing misses (clamped to at least 1).
     pub concurrency: usize,
     /// Connection-handler threads (`0` = auto: `concurrency +
@@ -89,6 +95,7 @@ impl Default for ServeConfig {
             cache_dir: std::env::temp_dir().join("humnet-serve-cache"),
             queue_depth: 32,
             cache_max_entries: 0,
+            cache_max_age: Duration::ZERO,
             concurrency: 2,
             handlers: 0,
             runner: RunnerConfig::default(),
@@ -150,12 +157,18 @@ impl Server {
     /// Bind the listener, open (and rehydrate) the cache. Nothing is
     /// served until [`Server::run`].
     pub fn bind(config: ServeConfig, factory: SpecFactory) -> io::Result<Server> {
-        let (cache, rehydrated) =
-            ResultCache::open_bounded(&config.cache_dir, config.cache_max_entries)?;
+        let (cache, rehydrated) = ResultCache::open_with(
+            &config.cache_dir,
+            config.cache_max_entries,
+            config.cache_max_age,
+        )?;
         let listener = TcpListener::bind(config.addr.as_str())?;
         let addr = listener.local_addr()?;
         let tel = SharedTelemetry::new();
         tel.gauge("serve.cache_entries", cache.len() as f64);
+        if rehydrated.stale > 0 {
+            tel.counter("serve.evicted_stale", rehydrated.stale as u64);
+        }
         Ok(Server {
             ctx: Arc::new(Ctx {
                 config,
@@ -235,21 +248,41 @@ impl Server {
         // microseconds, not a poll tick. A watchdog thread owns the only
         // polling: it watches the stop flag and SIGTERM, and wakes the
         // blocked accept with a throwaway local connection when either
-        // fires — shutdown pays the poll latency; requests never do.
+        // fires — shutdown pays the poll latency; requests never do. The
+        // same thread hosts the cache age-out sweep so stale entries die
+        // even on an idle daemon (insert-time eviction alone only runs
+        // when misses arrive).
         let watchdog = {
             let ctx = Arc::clone(&ctx);
             let addr = self.addr;
+            // Half the age bound keeps the worst-case overstay of a stale
+            // entry at ~1.5x the configured age without sweeping the
+            // directory on every tick.
+            let sweep_every = sweep_interval(ctx.config.cache_max_age);
             thread::Builder::new()
                 .name("humnet-serve-watchdog".to_owned())
-                .spawn(move || loop {
-                    if sigterm_received() {
-                        ctx.stop.store(true, Ordering::SeqCst);
+                .spawn(move || {
+                    let mut last_sweep = Instant::now();
+                    loop {
+                        if sigterm_received() {
+                            ctx.stop.store(true, Ordering::SeqCst);
+                        }
+                        if ctx.stop.load(Ordering::SeqCst) {
+                            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+                            return;
+                        }
+                        if let Some(every) = sweep_every {
+                            if last_sweep.elapsed() >= every {
+                                last_sweep = Instant::now();
+                                let evicted = ctx.cache.sweep_stale();
+                                if evicted > 0 {
+                                    ctx.tel.counter("serve.evicted_stale", evicted as u64);
+                                    ctx.tel.gauge("serve.cache_entries", ctx.cache.len() as f64);
+                                }
+                            }
+                        }
+                        thread::sleep(Duration::from_millis(25));
                     }
-                    if ctx.stop.load(Ordering::SeqCst) {
-                        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
-                        return;
-                    }
-                    thread::sleep(Duration::from_millis(25));
                 })
                 .expect("spawn serve watchdog")
         };
@@ -302,6 +335,15 @@ impl Server {
             rehydrated: self.rehydrated,
         })
     }
+}
+
+/// How often the watchdog sweeps for stale cache entries: half the age
+/// bound, clamped to [250ms, 30s]; `None` when age-out is disabled.
+fn sweep_interval(max_age: Duration) -> Option<Duration> {
+    if max_age.is_zero() {
+        return None;
+    }
+    Some((max_age / 2).clamp(Duration::from_millis(250), Duration::from_secs(30)))
 }
 
 // ------------------------------------------------------------- signals --
@@ -361,25 +403,19 @@ fn serve_connection(
     stream.set_nonblocking(false)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut buf: Vec<u8> = Vec::new();
+    let mut framer = crate::protocol::LineBuffer::new();
     let mut chunk = [0u8; 4096];
     let mut last_activity = Instant::now();
     loop {
-        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = buf.drain(..=pos).collect();
-            let line = String::from_utf8_lossy(&line);
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
+        while let Some(line) = framer.next_line() {
             last_activity = Instant::now();
-            let (resp, close) = handle_line(ctx, work_tx, line);
+            let (resp, close) = handle_line(ctx, work_tx, &line);
             write_response(&mut stream, &resp)?;
             if close {
                 return Ok(());
             }
         }
-        if ctx.stop.load(Ordering::SeqCst) && buf.is_empty() {
+        if ctx.stop.load(Ordering::SeqCst) && framer.is_empty() {
             return Ok(()); // draining: drop idle connections
         }
         if last_activity.elapsed() >= ctx.config.idle {
@@ -388,7 +424,7 @@ fn serve_connection(
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(()), // peer closed
             Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
+                framer.push(&chunk[..n]);
                 last_activity = Instant::now();
             }
             Err(e)

@@ -12,6 +12,8 @@
 //! cargo run --release --bin experiments -- run --metrics-out m.json --journal-out j.jsonl
 //! cargo run --release --bin experiments -- dispatch --procs 4  # child processes
 //! cargo run --release --bin experiments -- dispatch --procs 4 --chaos-proc kill:2
+//! cargo run --release --bin experiments -- worker --addr 127.0.0.1:0  # remote shard worker
+//! cargo run --release --bin experiments -- dispatch --procs 4 --workers host:7171,host:7172
 //! cargo run --release --bin experiments -- list               # experiment catalog
 //! cargo run --release --bin experiments -- merge-metrics a.json b.json
 //! cargo run --release --bin experiments -- replay j.jsonl     # re-execute a capture
@@ -50,13 +52,14 @@
 
 use humnet::core::experiments::ExperimentId;
 use humnet::resilience::{
-    dispatch, replay, ChaosProc, DispatchConfig, DispatchOutcome, ExperimentSpec, FaultProfile,
-    JobError, JobOutput, RunArtifact, RunnerConfig, Schedule, ShardPlan, ShardSpec, Supervisor,
-    CHAOS_ENV, CHAOS_KILL_CODE,
+    dispatch, dispatch_remote, replay, ChaosNet, ChaosProc, DispatchConfig, DispatchOutcome,
+    ExperimentSpec, FaultProfile, JobError, JobOutput, RemoteOptions, RunArtifact, RunnerConfig,
+    Schedule, ShardPlan, ShardSpec, Supervisor, Worker, WorkerChaos, WorkerConfig, CHAOS_ENV,
+    CHAOS_KILL_CODE, CHAOS_NET_ENV,
 };
 use humnet::serve::{
-    install_signal_handlers, run_ramp, ClientPool, RampPlan, Request, RequestMix, ServeClient,
-    ServeConfig, Server,
+    append_history, install_signal_handlers, read_history, render_trend, run_ramp, ClientPool,
+    RampPlan, Request, RequestMix, ServeClient, ServeConfig, Server,
 };
 use humnet::telemetry::{journal, TelemetrySnapshot, TextTable};
 use std::sync::Arc;
@@ -68,6 +71,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(args.split_off(1)),
         Some("dispatch") => cmd_dispatch(args.split_off(1)),
+        Some("worker") => cmd_worker(args.split_off(1)),
         Some("list") => cmd_list(args.split_off(1)),
         Some("merge-metrics") => cmd_merge_metrics(args.split_off(1)),
         Some("replay") => cmd_replay(args.split_off(1)),
@@ -421,6 +425,7 @@ struct DispatchCli {
     procs: u32,
     ids: Vec<ExperimentId>,
     dispatch: DispatchConfig,
+    remote: RemoteOptions,
     heartbeat_every: Duration,
     keep_scratch: bool,
     report_only: bool,
@@ -491,8 +496,12 @@ fn cmd_dispatch(args: Vec<String>) -> CmdResult {
         cmd
     };
 
-    let outcome = dispatch(&cli.dispatch, &config, shards, build)
-        .map_err(|e| Failure::Fatal(format!("dispatch failed: {e}")))?;
+    let outcome = if cli.remote.workers.is_empty() {
+        dispatch(&cli.dispatch, &config, shards, build)
+    } else {
+        dispatch_remote(&cli.dispatch, &cli.remote, &config, shards, build)
+    }
+    .map_err(|e| Failure::Fatal(format!("dispatch failed: {e}")))?;
 
     print_dispatch(&cli, &outcome)?;
 
@@ -568,6 +577,7 @@ fn parse_dispatch_args(args: impl Iterator<Item = String>) -> Result<Option<Disp
         procs: 0,
         ids: Vec::new(),
         dispatch: DispatchConfig::default(),
+        remote: RemoteOptions::default(),
         heartbeat_every: Duration::from_millis(100),
         keep_scratch: false,
         report_only: false,
@@ -635,6 +645,39 @@ fn parse_dispatch_args(args: impl Iterator<Item = String>) -> Result<Option<Disp
                 })?;
                 cli.dispatch.chaos.push(chaos);
             }
+            "--workers" => {
+                // Comma-separated and repeatable; order matters (chaos-net
+                // and retry rotation address workers by index).
+                for addr in value("--workers")?.split(',') {
+                    let addr = addr.trim();
+                    if addr.is_empty() {
+                        return Err(Failure::Usage(
+                            "--workers needs host:port[,host:port...]".to_owned(),
+                        ));
+                    }
+                    cli.remote.workers.push(addr.to_owned());
+                }
+            }
+            "--chaos-net" => {
+                let v = value("--chaos-net")?;
+                let chaos = ChaosNet::parse(&v).ok_or_else(|| {
+                    Failure::Usage(format!(
+                        "bad --chaos-net '{v}' (kill:<worker>[:lease] | stall:<worker>[:lease] \
+                         | garble:<worker>[:lease])"
+                    ))
+                })?;
+                cli.remote.chaos.push(chaos);
+            }
+            "--no-failover" => cli.remote.local_failover = false,
+            "--connect-timeout-ms" => {
+                let ms: u64 = parse_num(&value("--connect-timeout-ms")?, "--connect-timeout-ms")?;
+                if ms == 0 {
+                    return Err(Failure::Usage(
+                        "--connect-timeout-ms must be positive".to_owned(),
+                    ));
+                }
+                cli.remote.connect_timeout = Duration::from_millis(ms);
+            }
             "--scratch" => {
                 cli.dispatch.scratch = std::path::PathBuf::from(value("--scratch")?);
             }
@@ -661,6 +704,19 @@ fn parse_dispatch_args(args: impl Iterator<Item = String>) -> Result<Option<Disp
             "dispatch needs --procs <K> (number of child processes)".to_owned(),
         ));
     }
+    if cli.remote.workers.is_empty() {
+        if !cli.remote.chaos.is_empty() {
+            return Err(Failure::Usage(
+                "--chaos-net needs --workers (it injects faults on the worker wire)".to_owned(),
+            ));
+        }
+        if !cli.remote.local_failover {
+            return Err(Failure::Usage(
+                "--no-failover needs --workers (local dispatch has nothing to fail over from)"
+                    .to_owned(),
+            ));
+        }
+    }
     flags.apply(&mut cli.config);
     canonicalize_ids(&mut cli.ids);
     // The retry backoff jitter stream derives from the run seed, like
@@ -668,6 +724,88 @@ fn parse_dispatch_args(args: impl Iterator<Item = String>) -> Result<Option<Disp
     cli.dispatch.seed = cli.config.seed;
     cli.dispatch.keep_scratch = cli.keep_scratch;
     Ok(Some(cli))
+}
+
+// -------------------------------------------------------------- worker --
+
+/// Long-lived remote shard worker: accept shard-slice leases over the
+/// line-delimited JSON worker protocol, execute each on the warm
+/// in-process pool (exactly what a local dispatch child runs), stream
+/// inline heartbeats, and answer with the canonical per-shard artifact.
+/// A `dispatch --workers` parent on any machine can lease against it.
+fn cmd_worker(args: Vec<String>) -> CmdResult {
+    let mut cfg = WorkerConfig::default();
+    let mut ready_file = None;
+    let mut flags = RunFlags::default();
+    let mut args = args.into_iter().peekable();
+    while let Some(arg) = args.next() {
+        if flags.try_consume(&arg, &mut args)? {
+            continue;
+        }
+        let mut value = |flag: &str| -> Result<String, Failure> {
+            args.next()
+                .ok_or_else(|| Failure::Usage(format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(0);
+            }
+            "--addr" => cfg.addr = value("--addr")?,
+            "--heartbeat-ms" => {
+                let ms: u64 = parse_num(&value("--heartbeat-ms")?, "--heartbeat-ms")?;
+                if ms == 0 {
+                    return Err(Failure::Usage("--heartbeat-ms must be positive".to_owned()));
+                }
+                cfg.heartbeat = Duration::from_millis(ms);
+            }
+            "--ready-file" => ready_file = Some(value("--ready-file")?),
+            flag if flag.starts_with('-') => {
+                return Err(Failure::Usage(format!("unknown option '{flag}'")));
+            }
+            stray => {
+                return Err(Failure::Usage(format!(
+                    "worker takes no positional arguments (got '{stray}')"
+                )));
+            }
+        }
+    }
+
+    // The lease overlays its own (seed, profile, intensity, retries,
+    // deadline, breaker-cooldown) tuple; these flags only set the
+    // defaults a sparse lease falls back to.
+    flags.apply(&mut cfg.runner);
+
+    // Startup poison for partition tests that have no cooperating
+    // dispatcher: misbehave on the n-th accepted lease.
+    if let Ok(spec) = std::env::var(CHAOS_NET_ENV) {
+        cfg.chaos = Some(WorkerChaos::parse(&spec).ok_or_else(|| {
+            Failure::Fatal(format!(
+                "bad {CHAOS_NET_ENV} value '{spec}' (kill[:n] | stall[:n] | garble[:n])"
+            ))
+        })?);
+        eprintln!("worker: chaos poison armed from {CHAOS_NET_ENV}: {spec}");
+    }
+
+    let worker =
+        Worker::bind(cfg).map_err(|e| Failure::Fatal(format!("worker: cannot bind: {e}")))?;
+    let addr = worker
+        .local_addr()
+        .map_err(|e| Failure::Fatal(format!("worker: cannot read bound address: {e}")))?;
+    if let Some(path) = &ready_file {
+        write_file(path, &addr.to_string(), "ready file")?;
+    }
+    eprintln!("worker: listening on {addr}");
+
+    let factory = Arc::new(|code: &str| ExperimentId::parse(code).map(spec_for));
+    let summary = worker
+        .run(factory)
+        .map_err(|e| Failure::Fatal(format!("worker: {e}")))?;
+    eprintln!(
+        "worker: drained — {} leases ({} completed, {} faulted)",
+        summary.leases, summary.completed, summary.faulted
+    );
+    Ok(0)
 }
 
 // --------------------------------------------------------------- list --
@@ -816,6 +954,12 @@ fn cmd_serve(args: Vec<String>) -> CmdResult {
                 cfg.cache_max_entries =
                     parse_num(&value("--cache-max-entries")?, "--cache-max-entries")?;
             }
+            "--cache-max-age-secs" => {
+                // 0 (the default) keeps entries forever — age-out only
+                // makes sense once code-rev granularity is too coarse.
+                let secs: u64 = parse_num(&value("--cache-max-age-secs")?, "--cache-max-age-secs")?;
+                cfg.cache_max_age = Duration::from_secs(secs);
+            }
             "--queue-depth" => {
                 cfg.queue_depth = parse_num(&value("--queue-depth")?, "--queue-depth")?;
             }
@@ -863,8 +1007,8 @@ fn cmd_serve(args: Vec<String>) -> CmdResult {
         write_file(path, &addr.to_string(), "ready file")?;
     }
     eprintln!(
-        "serve: listening on {addr} ({} cache entries rehydrated, {} evicted, {} trimmed)",
-        rehydrated.loaded, rehydrated.evicted, rehydrated.trimmed
+        "serve: listening on {addr} ({} cache entries rehydrated, {} evicted, {} stale, {} trimmed)",
+        rehydrated.loaded, rehydrated.evicted, rehydrated.stale, rehydrated.trimmed
     );
 
     let summary = server
@@ -1011,6 +1155,8 @@ fn cmd_ramp(args: Vec<String>) -> CmdResult {
     let mut mix_seeds: u64 = 8;
     let mut ids: Vec<ExperimentId> = Vec::new();
     let mut capacity_out: Option<String> = None;
+    let mut history_file = "CAPACITY_HISTORY.jsonl".to_owned();
+    let mut trend_only = false;
     let mut timeout = Duration::from_secs(10);
     let mut cfg = ServeConfig::default();
     cfg.addr = "127.0.0.1:0".to_owned();
@@ -1078,6 +1224,8 @@ fn cmd_ramp(args: Vec<String>) -> CmdResult {
                 mix_seeds = parse_num(&value("--mix-seeds")?, "--mix-seeds")?;
             }
             "--capacity-out" => capacity_out = Some(value("--capacity-out")?),
+            "--history-file" => history_file = value("--history-file")?,
+            "--trend" => trend_only = true,
             "--timeout-ms" => {
                 let ms: u64 = parse_num(&value("--timeout-ms")?, "--timeout-ms")?;
                 if ms == 0 {
@@ -1124,6 +1272,15 @@ fn cmd_ramp(args: Vec<String>) -> CmdResult {
                 }
             }
         }
+    }
+    if trend_only {
+        // Render the per-revision capacity ledger and stop — no daemon,
+        // no load, no appends.
+        let entries = read_history(std::path::Path::new(&history_file)).map_err(|e| {
+            Failure::Fatal(format!("ramp: cannot read capacity history {history_file}: {e}"))
+        })?;
+        println!("{}", render_trend(&entries));
+        return Ok(0);
     }
     if plan.max_rps < plan.initial_rps {
         return Err(Failure::Usage(
@@ -1213,6 +1370,20 @@ fn cmd_ramp(args: Vec<String>) -> CmdResult {
             .map_err(|e| Failure::Fatal(format!("failed to serialize capacity report: {e}")))?;
         write_file(path, &json, "capacity report")?;
         eprintln!("ramp: capacity report written to {path}");
+    }
+    // Best-effort per-revision ledger: one line per code-rev, duplicates
+    // skipped, so repeated ramps of the same build stay idempotent. A
+    // write failure is worth a warning, not a failed ramp.
+    match append_history(std::path::Path::new(&history_file), &report) {
+        Ok(true) => eprintln!(
+            "ramp: capacity trend appended to {history_file} (code-rev {})",
+            report.code_rev
+        ),
+        Ok(false) => eprintln!(
+            "ramp: capacity trend already records code-rev {} — {history_file} unchanged",
+            report.code_rev
+        ),
+        Err(e) => eprintln!("ramp: could not append capacity history to {history_file}: {e}"),
     }
     Ok(0)
 }
@@ -1321,7 +1492,14 @@ Commands:
   dispatch --procs <K> [OPTIONS] [ID...]
                                  partition the run across K supervised child
                                  processes (crash retry, heartbeats, graceful
-                                 partial-result degradation)
+                                 partial-result degradation); with --workers
+                                 the shards lease to remote worker daemons
+                                 over TCP instead of local children
+  worker [OPTIONS]               long-lived remote shard worker: accept shard
+                                 leases over line-delimited JSON on TCP,
+                                 execute them on the warm in-process pool,
+                                 heartbeat inline, answer with the canonical
+                                 per-shard artifact
   list                           print the experiment catalog (codes, families, titles)
   merge-metrics <PATH>... [--out <PATH>]
                                  merge telemetry snapshots (e.g. per-shard
@@ -1386,6 +1564,33 @@ Dispatch options (shared options above plus the run options, minus --shards,
                        deterministic process-fault injection (repeatable)
   --scratch <DIR>      artifact scratch directory (default under the temp dir)
   --keep-scratch       keep per-shard artifacts and child logs on success
+  --workers <HOST:PORT[,HOST:PORT...]>
+                       lease shards to these remote worker daemons (in order;
+                       repeatable) instead of spawning local children; the
+                       merged canonical output stays byte-identical to the
+                       in-process run, failed leases retry on the next
+                       surviving worker with the same deterministic backoff
+  --chaos-net <kill:<worker>[:lease] | stall:<worker>[:lease] | garble:<worker>[:lease]>
+                       deterministic wire-fault injection against worker
+                       <worker>'s <lease>-th lease: drop the connection,
+                       go silent, or emit a corrupt frame (repeatable;
+                       needs --workers)
+  --no-failover        give up after the remote retries instead of failing
+                       the shard over to a local child process
+  --connect-timeout-ms <N>
+                       TCP connect budget per lease attempt (default 5000)
+
+Worker options (plus the shared options above, which set the defaults a
+sparse lease falls back to — each lease overlays its own run tuple):
+  --addr <HOST:PORT>   listen address (default 127.0.0.1:0 — a free port;
+                       see --ready-file)
+  --heartbeat-ms <N>   inline heartbeat cadence while a lease executes
+                       (default 100)
+  --ready-file <PATH>  write the bound address here once listening
+  The HUMNET_CHAOS_NET env var (kill[:n] | stall[:n] | garble[:n]) arms a
+  startup poison that fires on the n-th accepted lease, for partition tests
+  without a cooperating dispatcher. The worker drains and exits when a
+  dispatcher sends a shutdown frame.
 
 Serve options (plus the shared options above, which set the daemon's
 per-request defaults):
@@ -1398,6 +1603,11 @@ per-request defaults):
                        evicts the least-recently-used entry (counted in
                        `serve.evicted`), and an overfull directory is
                        trimmed on startup; 0 = unbounded (default 0)
+  --cache-max-age-secs <N>
+                       age out cache entries older than N seconds: stale
+                       files die at rehydrate and a background sweep evicts
+                       live entries as they expire (counted in
+                       `serve.evicted_stale`); 0 = keep forever (default 0)
   --queue-depth <N>    pending-run queue; requests beyond it are answered
                        `overloaded` instead of waiting (default 32)
   --concurrency <N>    worker threads executing cache misses (default 2)
@@ -1441,6 +1651,13 @@ defaults):
                        every request a miss (default 8)
   --capacity-out <PATH>
                        write the code-rev-stamped capacity report JSON here
+  --history-file <PATH>
+                       per-revision capacity ledger a successful ramp appends
+                       one line to — duplicate code-revs are skipped, so
+                       re-ramping the same build is idempotent
+                       (default CAPACITY_HISTORY.jsonl)
+  --trend              render the ledger as a per-revision table and exit
+                       without ramping
   --timeout-ms <N>     per-connection socket timeout (default 10000)
   --cache-dir/--cache-max-entries/--queue-depth/--concurrency/--handlers/
   --hold-ms            tune the self-spawned daemon (ignored with --addr;

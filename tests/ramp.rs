@@ -89,6 +89,7 @@ fn self_spawned_ramp_finds_a_knee_and_writes_the_report() {
     let dir = scratch("self");
     let cache = dir.join("cache");
     let out_path = dir.join("CAPACITY.json");
+    let history = dir.join("history.jsonl");
     let out = run(&[
         &[
             "ramp",
@@ -102,6 +103,8 @@ fn self_spawned_ramp_finds_a_knee_and_writes_the_report() {
             cache.to_str().unwrap(),
             "--capacity-out",
             out_path.to_str().unwrap(),
+            "--history-file",
+            history.to_str().unwrap(),
         ],
         RAMP_ARGS,
     ]
@@ -115,6 +118,23 @@ fn self_spawned_ramp_finds_a_knee_and_writes_the_report() {
         "{}",
         stderr(&out)
     );
+
+    // The ramp appended this code-rev's knee to the trend ledger, and
+    // --trend renders it without ramping again.
+    assert!(
+        stderr(&out).contains("capacity trend appended"),
+        "{}",
+        stderr(&out)
+    );
+    let ledger = std::fs::read_to_string(&history).expect("history ledger written");
+    assert_eq!(ledger.lines().count(), 1, "{ledger}");
+    assert!(ledger.contains(&report.code_rev), "{ledger}");
+    let trend = run(&["ramp", "--trend", "--history-file", history.to_str().unwrap()]);
+    assert!(trend.status.success(), "{}", stderr(&trend));
+    let table = String::from_utf8_lossy(&trend.stdout).into_owned();
+    assert!(table.contains("Capacity trend"), "{table}");
+    assert!(table.contains(&report.code_rev), "{table}");
+    assert!(table.contains("1 revision(s)"), "{table}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -172,6 +192,7 @@ fn ramp_against_an_external_daemon_leaves_it_serving() {
     let daemon = Daemon { child, addr };
 
     let out_path = dir.join("CAPACITY.json");
+    let history = dir.join("history.jsonl");
     let out = run(&[
         &[
             "ramp",
@@ -179,6 +200,8 @@ fn ramp_against_an_external_daemon_leaves_it_serving() {
             &daemon.addr,
             "--capacity-out",
             out_path.to_str().unwrap(),
+            "--history-file",
+            history.to_str().unwrap(),
         ],
         RAMP_ARGS,
     ]
