@@ -4,9 +4,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use humnet_graph::{barabasi_albert, betweenness_centrality, pagerank};
-use humnet_ixp::{AsKind, AsTopology, RegionTag, RoutingTable};
+use humnet_ixp::routing::reference::ReferenceTable;
+use humnet_ixp::{synthetic_internet, AsKind, AsTopology, RegionTag, RoutingTable};
 use humnet_stats::{bootstrap_ci, gini, mean, Rng};
 use humnet_text::{tokenize, TfIdf};
+use std::sync::Arc;
 
 fn bench_rng(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_rng");
@@ -78,7 +80,7 @@ fn bench_routing(c: &mut Criterion) {
             let mut t = AsTopology::new();
             let region = RegionTag::new("X", false);
             for i in 0..n {
-                t.add_as(&format!("AS{i}"), AsKind::Access, region.clone(), 1.0);
+                t.add_as(&format!("AS{i}"), AsKind::Access, &region, 1.0);
             }
             for j in 1..n {
                 let p = rng.range(0, j);
@@ -94,6 +96,45 @@ fn bench_routing(c: &mut Criterion) {
             b.iter(|| black_box(RoutingTable::compute(&t).unwrap().as_count()))
         });
     }
+    group.finish();
+}
+
+/// Large-N routing baselines for the ROADMAP internet-scale item: the SoA
+/// engine (serial and pooled-parallel, all-pairs and sampled) against the
+/// retained seed implementation on `synthetic_internet` topologies.
+fn bench_routing_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_scale");
+    let t1k = synthetic_internet(1_000, 5).unwrap();
+    group.bench_function("seed_1k_all_pairs", |b| {
+        b.iter(|| black_box(ReferenceTable::compute(&t1k).unwrap().as_count()))
+    });
+    group.bench_function("soa_1k_all_pairs", |b| {
+        b.iter(|| black_box(RoutingTable::compute(&t1k).unwrap().digest()))
+    });
+    group.bench_function("soa_1k_all_pairs_par8", |b| {
+        b.iter(|| black_box(RoutingTable::compute_parallel(&t1k, 8).unwrap().digest()))
+    });
+    let t10k = synthetic_internet(10_000, 5).unwrap();
+    let ft10k = Arc::new(t10k.freeze());
+    let dests: Vec<usize> = (0..256).map(|i| (i * 39) % 10_000).collect();
+    group.bench_function("soa_10k_sample256", |b| {
+        b.iter(|| {
+            black_box(
+                RoutingTable::compute_frozen(&ft10k, &dests, 1)
+                    .unwrap()
+                    .digest(),
+            )
+        })
+    });
+    group.bench_function("soa_10k_sample256_par8", |b| {
+        b.iter(|| {
+            black_box(
+                RoutingTable::compute_frozen(&ft10k, &dests, 8)
+                    .unwrap()
+                    .digest(),
+            )
+        })
+    });
     group.finish();
 }
 
@@ -123,6 +164,7 @@ criterion_group!(
     bench_stats,
     bench_graph,
     bench_routing,
+    bench_routing_scale,
     bench_text
 );
 criterion_main!(benches);

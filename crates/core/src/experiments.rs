@@ -20,7 +20,8 @@ use humnet_community::{
 };
 use humnet_corpus::{CorpusConfig, MethodTag, VenueKind};
 use humnet_ixp::{
-    CircumventionStrategy, MexicoConfig, MexicoScenario, TwoRegionConfig, TwoRegionScenario,
+    synthetic_internet, CircumventionStrategy, MexicoConfig, MexicoScenario, RoutingTable,
+    TrafficConfig, TrafficMatrix, TwoRegionConfig, TwoRegionScenario,
 };
 use humnet_qual::{SimulatedStudy, StudyConfig};
 use humnet_resilience::{FaultHook, FaultPlan, InstrumentedHook, NoFaults, PlanHook};
@@ -369,6 +370,78 @@ pub fn f4_gravity_instrumented(
         local.push(p, sc.local_exchange_share().map_err(upstream("share"))?);
     }
     Ok((foreign, local))
+}
+
+/// **F10** — internet-scale routing on a synthetic internet.
+pub fn f10_scale(seed: u64) -> Result<Table> {
+    f10_scale_instrumented(seed, &Telemetry::disabled())
+}
+
+/// [`f10_scale`] with telemetry flowing into `tel`.
+///
+/// Builds a [`synthetic_internet`] topology (2 000 ASes — the canonical
+/// run is sized so the full suite stays fast; the scale-smoke CI job and
+/// `bench_substrates` exercise 10k/100k), samples a gravity traffic
+/// matrix, computes routes **only toward the sampled destinations** on
+/// the frozen SoA engine, and cross-checks that 8-worker parallel compute
+/// is byte-identical to serial (digest equality) before reporting
+/// locality metrics. There is no fault surface: the computation either
+/// reproduces the serial bytes or errors.
+pub fn f10_scale_instrumented(seed: u64, tel: &Telemetry) -> Result<Table> {
+    let _span = tel.span("ixp.internet");
+    let n = 2_000;
+    let pairs = 512;
+    let t = synthetic_internet(n, seed).map_err(upstream("synthetic internet"))?;
+    let ft = std::sync::Arc::new(t.freeze());
+    let matrix = TrafficMatrix::gravity_sampled(&t, &TrafficConfig::default(), pairs, seed)
+        .map_err(upstream("sampled gravity"))?;
+    let dests = matrix.destinations();
+    let t0 = tel.start();
+    let serial = RoutingTable::compute_frozen(&ft, &dests, 1).map_err(upstream("routing"))?;
+    let parallel = RoutingTable::compute_frozen(&ft, &dests, 8).map_err(upstream("routing"))?;
+    tel.observe_since("ixp.route_assign_ns", t0);
+    if parallel.digest() != serial.digest() {
+        return Err(core_err("parallel routing diverged from serial compute"));
+    }
+    let (flows, unserved) = matrix.assign(&serial);
+    let total_volume: f64 = flows.iter().map(|f| f.volume).sum();
+    let mean_hops = if flows.is_empty() {
+        0.0
+    } else {
+        flows.iter().map(|f| f.route.hops() as f64).sum::<f64>() / flows.len() as f64
+    };
+    let peer_share = if total_volume > 0.0 {
+        flows
+            .iter()
+            .filter(|f| f.route.has_peer_hop)
+            .map(|f| f.volume)
+            .sum::<f64>()
+            / total_volume
+    } else {
+        0.0
+    };
+    // IXP 0 is the giant Northern exchange by construction.
+    let giant_share = humnet_ixp::metrics::ixp_share(&flows, 0);
+    tel.counter("ixp.scenarios", 1);
+    tel.counter("ixp.flows", flows.len() as u64);
+    tel.event(humnet_telemetry::Event::new(
+        "milestone",
+        format!("ixp.internet: {n} ASes, {} flows routed", flows.len()),
+    ));
+    let mut table = Table::new(
+        "F10: internet-scale routing (synthetic internet, sampled gravity)",
+        &["metric", "value"],
+    );
+    table.row(&["ASes".into(), n.to_string()]);
+    table.row(&["sampled demands".into(), pairs.to_string()]);
+    table.row(&["destinations computed".into(), serial.destinations().len().to_string()]);
+    table.row(&["route digest".into(), format!("{:016x}", serial.digest())]);
+    table.row(&["flows served".into(), flows.len().to_string()]);
+    table.row(&["flows unserved".into(), unserved.len().to_string()]);
+    table.row(&["mean AS-path hops".into(), Table::f(mean_hops)]);
+    table.row(&["peer-hop volume share".into(), Table::f(peer_share)]);
+    table.row(&["giant-IXP volume share".into(), Table::f(giant_share)]);
+    Ok(table)
 }
 
 /// **T3** — community-network sustainability by volunteer regime.
@@ -778,7 +851,7 @@ pub struct ExperimentRun {
     pub faults_injected: u64,
 }
 
-/// The sixteen experiments of `EXPERIMENTS.md`, as a first-class registry
+/// The seventeen experiments of `EXPERIMENTS.md`, as a first-class registry
 /// so the supervised runner (and anything else) can enumerate, parse and
 /// execute them uniformly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -800,11 +873,12 @@ pub enum ExperimentId {
     F9,
     T6,
     T7,
+    F10,
 }
 
 impl ExperimentId {
     /// Every experiment, in `EXPERIMENTS.md` order.
-    pub const ALL: [ExperimentId; 16] = [
+    pub const ALL: [ExperimentId; 17] = [
         ExperimentId::F1,
         ExperimentId::T1,
         ExperimentId::F2,
@@ -821,6 +895,7 @@ impl ExperimentId {
         ExperimentId::F9,
         ExperimentId::T6,
         ExperimentId::T7,
+        ExperimentId::F10,
     ];
 
     /// Short stable code, as accepted on the CLI (`f1`, `t3`, ...).
@@ -842,6 +917,7 @@ impl ExperimentId {
             ExperimentId::F9 => "f9",
             ExperimentId::T6 => "t6",
             ExperimentId::T7 => "t7",
+            ExperimentId::F10 => "f10",
         }
     }
 
@@ -864,6 +940,7 @@ impl ExperimentId {
             ExperimentId::F9 => "method adoption around a CFP intervention (paper §6.4)",
             ExperimentId::T6 => "diary studies and technology probes (paper §6.1, [7])",
             ExperimentId::T7 => "cooperative economics by dues policy (paper §4)",
+            ExperimentId::F10 => "internet-scale routing on a synthetic internet (paper §3, ROADMAP)",
         }
     }
 
@@ -874,7 +951,7 @@ impl ExperimentId {
             ExperimentId::F1 | ExperimentId::T1 | ExperimentId::T5 | ExperimentId::F9 => "agenda",
             ExperimentId::F2 | ExperimentId::F7 => "corpus",
             ExperimentId::T2 | ExperimentId::T6 => "qual",
-            ExperimentId::F3 | ExperimentId::F4 | ExperimentId::F8 => "ixp",
+            ExperimentId::F3 | ExperimentId::F4 | ExperimentId::F8 | ExperimentId::F10 => "ixp",
             ExperimentId::T3 | ExperimentId::F5 | ExperimentId::T7 => "community",
             ExperimentId::T4 | ExperimentId::F6 => "practice",
         }
@@ -1013,6 +1090,9 @@ impl ExperimentId {
             }
             ExperimentId::T7 => {
                 out.push_str(&t7_economics(&[1, 2, 3, 4, 5])?.render());
+            }
+            ExperimentId::F10 => {
+                out.push_str(&f10_scale_instrumented(7, tel)?.render());
             }
         }
         Ok(ExperimentRun {
@@ -1163,7 +1243,7 @@ mod tests {
 
     #[test]
     fn registry_codes_parse_and_families_cover() {
-        assert_eq!(ExperimentId::ALL.len(), 16);
+        assert_eq!(ExperimentId::ALL.len(), 17);
         for id in ExperimentId::ALL {
             assert_eq!(ExperimentId::parse(id.code()), Some(id));
             assert_eq!(ExperimentId::parse(&id.code().to_uppercase()), Some(id));
@@ -1197,6 +1277,23 @@ mod tests {
         // A domain-crate failure surfaces with its source reachable.
         let err = f3_telmex(1).unwrap_err();
         assert!(matches!(err, crate::CoreError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn f10_serves_sampled_demands_and_is_deterministic() {
+        let a = f10_scale(7).unwrap();
+        let b = f10_scale(7).unwrap();
+        assert_eq!(a, b);
+        let get = |label: &str| -> String {
+            a.rows.iter().find(|r| r[0] == label).unwrap()[1].clone()
+        };
+        // The synthetic internet is fully reachable: every demand is served.
+        assert_eq!(get("flows served"), "512");
+        assert_eq!(get("flows unserved"), "0");
+        let peer_share: f64 = get("peer-hop volume share").parse().unwrap();
+        assert!(peer_share > 0.0, "some traffic should be exchanged settlement-free");
+        let hops: f64 = get("mean AS-path hops").parse().unwrap();
+        assert!((1.0..10.0).contains(&hops), "mean hops = {hops}");
     }
 
     #[test]

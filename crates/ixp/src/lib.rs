@@ -28,12 +28,17 @@
 //! * [`regulation`] — mandatory-peering rules and the ASN-splitting
 //!   circumvention strategy;
 //! * [`scenario`] — parameterized builders for the Mexico and
-//!   Brazil/Germany case studies (experiments **F3** and **F4**).
+//!   Brazil/Germany case studies (experiments **F3** and **F4**);
+//! * [`internet`] — a seeded `synthetic_internet(n, seed)` generator for
+//!   internet-scale topologies (preferential-attachment customer trees,
+//!   region-biased peering at generated IXPs), the substrate of the scale
+//!   experiment **F10**.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod growth;
+pub mod internet;
 pub mod metrics;
 pub mod regulation;
 pub mod routing;
@@ -42,11 +47,14 @@ pub mod topology;
 pub mod traffic;
 
 pub use growth::{simulate_growth, simulate_growth_instrumented, GrowingIxp, GrowthConfig, GrowthOutcome};
+pub use internet::{synthetic_internet, synthetic_internet_with, InternetConfig};
 pub use metrics::{domestic_ixp_share, foreign_exchange_share, LocalityReport};
 pub use regulation::{CircumventionStrategy, PeeringRegulation};
 pub use routing::{Route, RouteKind, RoutingTable};
 pub use scenario::{MexicoConfig, MexicoScenario, TwoRegionConfig, TwoRegionScenario};
-pub use topology::{AsId, AsInfo, AsKind, AsTopology, IxpId, IxpInfo, RegionTag};
+pub use topology::{
+    AsId, AsInfo, AsKind, AsTopology, FrozenTopology, IxpId, IxpInfo, RegionId, RegionTag, NO_IXP,
+};
 pub use traffic::{FlowAssignment, TrafficConfig, TrafficMatrix};
 
 /// Errors produced by the interconnection substrate.
@@ -67,6 +75,11 @@ pub enum IxpError {
         /// Destination AS.
         to: usize,
     },
+    /// A region id was out of range.
+    InvalidRegion(u32),
+    /// A route lookup named a destination the table was not computed for
+    /// (see [`RoutingTable::compute_for_destinations`]).
+    DestinationNotComputed(usize),
 }
 
 impl std::fmt::Display for IxpError {
@@ -79,6 +92,10 @@ impl std::fmt::Display for IxpError {
                 write!(f, "inconsistent relationship: {what}")
             }
             IxpError::NoRoute { from, to } => write!(f, "no route from AS{from} to AS{to}"),
+            IxpError::InvalidRegion(id) => write!(f, "invalid region id {id}"),
+            IxpError::DestinationNotComputed(dst) => {
+                write!(f, "routes toward AS{dst} were not computed")
+            }
         }
     }
 }

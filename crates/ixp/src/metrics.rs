@@ -57,17 +57,18 @@ pub fn locality_report(
         transit_volume: 0.0,
         path_leaves_region: 0.0,
     };
+    // One name comparison per interned region instead of one per flow/hop.
+    let in_region: Vec<bool> = topology.regions().iter().map(|r| r.name == region).collect();
     for f in flows {
         let src = topology.as_info(f.src)?;
         let dst = topology.as_info(f.dst)?;
-        if src.region.name != region || dst.region.name != region {
+        if !in_region[src.region as usize] || !in_region[dst.region as usize] {
             continue;
         }
         report.total_volume += f.volume;
         match f.route.crossed_ixp {
             Some(ixp) => {
-                let ixp_region = &topology.ixps()[ixp].region.name;
-                if ixp_region == region {
+                if in_region[topology.ixps()[ixp].region as usize] {
                     report.local_ixp_volume += f.volume;
                 } else {
                     report.foreign_ixp_volume += f.volume;
@@ -82,11 +83,12 @@ pub fn locality_report(
             }
         }
         // Does the path traverse any AS homed outside the region?
-        let leaves = f
-            .route
-            .path
-            .iter()
-            .any(|&a| topology.as_info(a).map(|i| i.region.name != region).unwrap_or(false));
+        let leaves = f.route.path.iter().any(|&a| {
+            topology
+                .as_info(a)
+                .map(|i| !in_region[i.region as usize])
+                .unwrap_or(false)
+        });
         if leaves {
             report.path_leaves_region += f.volume;
         }
@@ -122,16 +124,17 @@ pub fn domestic_ixp_share(
 /// hop occurs at an IXP located in the Global North — the headline metric
 /// of experiment **F4** (Brazilian ISPs exchanging at DE-CIX).
 pub fn foreign_exchange_share(topology: &AsTopology, flows: &[FlowAssignment]) -> Result<f64> {
+    let south: Vec<bool> = topology.regions().iter().map(|r| r.global_south).collect();
     let mut south_total = 0.0;
     let mut at_north_ixp = 0.0;
     for f in flows {
         let src = topology.as_info(f.src)?;
-        if !src.region.global_south {
+        if !south[src.region as usize] {
             continue;
         }
         south_total += f.volume;
         if let Some(ixp) = f.route.crossed_ixp {
-            if !topology.ixps()[ixp].region.global_south {
+            if !south[topology.ixps()[ixp].region as usize] {
                 at_north_ixp += f.volume;
             }
         }
@@ -154,13 +157,13 @@ mod tests {
         let mut t = AsTopology::new();
         let mx = RegionTag::new("MX", true);
         let us = RegionTag::new("US", false);
-        let transit = t.add_as("T", AsKind::Transit, us, 1.0);
-        let a = t.add_as("A", AsKind::Access, mx.clone(), 10.0);
-        let b = t.add_as("B", AsKind::Access, mx.clone(), 10.0);
+        let transit = t.add_as("T", AsKind::Transit, &us, 1.0);
+        let a = t.add_as("A", AsKind::Access, &mx, 10.0);
+        let b = t.add_as("B", AsKind::Access, &mx, 10.0);
         t.add_provider(a, transit).unwrap();
         t.add_provider(b, transit).unwrap();
         if peer_at_ixp {
-            let ixp = t.add_ixp("IXP-MX", mx);
+            let ixp = t.add_ixp("IXP-MX", &mx);
             t.join_ixp(a, ixp).unwrap();
             t.join_ixp(b, ixp).unwrap();
             t.multilateral_peering(ixp).unwrap();
@@ -220,9 +223,9 @@ mod tests {
         let mut t = AsTopology::new();
         let br = RegionTag::new("BR", true);
         let de = RegionTag::new("DE", false);
-        let a = t.add_as("A", AsKind::Access, br.clone(), 10.0);
-        let b = t.add_as("B", AsKind::Access, br, 10.0);
-        let ixp = t.add_ixp("DE-CIX", de);
+        let a = t.add_as("A", AsKind::Access, &br, 10.0);
+        let b = t.add_as("B", AsKind::Access, &br, 10.0);
+        let ixp = t.add_ixp("DE-CIX", &de);
         t.join_ixp(a, ixp).unwrap();
         t.join_ixp(b, ixp).unwrap();
         t.multilateral_peering(ixp).unwrap();
@@ -243,8 +246,8 @@ mod tests {
     fn foreign_exchange_share_errors_without_south_traffic() {
         let mut t = AsTopology::new();
         let us = RegionTag::new("US", false);
-        let a = t.add_as("A", AsKind::Access, us.clone(), 1.0);
-        let b = t.add_as("B", AsKind::Access, us, 1.0);
+        let a = t.add_as("A", AsKind::Access, &us, 1.0);
+        let b = t.add_as("B", AsKind::Access, &us, 1.0);
         t.add_peering(a, b, None).unwrap();
         let rt = RoutingTable::compute(&t).unwrap();
         let m = TrafficMatrix::gravity(

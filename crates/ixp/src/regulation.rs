@@ -78,7 +78,13 @@ pub fn apply_regulation(
     strategy: CircumventionStrategy,
 ) -> Result<RegulationOutcome> {
     regulation.validate()?;
-    let info = topology.as_info(incumbent)?.clone();
+    // Borrow, don't clone: the shell only needs the incumbent's name and
+    // interned region id (both cheap), and validity must still be checked
+    // before the non-mandatory early return below.
+    let (shell_name, shell_region) = {
+        let info = topology.as_info(incumbent)?;
+        (format!("{}-shell", info.name), info.region)
+    };
     if ixp >= topology.ixp_count() {
         return Err(IxpError::InvalidIxp(ixp));
     }
@@ -98,12 +104,8 @@ pub fn apply_regulation(
             })
         }
         CircumventionStrategy::AsnSplitting => {
-            let shell = topology.add_as(
-                &format!("{}-shell", info.name),
-                AsKind::Incumbent,
-                info.region.clone(),
-                0.0,
-            );
+            let shell =
+                topology.add_as_in(shell_name, AsKind::Incumbent, shell_region, 0.0)?;
             topology.add_provider(shell, incumbent)?;
             topology.join_ixp(shell, ixp)?;
             // Enforcement re-homes the first ⌈e·k⌉ direct customers (by id,
@@ -141,15 +143,15 @@ mod tests {
     fn base() -> (AsTopology, AsId, AsId, [AsId; 3], IxpId) {
         let mut t = AsTopology::new();
         let mx = RegionTag::new("MX", true);
-        let inc = t.add_as("Telmex", AsKind::Incumbent, mx.clone(), 100.0);
-        let c1 = t.add_as("Retail-1", AsKind::Access, mx.clone(), 5.0);
-        let c2 = t.add_as("Retail-2", AsKind::Access, mx.clone(), 5.0);
-        let comp = t.add_as("Competitor", AsKind::Access, mx.clone(), 8.0);
+        let inc = t.add_as("Telmex", AsKind::Incumbent, &mx, 100.0);
+        let c1 = t.add_as("Retail-1", AsKind::Access, &mx, 5.0);
+        let c2 = t.add_as("Retail-2", AsKind::Access, &mx, 5.0);
+        let comp = t.add_as("Competitor", AsKind::Access, &mx, 8.0);
         t.add_provider(c1, inc).unwrap();
         t.add_provider(c2, inc).unwrap();
         // The competitor also buys transit from the incumbent (market power).
         t.add_provider(comp, inc).unwrap();
-        let ixp = t.add_ixp("IXP-MX", mx);
+        let ixp = t.add_ixp("IXP-MX", &mx);
         t.join_ixp(comp, ixp).unwrap();
         (t, inc, comp, [inc, c1, c2], ixp)
     }

@@ -12,16 +12,50 @@
 //!
 //! Together these yield *valley-free* paths: zero or more customer→provider
 //! ("up") hops, at most one peer hop, then zero or more provider→customer
-//! ("down") hops. The computation below runs the classic three-phase
-//! propagation per destination.
+//! ("down") hops. The computation runs the classic three-phase propagation
+//! per destination.
+//!
+//! ## Representation
+//!
+//! The engine runs on [`FrozenTopology`] CSR adjacency and stores its
+//! result as structure-of-arrays: per computed destination, one `u8`
+//! *class* row (none/customer/peer/provider), one `u32` *next-hop* row and
+//! one `u32` *peer-IXP* row, each `n` wide, packed contiguously with
+//! `u32::MAX` as the "none" sentinel. That is 9 bytes per (AS,
+//! destination) pair instead of the seven pointer-carrying `Vec`s per
+//! destination the original implementation kept (retained verbatim in
+//! [`reference`] for differential testing). Paths are reconstructed on
+//! request by walking next-hop rows, never stored.
+//!
+//! ## Parallelism and determinism
+//!
+//! Per-destination propagation is embarrassingly parallel.
+//! [`RoutingTable::compute_frozen`] fans contiguous slices of the sorted
+//! destination list across the shared pooled worker runtime
+//! (`humnet_resilience::pool_execute`) and reassembles the returned row
+//! blocks in slice order, so the assembled table is byte-identical
+//! whatever the worker count — the same discipline the experiment
+//! runner's work-stealing schedule uses.
 
-use crate::topology::{AsId, AsTopology, IxpId};
+use crate::topology::{AsId, AsTopology, FrozenTopology, IxpId, NO_IXP};
 use crate::{IxpError, Result};
+use humnet_resilience::pool_execute;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 const INF: u32 = u32::MAX;
+/// Sentinel for "no next hop" in the packed next-hop rows.
+const NO_NEXT: u32 = u32::MAX;
+/// Sentinel slot for "destination not computed".
+const NO_SLOT: u32 = u32::MAX;
+
+/// Route class codes of the packed `class` rows.
+const CLASS_NONE: u8 = 0;
+const CLASS_CUST: u8 = 1;
+const CLASS_PEER: u8 = 2;
+const CLASS_PROV: u8 = 3;
 
 /// How the first hop of a route was learned — equivalently, the economic
 /// class of the selected route at the source.
@@ -64,132 +98,367 @@ impl Route {
     }
 }
 
-/// Per-destination routing state.
-#[derive(Debug, Clone)]
-struct DestTable {
+/// Reusable per-worker state for the three propagation phases: the seven
+/// per-destination arrays of the classic algorithm, reset with `fill`
+/// between destinations instead of reallocated.
+struct Scratch {
     dist_cust: Vec<u32>,
-    next_cust: Vec<Option<AsId>>,
+    next_cust: Vec<u32>,
     dist_peer: Vec<u32>,
-    next_peer: Vec<Option<AsId>>,
-    peer_ixp: Vec<Option<IxpId>>,
+    next_peer: Vec<u32>,
+    peer_ixp: Vec<u32>,
     dist_down: Vec<u32>,
-    next_down: Vec<Option<AsId>>,
+    next_down: Vec<u32>,
+    queue: VecDeque<u32>,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
 }
 
-/// All-pairs policy routes for a topology.
-#[derive(Debug, Clone)]
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Scratch {
+            dist_cust: vec![INF; n],
+            next_cust: vec![NO_NEXT; n],
+            dist_peer: vec![INF; n],
+            next_peer: vec![NO_NEXT; n],
+            peer_ixp: vec![NO_IXP; n],
+            dist_down: vec![INF; n],
+            next_down: vec![NO_NEXT; n],
+            queue: VecDeque::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Distance of the *selected* route at `u`: customer preferred over
+    /// peer over provider regardless of length (the Gao–Rexford
+    /// preference).
+    #[inline]
+    fn selected_len(&self, u: usize) -> u32 {
+        if self.dist_cust[u] != INF {
+            self.dist_cust[u]
+        } else if self.dist_peer[u] != INF {
+            self.dist_peer[u]
+        } else {
+            self.dist_down[u]
+        }
+    }
+}
+
+/// One destination's propagation, appended as three `n`-wide rows onto the
+/// output blocks. The next-hop scratch entries are only meaningful where
+/// the matching distance is finite, so rows are derived distance-first.
+fn compute_rows(
+    ft: &FrozenTopology,
+    dst: usize,
+    s: &mut Scratch,
+    class_out: &mut Vec<u8>,
+    next_out: &mut Vec<u32>,
+    ixp_out: &mut Vec<u32>,
+) {
+    let n = ft.as_count();
+    s.dist_cust.fill(INF);
+    s.dist_peer.fill(INF);
+    s.dist_down.fill(INF);
+    // Phase 1: customer routes propagate upward (customer -> provider)
+    // by BFS on uniform weights.
+    s.dist_cust[dst] = 0;
+    s.queue.clear();
+    s.queue.push_back(dst as u32);
+    while let Some(u) = s.queue.pop_front() {
+        let du = s.dist_cust[u as usize];
+        for &p in ft.providers_of(u as usize) {
+            if s.dist_cust[p as usize] == INF {
+                s.dist_cust[p as usize] = du + 1;
+                s.next_cust[p as usize] = u;
+                s.queue.push_back(p);
+            }
+        }
+    }
+    // Phase 2: peer routes — one peer hop extending a customer route
+    // (or the destination itself). First candidate wins among equal
+    // (distance, neighbor) pairs, so session order matters.
+    for u in 0..n {
+        let (nbrs, ixps) = ft.peer_sessions_of(u);
+        let mut best_d = INF;
+        let mut best_v = NO_NEXT;
+        let mut best_ixp = NO_IXP;
+        for (i, &v) in nbrs.iter().enumerate() {
+            let dv = s.dist_cust[v as usize];
+            if dv != INF {
+                let cand = dv + 1;
+                if cand < best_d || (cand == best_d && v < best_v) {
+                    best_d = cand;
+                    best_v = v;
+                    best_ixp = ixps[i];
+                }
+            }
+        }
+        if best_d != INF {
+            s.dist_peer[u] = best_d;
+            s.next_peer[u] = best_v;
+            s.peer_ixp[u] = best_ixp;
+        }
+    }
+    // Phase 3: provider routes propagate downward from every AS that
+    // has selected a route; a node's exportable length is that of its
+    // selected route.
+    s.heap.clear();
+    for u in 0..n {
+        let len = s.selected_len(u);
+        if len != INF {
+            s.heap.push(Reverse((len, u as u32)));
+        }
+    }
+    while let Some(Reverse((len, u))) = s.heap.pop() {
+        if len > s.selected_len(u as usize) {
+            continue; // stale entry
+        }
+        for &c in ft.customers_of(u as usize) {
+            let cand = len + 1;
+            let c = c as usize;
+            if cand < s.dist_down[c] {
+                let before = s.selected_len(c);
+                s.dist_down[c] = cand;
+                s.next_down[c] = u;
+                let after = s.selected_len(c);
+                if after < before {
+                    s.heap.push(Reverse((after, c as u32)));
+                }
+            }
+        }
+    }
+    // Derive the packed selected-route rows.
+    for u in 0..n {
+        if s.dist_cust[u] != INF {
+            class_out.push(CLASS_CUST);
+            next_out.push(if u == dst { NO_NEXT } else { s.next_cust[u] });
+            ixp_out.push(NO_IXP);
+        } else if s.dist_peer[u] != INF {
+            class_out.push(CLASS_PEER);
+            next_out.push(s.next_peer[u]);
+            ixp_out.push(s.peer_ixp[u]);
+        } else if s.dist_down[u] != INF {
+            class_out.push(CLASS_PROV);
+            next_out.push(s.next_down[u]);
+            ixp_out.push(NO_IXP);
+        } else {
+            class_out.push(CLASS_NONE);
+            next_out.push(NO_NEXT);
+            ixp_out.push(NO_IXP);
+        }
+    }
+}
+
+/// The three packed row blocks a worker returns for its destination slice.
+type RowBlock = (Vec<u8>, Vec<u32>, Vec<u32>);
+
+fn compute_block(ft: &FrozenTopology, dests: &[AsId]) -> RowBlock {
+    let n = ft.as_count();
+    let mut class = Vec::with_capacity(dests.len() * n);
+    let mut next = Vec::with_capacity(dests.len() * n);
+    let mut ixp = Vec::with_capacity(dests.len() * n);
+    let mut scratch = Scratch::new(n);
+    for &dst in dests {
+        compute_rows(ft, dst, &mut scratch, &mut class, &mut next, &mut ixp);
+    }
+    (class, next, ixp)
+}
+
+/// Policy routes for a topology, covering all destinations
+/// ([`RoutingTable::compute`]) or an explicit sample
+/// ([`RoutingTable::compute_for_destinations`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutingTable {
     n: usize,
-    tables: Vec<DestTable>,
+    /// Computed destinations, sorted ascending; row order of the blocks.
+    dests: Vec<AsId>,
+    /// `dest_slot[dst]` = row index of `dst`, or `u32::MAX` if uncomputed.
+    dest_slot: Vec<u32>,
+    class: Vec<u8>,
+    next: Vec<u32>,
+    peer_ixp: Vec<u32>,
 }
 
 impl RoutingTable {
-    /// Compute routes for every destination. Errors if the provider
-    /// hierarchy contains a cycle (valley-free routing is undefined then).
+    /// Compute routes for every destination, serially. Errors if the
+    /// provider hierarchy contains a cycle (valley-free routing is
+    /// undefined then).
     pub fn compute(topology: &AsTopology) -> Result<Self> {
-        if !topology.is_hierarchy_acyclic() {
+        Self::compute_parallel(topology, 1)
+    }
+
+    /// [`RoutingTable::compute`] with destinations fanned across `workers`
+    /// pooled threads. The result is byte-identical to the serial one.
+    pub fn compute_parallel(topology: &AsTopology, workers: usize) -> Result<Self> {
+        let dests: Vec<AsId> = (0..topology.as_count()).collect();
+        Self::compute_frozen(&Arc::new(topology.freeze()), &dests, workers)
+    }
+
+    /// Compute routes *toward the given destinations only* — the
+    /// demand-driven path for sampled traffic at internet scale, where
+    /// all-pairs materialization is pointless. Destinations may be
+    /// unsorted and contain duplicates; rows are stored in sorted order.
+    pub fn compute_for_destinations(topology: &AsTopology, dests: &[AsId]) -> Result<Self> {
+        Self::compute_frozen(&Arc::new(topology.freeze()), dests, 1)
+    }
+
+    /// [`RoutingTable::compute_for_destinations`] across `workers` pooled
+    /// threads; byte-identical to the serial result.
+    pub fn compute_for_destinations_parallel(
+        topology: &AsTopology,
+        dests: &[AsId],
+        workers: usize,
+    ) -> Result<Self> {
+        Self::compute_frozen(&Arc::new(topology.freeze()), dests, workers)
+    }
+
+    /// The general entry point: compute routes toward `dests` on an
+    /// already-frozen topology, splitting the (sorted, deduplicated)
+    /// destination list into `workers` contiguous slices executed on the
+    /// shared worker pool. Blocks are reassembled in slice order, so the
+    /// table is byte-identical for every `workers` value. Freezing once
+    /// and calling this repeatedly amortizes the CSR build across
+    /// samples.
+    pub fn compute_frozen(
+        ft: &Arc<FrozenTopology>,
+        dests: &[AsId],
+        workers: usize,
+    ) -> Result<Self> {
+        let n = ft.as_count();
+        if !ft.is_hierarchy_acyclic() {
             return Err(IxpError::InconsistentRelationship(
                 "provider hierarchy contains a cycle",
             ));
         }
-        let n = topology.as_count();
-        let mut tables = Vec::with_capacity(n);
-        for dst in 0..n {
-            tables.push(Self::compute_destination(topology, dst));
+        let mut dests = dests.to_vec();
+        dests.sort_unstable();
+        dests.dedup();
+        if let Some(&bad) = dests.iter().find(|&&d| d >= n) {
+            return Err(IxpError::InvalidAs(bad));
         }
-        Ok(RoutingTable { n, tables })
+        let rows = dests.len();
+        let workers = workers.max(1).min(rows.max(1));
+        let (class, next, peer_ixp) = if workers <= 1 {
+            compute_block(ft, &dests)
+        } else {
+            // Balanced contiguous slices: the first `extra` chunks carry
+            // one more destination. Slice boundaries depend only on
+            // (rows, workers), never on timing.
+            let base = rows / workers;
+            let extra = rows % workers;
+            let mut handles = Vec::with_capacity(workers);
+            let mut start = 0usize;
+            for i in 0..workers {
+                let len = base + usize::from(i < extra);
+                let chunk = dests[start..start + len].to_vec();
+                start += len;
+                let ft = Arc::clone(ft);
+                handles.push(pool_execute(move || compute_block(&ft, &chunk)));
+            }
+            let mut class = Vec::with_capacity(rows * n);
+            let mut next = Vec::with_capacity(rows * n);
+            let mut ixp = Vec::with_capacity(rows * n);
+            for h in handles {
+                match h.join() {
+                    Ok((c, x, i)) => {
+                        class.extend_from_slice(&c);
+                        next.extend_from_slice(&x);
+                        ixp.extend_from_slice(&i);
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            (class, next, ixp)
+        };
+        let mut dest_slot = vec![NO_SLOT; n];
+        for (row, &d) in dests.iter().enumerate() {
+            dest_slot[d] = row as u32;
+        }
+        Ok(RoutingTable {
+            n,
+            dests,
+            dest_slot,
+            class,
+            next,
+            peer_ixp,
+        })
     }
 
-    fn compute_destination(topology: &AsTopology, dst: AsId) -> DestTable {
-        let n = topology.as_count();
-        let mut t = DestTable {
-            dist_cust: vec![INF; n],
-            next_cust: vec![None; n],
-            dist_peer: vec![INF; n],
-            next_peer: vec![None; n],
-            peer_ixp: vec![None; n],
-            dist_down: vec![INF; n],
-            next_down: vec![None; n],
+    /// Resolve a single route without materializing a table: one
+    /// destination propagation on the frozen topology, path reconstructed
+    /// and discarded. Use this for ad-hoc queries; for many sources
+    /// sharing destinations, batch with
+    /// [`RoutingTable::compute_for_destinations`] instead.
+    pub fn route_on_demand(ft: &FrozenTopology, src: AsId, dst: AsId) -> Result<Route> {
+        let n = ft.as_count();
+        if src >= n {
+            return Err(IxpError::InvalidAs(src));
+        }
+        if dst >= n {
+            return Err(IxpError::InvalidAs(dst));
+        }
+        if !ft.is_hierarchy_acyclic() {
+            return Err(IxpError::InconsistentRelationship(
+                "provider hierarchy contains a cycle",
+            ));
+        }
+        let (class, next, ixp) = compute_block(ft, &[dst]);
+        let table = RoutingTable {
+            n,
+            dests: vec![dst],
+            dest_slot: {
+                let mut s = vec![NO_SLOT; n];
+                s[dst] = 0;
+                s
+            },
+            class,
+            next,
+            peer_ixp: ixp,
         };
-        // Phase 1: customer routes propagate upward (customer -> provider)
-        // by BFS on uniform weights.
-        t.dist_cust[dst] = 0;
-        let mut queue = std::collections::VecDeque::new();
-        queue.push_back(dst);
-        while let Some(u) = queue.pop_front() {
-            for &p in topology.providers_of(u) {
-                if t.dist_cust[p] == INF {
-                    t.dist_cust[p] = t.dist_cust[u] + 1;
-                    t.next_cust[p] = Some(u);
-                    queue.push_back(p);
-                }
-            }
-        }
-        // Phase 2: peer routes — one peer hop extending a customer route
-        // (or the destination itself).
-        for u in 0..n {
-            let mut best: Option<(u32, AsId, Option<IxpId>)> = None;
-            for (v, ixp) in topology.peers_of(u) {
-                if t.dist_cust[v] != INF {
-                    let cand = (t.dist_cust[v] + 1, v, ixp);
-                    let better = match best {
-                        None => true,
-                        Some((bd, bv, _)) => cand.0 < bd || (cand.0 == bd && v < bv),
-                    };
-                    if better {
-                        best = Some(cand);
-                    }
-                }
-            }
-            if let Some((d, v, ixp)) = best {
-                t.dist_peer[u] = d;
-                t.next_peer[u] = Some(v);
-                t.peer_ixp[u] = ixp;
-            }
-        }
-        // Phase 3: provider routes propagate downward from every AS that
-        // has selected a route. A node's exportable length is the length of
-        // its *selected* route (customer preferred over peer over provider,
-        // regardless of length — the Gao–Rexford preference).
-        let selected_len = |t: &DestTable, u: AsId| -> u32 {
-            if t.dist_cust[u] != INF {
-                t.dist_cust[u]
-            } else if t.dist_peer[u] != INF {
-                t.dist_peer[u]
-            } else {
-                t.dist_down[u]
-            }
-        };
-        let mut heap: BinaryHeap<Reverse<(u32, AsId)>> = BinaryHeap::new();
-        for u in 0..n {
-            let len = selected_len(&t, u);
-            if len != INF {
-                heap.push(Reverse((len, u)));
-            }
-        }
-        while let Some(Reverse((len, u))) = heap.pop() {
-            if len > selected_len(&t, u) {
-                continue; // stale entry
-            }
-            for &c in topology.customers_of(u) {
-                let cand = len + 1;
-                if cand < t.dist_down[c] {
-                    let before = selected_len(&t, c);
-                    t.dist_down[c] = cand;
-                    t.next_down[c] = Some(u);
-                    let after = selected_len(&t, c);
-                    if after < before {
-                        heap.push(Reverse((after, c)));
-                    }
-                }
-            }
-        }
-        t
+        table.route(src, dst)
     }
 
     /// Number of ASes covered.
     pub fn as_count(&self) -> usize {
         self.n
+    }
+
+    /// The computed destinations, sorted ascending.
+    pub fn destinations(&self) -> &[AsId] {
+        &self.dests
+    }
+
+    /// Whether routes toward `dst` were computed.
+    pub fn covers(&self, dst: AsId) -> bool {
+        dst < self.n && self.dest_slot[dst] != NO_SLOT
+    }
+
+    /// FNV-1a digest over the packed route arrays — a cheap fingerprint
+    /// for byte-identity assertions across worker counts.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut eat = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        for &d in &self.dests {
+            for b in (d as u64).to_le_bytes() {
+                eat(b);
+            }
+        }
+        for &c in &self.class {
+            eat(c);
+        }
+        for &x in &self.next {
+            for b in x.to_le_bytes() {
+                eat(b);
+            }
+        }
+        for &x in &self.peer_ixp {
+            for b in x.to_le_bytes() {
+                eat(b);
+            }
+        }
+        h
     }
 
     /// The selected route from `src` to `dst`, or an error when none exists
@@ -209,40 +478,41 @@ impl RoutingTable {
                 has_peer_hop: false,
             });
         }
-        let t = &self.tables[dst];
-        let kind = if t.dist_cust[src] != INF {
-            RouteKind::Customer
-        } else if t.dist_peer[src] != INF {
-            RouteKind::Peer
-        } else if t.dist_down[src] != INF {
-            RouteKind::Provider
-        } else {
-            return Err(IxpError::NoRoute { from: src, to: dst });
+        let row = self.dest_slot[dst];
+        if row == NO_SLOT {
+            return Err(IxpError::DestinationNotComputed(dst));
+        }
+        let base = row as usize * self.n;
+        let kind = match self.class[base + src] {
+            CLASS_CUST => RouteKind::Customer,
+            CLASS_PEER => RouteKind::Peer,
+            CLASS_PROV => RouteKind::Provider,
+            _ => return Err(IxpError::NoRoute { from: src, to: dst }),
         };
-        // Reconstruct the path: provider hops (down the selection chain),
-        // then at most one peer hop, then customer-route hops.
+        // Reconstruct the path by following selected next hops: provider
+        // hops down the selection chain, then at most one peer hop, then
+        // customer-route hops.
         let mut path = vec![src];
         let mut crossed_ixp = None;
         let mut has_peer_hop = false;
         let mut current = src;
-        // Phase A: while the current AS's selected route is a provider
-        // route, follow next_down.
-        while t.dist_cust[current] == INF && t.dist_peer[current] == INF {
-            let next = t.next_down[current].expect("provider route has next hop");
+        while self.class[base + current] == CLASS_PROV {
+            let next = self.next[base + current] as usize;
             path.push(next);
             current = next;
         }
-        // Phase B: one peer hop if the selected route here is a peer route.
-        if t.dist_cust[current] == INF {
+        if self.class[base + current] == CLASS_PEER {
             has_peer_hop = true;
-            crossed_ixp = t.peer_ixp[current];
-            let next = t.next_peer[current].expect("peer route has next hop");
+            let ixp = self.peer_ixp[base + current];
+            if ixp != NO_IXP {
+                crossed_ixp = Some(ixp as usize);
+            }
+            let next = self.next[base + current] as usize;
             path.push(next);
             current = next;
         }
-        // Phase C: customer-route hops down to the destination.
         while current != dst {
-            let next = t.next_cust[current].expect("customer route has next hop");
+            let next = self.next[base + current] as usize;
             path.push(next);
             current = next;
         }
@@ -257,6 +527,222 @@ impl RoutingTable {
     /// True when `src` can reach `dst`.
     pub fn reachable(&self, src: AsId, dst: AsId) -> bool {
         self.route(src, dst).is_ok()
+    }
+}
+
+pub mod reference {
+    //! The original array-of-structs routing implementation, retained
+    //! verbatim as the differential-testing oracle for the SoA engine and
+    //! as the baseline of the `bench_substrates` scaling benches. Route
+    //! selection is identical by construction; only the storage layout
+    //! and compute strategy differ.
+
+    use super::{Route, RouteKind, INF};
+    use crate::topology::{AsId, AsTopology, IxpId};
+    use crate::{IxpError, Result};
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    /// The seed implementation's peer lookup: a filtering scan of the
+    /// global link list per queried AS (O(links) + an allocation), kept
+    /// so the benches compare the new engine against the true original
+    /// access pattern rather than the O(degree) adjacency it replaced.
+    /// Yields sessions in the same order as `AsTopology::peers_of`.
+    fn peers_of_scan(topology: &AsTopology, id: AsId) -> Vec<(AsId, Option<IxpId>)> {
+        topology
+            .peer_links()
+            .iter()
+            .filter_map(|l| {
+                if l.a == id {
+                    Some((l.b, l.ixp))
+                } else if l.b == id {
+                    Some((l.a, l.ixp))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Per-destination routing state.
+    #[derive(Debug, Clone)]
+    struct DestTable {
+        dist_cust: Vec<u32>,
+        next_cust: Vec<Option<AsId>>,
+        dist_peer: Vec<u32>,
+        next_peer: Vec<Option<AsId>>,
+        peer_ixp: Vec<Option<IxpId>>,
+        dist_down: Vec<u32>,
+        next_down: Vec<Option<AsId>>,
+    }
+
+    /// All-pairs policy routes, one boxed table of seven `Vec`s per
+    /// destination.
+    #[derive(Debug, Clone)]
+    pub struct ReferenceTable {
+        n: usize,
+        tables: Vec<DestTable>,
+    }
+
+    impl ReferenceTable {
+        /// Compute routes for every destination.
+        pub fn compute(topology: &AsTopology) -> Result<Self> {
+            if !topology.is_hierarchy_acyclic() {
+                return Err(IxpError::InconsistentRelationship(
+                    "provider hierarchy contains a cycle",
+                ));
+            }
+            let n = topology.as_count();
+            let mut tables = Vec::with_capacity(n);
+            for dst in 0..n {
+                tables.push(Self::compute_destination(topology, dst));
+            }
+            Ok(ReferenceTable { n, tables })
+        }
+
+        fn compute_destination(topology: &AsTopology, dst: AsId) -> DestTable {
+            let n = topology.as_count();
+            let mut t = DestTable {
+                dist_cust: vec![INF; n],
+                next_cust: vec![None; n],
+                dist_peer: vec![INF; n],
+                next_peer: vec![None; n],
+                peer_ixp: vec![None; n],
+                dist_down: vec![INF; n],
+                next_down: vec![None; n],
+            };
+            t.dist_cust[dst] = 0;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(dst);
+            while let Some(u) = queue.pop_front() {
+                for &p in topology.providers_of(u) {
+                    if t.dist_cust[p] == INF {
+                        t.dist_cust[p] = t.dist_cust[u] + 1;
+                        t.next_cust[p] = Some(u);
+                        queue.push_back(p);
+                    }
+                }
+            }
+            for u in 0..n {
+                let mut best: Option<(u32, AsId, Option<IxpId>)> = None;
+                for (v, ixp) in peers_of_scan(topology, u) {
+                    if t.dist_cust[v] != INF {
+                        let cand = (t.dist_cust[v] + 1, v, ixp);
+                        let better = match best {
+                            None => true,
+                            Some((bd, bv, _)) => cand.0 < bd || (cand.0 == bd && v < bv),
+                        };
+                        if better {
+                            best = Some(cand);
+                        }
+                    }
+                }
+                if let Some((d, v, ixp)) = best {
+                    t.dist_peer[u] = d;
+                    t.next_peer[u] = Some(v);
+                    t.peer_ixp[u] = ixp;
+                }
+            }
+            let selected_len = |t: &DestTable, u: AsId| -> u32 {
+                if t.dist_cust[u] != INF {
+                    t.dist_cust[u]
+                } else if t.dist_peer[u] != INF {
+                    t.dist_peer[u]
+                } else {
+                    t.dist_down[u]
+                }
+            };
+            let mut heap: BinaryHeap<Reverse<(u32, AsId)>> = BinaryHeap::new();
+            for u in 0..n {
+                let len = selected_len(&t, u);
+                if len != INF {
+                    heap.push(Reverse((len, u)));
+                }
+            }
+            while let Some(Reverse((len, u))) = heap.pop() {
+                if len > selected_len(&t, u) {
+                    continue; // stale entry
+                }
+                for &c in topology.customers_of(u) {
+                    let cand = len + 1;
+                    if cand < t.dist_down[c] {
+                        let before = selected_len(&t, c);
+                        t.dist_down[c] = cand;
+                        t.next_down[c] = Some(u);
+                        let after = selected_len(&t, c);
+                        if after < before {
+                            heap.push(Reverse((after, c)));
+                        }
+                    }
+                }
+            }
+            t
+        }
+
+        /// Number of ASes covered.
+        pub fn as_count(&self) -> usize {
+            self.n
+        }
+
+        /// The selected route from `src` to `dst`.
+        pub fn route(&self, src: AsId, dst: AsId) -> Result<Route> {
+            if src >= self.n {
+                return Err(IxpError::InvalidAs(src));
+            }
+            if dst >= self.n {
+                return Err(IxpError::InvalidAs(dst));
+            }
+            if src == dst {
+                return Ok(Route {
+                    kind: RouteKind::SelfRoute,
+                    path: vec![src],
+                    crossed_ixp: None,
+                    has_peer_hop: false,
+                });
+            }
+            let t = &self.tables[dst];
+            let kind = if t.dist_cust[src] != INF {
+                RouteKind::Customer
+            } else if t.dist_peer[src] != INF {
+                RouteKind::Peer
+            } else if t.dist_down[src] != INF {
+                RouteKind::Provider
+            } else {
+                return Err(IxpError::NoRoute { from: src, to: dst });
+            };
+            let mut path = vec![src];
+            let mut crossed_ixp = None;
+            let mut has_peer_hop = false;
+            let mut current = src;
+            while t.dist_cust[current] == INF && t.dist_peer[current] == INF {
+                let next = t.next_down[current].expect("provider route has next hop");
+                path.push(next);
+                current = next;
+            }
+            if t.dist_cust[current] == INF {
+                has_peer_hop = true;
+                crossed_ixp = t.peer_ixp[current];
+                let next = t.next_peer[current].expect("peer route has next hop");
+                path.push(next);
+                current = next;
+            }
+            while current != dst {
+                let next = t.next_cust[current].expect("customer route has next hop");
+                path.push(next);
+                current = next;
+            }
+            Ok(Route {
+                kind,
+                path,
+                crossed_ixp,
+                has_peer_hop,
+            })
+        }
+
+        /// True when `src` can reach `dst`.
+        pub fn reachable(&self, src: AsId, dst: AsId) -> bool {
+            self.route(src, dst).is_ok()
+        }
     }
 }
 
@@ -280,11 +766,11 @@ mod tests {
     /// ```
     fn diamond() -> (AsTopology, [AsId; 5]) {
         let mut t = AsTopology::new();
-        let tr = t.add_as("T", AsKind::Transit, r(), 1.0);
-        let a = t.add_as("A", AsKind::Access, r(), 1.0);
-        let b = t.add_as("B", AsKind::Access, r(), 1.0);
-        let c = t.add_as("C", AsKind::Access, r(), 1.0);
-        let d = t.add_as("D", AsKind::Access, r(), 1.0);
+        let tr = t.add_as("T", AsKind::Transit, &r(), 1.0);
+        let a = t.add_as("A", AsKind::Access, &r(), 1.0);
+        let b = t.add_as("B", AsKind::Access, &r(), 1.0);
+        let c = t.add_as("C", AsKind::Access, &r(), 1.0);
+        let d = t.add_as("D", AsKind::Access, &r(), 1.0);
         t.add_provider(a, tr).unwrap();
         t.add_provider(b, tr).unwrap();
         t.add_provider(c, a).unwrap();
@@ -339,7 +825,7 @@ mod tests {
     #[test]
     fn peer_hop_records_ixp() {
         let (mut t, [_tr, a, b, c, d]) = diamond();
-        let ixp = t.add_ixp("IXP", r());
+        let ixp = t.add_ixp("IXP", &r());
         t.join_ixp(a, ixp).unwrap();
         t.join_ixp(b, ixp).unwrap();
         t.multilateral_peering(ixp).unwrap();
@@ -353,9 +839,9 @@ mod tests {
         // A - B peers, B - C peers: A must NOT reach C through B
         // (B would be giving free transit between two peers).
         let mut t = AsTopology::new();
-        let a = t.add_as("A", AsKind::Access, r(), 1.0);
-        let b = t.add_as("B", AsKind::Access, r(), 1.0);
-        let c = t.add_as("C", AsKind::Access, r(), 1.0);
+        let a = t.add_as("A", AsKind::Access, &r(), 1.0);
+        let b = t.add_as("B", AsKind::Access, &r(), 1.0);
+        let c = t.add_as("C", AsKind::Access, &r(), 1.0);
         t.add_peering(a, b, None).unwrap();
         t.add_peering(b, c, None).unwrap();
         let rt = RoutingTable::compute(&t).unwrap();
@@ -373,9 +859,9 @@ mod tests {
         // not route to A's peer... construct: does T reach C? via customer
         // chain only.
         let mut t = AsTopology::new();
-        let a = t.add_as("A", AsKind::Access, r(), 1.0);
-        let b = t.add_as("B", AsKind::Access, r(), 1.0);
-        let c = t.add_as("C", AsKind::Access, r(), 1.0);
+        let a = t.add_as("A", AsKind::Access, &r(), 1.0);
+        let b = t.add_as("B", AsKind::Access, &r(), 1.0);
+        let c = t.add_as("C", AsKind::Access, &r(), 1.0);
         t.add_provider(c, a).unwrap();
         t.add_peering(a, b, None).unwrap();
         let rt = RoutingTable::compute(&t).unwrap();
@@ -394,10 +880,10 @@ mod tests {
         // D can reach X via a 1-hop peer route or a 3-hop customer
         // route; Gao–Rexford picks the customer route despite length.
         let mut t = AsTopology::new();
-        let d = t.add_as("D", AsKind::Transit, r(), 1.0);
-        let x = t.add_as("X", AsKind::Access, r(), 1.0);
-        let m1 = t.add_as("M1", AsKind::Access, r(), 1.0);
-        let m2 = t.add_as("M2", AsKind::Access, r(), 1.0);
+        let d = t.add_as("D", AsKind::Transit, &r(), 1.0);
+        let x = t.add_as("X", AsKind::Access, &r(), 1.0);
+        let m1 = t.add_as("M1", AsKind::Access, &r(), 1.0);
+        let m2 = t.add_as("M2", AsKind::Access, &r(), 1.0);
         // customer chain: d <- m1 <- m2 <- x  (x buys from m2, etc.)
         t.add_provider(m1, d).unwrap();
         t.add_provider(m2, m1).unwrap();
@@ -413,8 +899,8 @@ mod tests {
     #[test]
     fn unreachable_when_no_common_hierarchy() {
         let mut t = AsTopology::new();
-        let a = t.add_as("A", AsKind::Access, r(), 1.0);
-        let b = t.add_as("B", AsKind::Access, r(), 1.0);
+        let a = t.add_as("A", AsKind::Access, &r(), 1.0);
+        let b = t.add_as("B", AsKind::Access, &r(), 1.0);
         let rt = RoutingTable::compute(&t).unwrap();
         assert!(!rt.reachable(a, b));
         assert!(rt.reachable(a, a));
@@ -423,13 +909,14 @@ mod tests {
     #[test]
     fn cyclic_hierarchy_rejected() {
         let mut t = AsTopology::new();
-        let a = t.add_as("A", AsKind::Transit, r(), 1.0);
-        let b = t.add_as("B", AsKind::Transit, r(), 1.0);
-        let c = t.add_as("C", AsKind::Transit, r(), 1.0);
+        let a = t.add_as("A", AsKind::Transit, &r(), 1.0);
+        let b = t.add_as("B", AsKind::Transit, &r(), 1.0);
+        let c = t.add_as("C", AsKind::Transit, &r(), 1.0);
         t.add_provider(a, b).unwrap();
         t.add_provider(b, c).unwrap();
         t.add_provider(c, a).unwrap();
         assert!(RoutingTable::compute(&t).is_err());
+        assert!(RoutingTable::route_on_demand(&t.freeze(), a, b).is_err());
     }
 
     #[test]
@@ -444,10 +931,10 @@ mod tests {
     fn shortest_path_tiebreak_is_deterministic() {
         // Two equal-length peer options: lowest id wins.
         let mut t = AsTopology::new();
-        let s = t.add_as("S", AsKind::Access, r(), 1.0);
-        let p1 = t.add_as("P1", AsKind::Access, r(), 1.0);
-        let p2 = t.add_as("P2", AsKind::Access, r(), 1.0);
-        let d = t.add_as("D", AsKind::Access, r(), 1.0);
+        let s = t.add_as("S", AsKind::Access, &r(), 1.0);
+        let p1 = t.add_as("P1", AsKind::Access, &r(), 1.0);
+        let p2 = t.add_as("P2", AsKind::Access, &r(), 1.0);
+        let d = t.add_as("D", AsKind::Access, &r(), 1.0);
         t.add_peering(s, p1, None).unwrap();
         t.add_peering(s, p2, None).unwrap();
         t.add_provider(d, p1).unwrap();
@@ -455,5 +942,65 @@ mod tests {
         let rt = RoutingTable::compute(&t).unwrap();
         let route = rt.route(s, d).unwrap();
         assert_eq!(route.path, vec![s, p1, d]);
+    }
+
+    #[test]
+    fn sampled_destinations_cover_only_their_rows() {
+        let (t, [tr, a, _b, _c, d]) = diamond();
+        let rt = RoutingTable::compute_for_destinations(&t, &[d, a, d]).unwrap();
+        assert_eq!(rt.destinations(), &[a, d]);
+        assert!(rt.covers(d) && rt.covers(a) && !rt.covers(tr));
+        let full = RoutingTable::compute(&t).unwrap();
+        assert_eq!(rt.route(tr, d).unwrap(), full.route(tr, d).unwrap());
+        assert_eq!(
+            rt.route(a, tr).unwrap_err(),
+            IxpError::DestinationNotComputed(tr)
+        );
+        // Self routes never need a computed row.
+        assert_eq!(rt.route(tr, tr).unwrap().kind, RouteKind::SelfRoute);
+    }
+
+    #[test]
+    fn parallel_compute_is_byte_identical() {
+        let (mut t, [_tr, a, b, _c, _d]) = diamond();
+        t.add_peering(a, b, None).unwrap();
+        let serial = RoutingTable::compute(&t).unwrap();
+        for workers in [2, 3, 8] {
+            let par = RoutingTable::compute_parallel(&t, workers).unwrap();
+            assert_eq!(par, serial, "workers = {workers}");
+            assert_eq!(par.digest(), serial.digest());
+        }
+    }
+
+    #[test]
+    fn route_on_demand_matches_table() {
+        let (mut t, [tr, a, b, c, d]) = diamond();
+        t.add_peering(a, b, None).unwrap();
+        let ft = t.freeze();
+        let full = RoutingTable::compute(&t).unwrap();
+        for src in [tr, a, c] {
+            for dst in [b, d, src] {
+                assert_eq!(
+                    RoutingTable::route_on_demand(&ft, src, dst).unwrap(),
+                    full.route(src, dst).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_implementation_agrees_on_diamond() {
+        let (mut t, [tr, a, b, c, d]) = diamond();
+        let ixp = t.add_ixp("IXP", &r());
+        t.join_ixp(a, ixp).unwrap();
+        t.join_ixp(b, ixp).unwrap();
+        t.multilateral_peering(ixp).unwrap();
+        let soa = RoutingTable::compute(&t).unwrap();
+        let naive = reference::ReferenceTable::compute(&t).unwrap();
+        for src in [tr, a, b, c, d] {
+            for dst in [tr, a, b, c, d] {
+                assert_eq!(soa.route(src, dst).ok(), naive.route(src, dst).ok());
+            }
+        }
     }
 }

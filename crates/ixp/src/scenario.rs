@@ -92,17 +92,17 @@ impl MexicoScenario {
         let mut rng = Rng::new(config.seed);
         let mx = RegionTag::new("MX", true);
         let mut t = AsTopology::new();
-        let incumbent = t.add_as("Telmex", AsKind::Incumbent, mx.clone(), 50.0);
+        let incumbent = t.add_as("Telmex", AsKind::Incumbent, &mx, 50.0);
         for i in 0..config.incumbent_customers {
             let size = rng.pareto(2.0, 1.5).min(30.0);
-            let c = t.add_as(&format!("Retail-{i}"), AsKind::Access, mx.clone(), size);
+            let c = t.add_as(&format!("Retail-{i}"), AsKind::Access, &mx, size);
             t.add_provider(c, incumbent)?;
         }
-        let ixp = t.add_ixp("IXP-MX", mx.clone());
+        let ixp = t.add_ixp("IXP-MX", &mx);
         let mut competitors = Vec::with_capacity(config.competitors);
         for i in 0..config.competitors {
             let size = rng.pareto(2.0, 1.5).min(30.0);
-            let c = t.add_as(&format!("Competitor-{i}"), AsKind::Access, mx.clone(), size);
+            let c = t.add_as(&format!("Competitor-{i}"), AsKind::Access, &mx, size);
             // Market power: competitors still buy transit from the incumbent.
             t.add_provider(c, incumbent)?;
             t.join_ixp(c, ixp)?;
@@ -268,15 +268,15 @@ impl TwoRegionScenario {
         let de = RegionTag::new("DE", false);
         let mut t = AsTopology::new();
         // Tier-1-ish transit in the North.
-        let transit = t.add_as("GlobalTransit", AsKind::Transit, de.clone(), 1.0);
-        let south_ixp = t.add_ixp("IX-br", br.clone());
-        let north_ixp = t.add_ixp("DE-CIX", de.clone());
+        let transit = t.add_as("GlobalTransit", AsKind::Transit, &de, 1.0);
+        let south_ixp = t.add_ixp("IX-br", &br);
+        let north_ixp = t.add_ixp("DE-CIX", &de);
         // South access ISPs: members of the local IXP, buy global transit,
         // optionally remote-peer at the Northern exchange.
         let mut south_ids = Vec::new();
         for i in 0..config.south_isps {
             let size = rng.pareto(2.0, 1.3).min(40.0);
-            let isp = t.add_as(&format!("BR-ISP-{i}"), AsKind::Access, br.clone(), size);
+            let isp = t.add_as(&format!("BR-ISP-{i}"), AsKind::Access, &br, size);
             t.add_provider(isp, transit)?;
             t.join_ixp(isp, south_ixp)?;
             if config.south_remote_peering {
@@ -292,7 +292,7 @@ impl TwoRegionScenario {
             (config.content_presence_south * config.content_providers as f64).round() as usize;
         for i in 0..config.content_providers {
             let size = rng.pareto(10.0, 1.2).min(200.0);
-            let c = t.add_as(&format!("CDN-{i}"), AsKind::Content, de.clone(), size);
+            let c = t.add_as(&format!("CDN-{i}"), AsKind::Content, &de, size);
             t.add_provider(c, transit)?;
             t.join_ixp(c, north_ixp)?;
             if i < present_locally {
@@ -338,7 +338,7 @@ impl TwoRegionScenario {
         let mut at_local = 0.0;
         for f in &self.flows {
             let src = self.topology.as_info(f.src)?;
-            if !src.region.global_south {
+            if !self.topology.region(src.region).global_south {
                 continue;
             }
             south_total += f.volume;
@@ -462,7 +462,9 @@ mod tests {
         for f in &s.flows {
             let src = s.topology.as_info(f.src).unwrap();
             let dst = s.topology.as_info(f.dst).unwrap();
-            if src.region.global_south && dst.region.global_south {
+            if s.topology.region(src.region).global_south
+                && s.topology.region(dst.region).global_south
+            {
                 assert_eq!(
                     f.route.crossed_ixp,
                     Some(s.south_ixp),

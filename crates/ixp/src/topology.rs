@@ -1,4 +1,17 @@
 //! AS-level topology with business relationships and IXPs.
+//!
+//! Two representations live here:
+//!
+//! * [`AsTopology`] — the mutable builder: pointer-y adjacency lists plus
+//!   metadata, convenient for scenario construction and regulation edits.
+//!   Region labels are *interned*: every AS and IXP stores a [`RegionId`]
+//!   index into one shared region table instead of an owned
+//!   [`RegionTag`], so building a 100k-AS topology allocates a handful of
+//!   region strings instead of 100k clones.
+//! * [`FrozenTopology`] — the immutable compute form produced by
+//!   [`AsTopology::freeze`]: providers, customers and peers as CSR
+//!   (offset + edge) `u32` arrays, cache-friendly and cheap to share
+//!   across worker threads. The routing engine runs on this form.
 
 use crate::{IxpError, Result};
 use serde::{Deserialize, Serialize};
@@ -8,6 +21,13 @@ pub type AsId = usize;
 
 /// Identifier of an IXP (dense index).
 pub type IxpId = usize;
+
+/// Identifier of an interned region (dense index into
+/// [`AsTopology::regions`]).
+pub type RegionId = u32;
+
+/// Sentinel for "no IXP" in the frozen peer-session arrays.
+pub const NO_IXP: u32 = u32::MAX;
 
 /// Coarse role of an AS in the interconnection ecosystem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -53,8 +73,8 @@ pub struct AsInfo {
     pub name: String,
     /// Role.
     pub kind: AsKind,
-    /// Home region.
-    pub region: RegionTag,
+    /// Home region, interned; resolve with [`AsTopology::region`].
+    pub region: RegionId,
     /// Relative size (users or content weight) for the gravity traffic model.
     pub size: f64,
 }
@@ -66,8 +86,8 @@ pub struct IxpInfo {
     pub id: IxpId,
     /// Display name.
     pub name: String,
-    /// Region where the exchange is located.
-    pub region: RegionTag,
+    /// Region where the exchange is located, interned.
+    pub region: RegionId,
     /// Member ASes.
     pub members: Vec<AsId>,
 }
@@ -92,7 +112,12 @@ pub struct AsTopology {
     /// `customers[p]` = list of customers of AS `p`.
     customers: Vec<Vec<AsId>>,
     peers: Vec<PeerLink>,
+    /// Per-AS peer sessions in global insertion order, kept in sync with
+    /// `peers` so lookup and dedup are O(degree) instead of O(links).
+    peer_adj: Vec<Vec<(AsId, Option<IxpId>)>>,
     ixps: Vec<IxpInfo>,
+    /// Interned region table; `AsInfo::region`/`IxpInfo::region` index here.
+    regions: Vec<RegionTag>,
 }
 
 impl AsTopology {
@@ -111,18 +136,72 @@ impl AsTopology {
         self.ixps.len()
     }
 
-    /// Add an AS; returns its id.
-    pub fn add_as(&mut self, name: &str, kind: AsKind, region: RegionTag, size: f64) -> AsId {
+    /// Intern a region, returning the id of an existing identical entry or
+    /// appending a new one. The table is tiny (countries/macro-regions),
+    /// so a linear scan beats any hashing setup.
+    pub fn intern_region(&mut self, tag: &RegionTag) -> RegionId {
+        if let Some(i) = self.regions.iter().position(|r| r == tag) {
+            return i as RegionId;
+        }
+        self.regions.push(tag.clone());
+        (self.regions.len() - 1) as RegionId
+    }
+
+    /// Resolve an interned region id.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this topology's region table.
+    pub fn region(&self, id: RegionId) -> &RegionTag {
+        &self.regions[id as usize]
+    }
+
+    /// The interned region table.
+    pub fn regions(&self) -> &[RegionTag] {
+        &self.regions
+    }
+
+    /// Find an interned region by name (first match).
+    pub fn find_region(&self, name: &str) -> Option<RegionId> {
+        self.regions
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| i as RegionId)
+    }
+
+    /// Add an AS; returns its id. The region is interned (cloned at most
+    /// once per distinct region, not per AS).
+    pub fn add_as(&mut self, name: &str, kind: AsKind, region: &RegionTag, size: f64) -> AsId {
+        let region = self.intern_region(region);
+        self.push_as(name.to_owned(), kind, region, size)
+    }
+
+    /// Add an AS homed in an already-interned region — the allocation-free
+    /// fast path for bulk generators.
+    pub fn add_as_in(
+        &mut self,
+        name: String,
+        kind: AsKind,
+        region: RegionId,
+        size: f64,
+    ) -> Result<AsId> {
+        if region as usize >= self.regions.len() {
+            return Err(IxpError::InvalidRegion(region));
+        }
+        Ok(self.push_as(name, kind, region, size))
+    }
+
+    fn push_as(&mut self, name: String, kind: AsKind, region: RegionId, size: f64) -> AsId {
         let id = self.ases.len();
         self.ases.push(AsInfo {
             id,
-            name: name.to_owned(),
+            name,
             kind,
             region,
             size: size.max(0.0),
         });
         self.providers.push(Vec::new());
         self.customers.push(Vec::new());
+        self.peer_adj.push(Vec::new());
         id
     }
 
@@ -178,18 +257,19 @@ impl AsTopology {
             }
         }
         let (lo, hi) = (a.min(b), a.max(b));
-        if !self
-            .peers
-            .iter()
-            .any(|p| p.a == lo && p.b == hi && p.ixp == ixp)
-        {
+        // Dedup against the lower endpoint's adjacency: O(degree), where the
+        // old scan of the global link list was O(total links) per insert.
+        if !self.peer_adj[lo].iter().any(|&(v, x)| v == hi && x == ixp) {
             self.peers.push(PeerLink { a: lo, b: hi, ixp });
+            self.peer_adj[lo].push((hi, ixp));
+            self.peer_adj[hi].push((lo, ixp));
         }
         Ok(())
     }
 
-    /// Add an IXP; returns its id.
-    pub fn add_ixp(&mut self, name: &str, region: RegionTag) -> IxpId {
+    /// Add an IXP; returns its id. The region is interned.
+    pub fn add_ixp(&mut self, name: &str, region: &RegionTag) -> IxpId {
+        let region = self.intern_region(region);
         let id = self.ixps.len();
         self.ixps.push(IxpInfo {
             id,
@@ -198,6 +278,21 @@ impl AsTopology {
             members: Vec::new(),
         });
         id
+    }
+
+    /// Add an IXP in an already-interned region.
+    pub fn add_ixp_in(&mut self, name: String, region: RegionId) -> Result<IxpId> {
+        if region as usize >= self.regions.len() {
+            return Err(IxpError::InvalidRegion(region));
+        }
+        let id = self.ixps.len();
+        self.ixps.push(IxpInfo {
+            id,
+            name,
+            region,
+            members: Vec::new(),
+        });
+        Ok(id)
     }
 
     /// Join an AS to an IXP (membership only; call
@@ -216,6 +311,10 @@ impl AsTopology {
     /// members of the IXP peers bilaterally at the exchange. Existing
     /// provider relationships between members are left in place (the peer
     /// route will win by local preference anyway).
+    ///
+    /// This is quadratic in the member count by definition — fine for the
+    /// case-study exchanges; internet-scale generators should cap
+    /// per-member sessions instead (see `synthetic_internet`).
     pub fn multilateral_peering(&mut self, ixp: IxpId) -> Result<()> {
         let members = self
             .ixps
@@ -241,20 +340,10 @@ impl AsTopology {
         &self.customers[id]
     }
 
-    /// Peers of an AS with the IXP (if any) of each session.
-    pub fn peers_of(&self, id: AsId) -> Vec<(AsId, Option<IxpId>)> {
-        self.peers
-            .iter()
-            .filter_map(|p| {
-                if p.a == id {
-                    Some((p.b, p.ixp))
-                } else if p.b == id {
-                    Some((p.a, p.ixp))
-                } else {
-                    None
-                }
-            })
-            .collect()
+    /// Peer sessions of an AS with the IXP (if any) of each, in global
+    /// link insertion order.
+    pub fn peers_of(&self, id: AsId) -> &[(AsId, Option<IxpId>)] {
+        &self.peer_adj[id]
     }
 
     /// The customer cone of an AS: itself plus all (transitive) customers.
@@ -303,12 +392,122 @@ impl AsTopology {
         seen == n
     }
 
+    /// Compact the adjacency into the immutable CSR compute form. O(V+E).
+    pub fn freeze(&self) -> FrozenTopology {
+        let n = self.ases.len();
+        assert!(n < u32::MAX as usize, "topology too large for u32 indices");
+        let build = |adj: &dyn Fn(usize) -> usize| -> Vec<u32> {
+            let mut off = Vec::with_capacity(n + 1);
+            let mut acc = 0u32;
+            off.push(0);
+            for u in 0..n {
+                acc += adj(u) as u32;
+                off.push(acc);
+            }
+            off
+        };
+        let prov_off = build(&|u| self.providers[u].len());
+        let cust_off = build(&|u| self.customers[u].len());
+        let peer_off = build(&|u| self.peer_adj[u].len());
+        let mut prov = Vec::with_capacity(prov_off[n] as usize);
+        let mut cust = Vec::with_capacity(cust_off[n] as usize);
+        let mut peer_nbr = Vec::with_capacity(peer_off[n] as usize);
+        let mut peer_ixp = Vec::with_capacity(peer_off[n] as usize);
+        for u in 0..n {
+            prov.extend(self.providers[u].iter().map(|&p| p as u32));
+            cust.extend(self.customers[u].iter().map(|&c| c as u32));
+            // Per-node insertion order is preserved: the routing tie-break
+            // keeps the *first* candidate among equal (distance, neighbor)
+            // pairs, so reordering sessions here would change which IXP a
+            // route reports crossing.
+            for &(v, ixp) in &self.peer_adj[u] {
+                peer_nbr.push(v as u32);
+                peer_ixp.push(ixp.map_or(NO_IXP, |x| x as u32));
+            }
+        }
+        FrozenTopology {
+            n,
+            prov_off,
+            prov,
+            cust_off,
+            cust,
+            peer_off,
+            peer_nbr,
+            peer_ixp,
+        }
+    }
+
     fn check(&self, id: AsId) -> Result<()> {
         if id < self.ases.len() {
             Ok(())
         } else {
             Err(IxpError::InvalidAs(id))
         }
+    }
+}
+
+/// Immutable CSR (offset + edge array) form of an [`AsTopology`], the
+/// input of the routing engine: three adjacency structures over dense
+/// `u32` ids, contiguous in memory and free of per-node allocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenTopology {
+    n: usize,
+    prov_off: Vec<u32>,
+    prov: Vec<u32>,
+    cust_off: Vec<u32>,
+    cust: Vec<u32>,
+    peer_off: Vec<u32>,
+    peer_nbr: Vec<u32>,
+    /// Parallel to `peer_nbr`; [`NO_IXP`] marks private peering.
+    peer_ixp: Vec<u32>,
+}
+
+impl FrozenTopology {
+    /// Number of ASes.
+    pub fn as_count(&self) -> usize {
+        self.n
+    }
+
+    /// Providers of `u`.
+    #[inline]
+    pub fn providers_of(&self, u: usize) -> &[u32] {
+        &self.prov[self.prov_off[u] as usize..self.prov_off[u + 1] as usize]
+    }
+
+    /// Customers of `u`.
+    #[inline]
+    pub fn customers_of(&self, u: usize) -> &[u32] {
+        &self.cust[self.cust_off[u] as usize..self.cust_off[u + 1] as usize]
+    }
+
+    /// Peer sessions of `u` as parallel slices: neighbors and the IXP of
+    /// each session ([`NO_IXP`] = private), in insertion order.
+    #[inline]
+    pub fn peer_sessions_of(&self, u: usize) -> (&[u32], &[u32]) {
+        let (lo, hi) = (self.peer_off[u] as usize, self.peer_off[u + 1] as usize);
+        (&self.peer_nbr[lo..hi], &self.peer_ixp[lo..hi])
+    }
+
+    /// Kahn's algorithm over the frozen customer→provider edges; mirrors
+    /// [`AsTopology::is_hierarchy_acyclic`].
+    pub fn is_hierarchy_acyclic(&self) -> bool {
+        let n = self.n;
+        let mut indeg = vec![0u32; n];
+        for &p in &self.prov {
+            indeg[p as usize] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &p in self.providers_of(u) {
+                indeg[p as usize] -= 1;
+                if indeg[p as usize] == 0 {
+                    queue.push(p as usize);
+                }
+            }
+        }
+        seen == n
     }
 }
 
@@ -322,9 +521,9 @@ mod tests {
 
     fn small() -> AsTopology {
         let mut t = AsTopology::new();
-        let incumbent = t.add_as("Incumbent", AsKind::Incumbent, region(), 100.0);
-        let isp_a = t.add_as("ISP-A", AsKind::Access, region(), 10.0);
-        let isp_b = t.add_as("ISP-B", AsKind::Access, region(), 8.0);
+        let incumbent = t.add_as("Incumbent", AsKind::Incumbent, &region(), 100.0);
+        let isp_a = t.add_as("ISP-A", AsKind::Access, &region(), 10.0);
+        let isp_b = t.add_as("ISP-B", AsKind::Access, &region(), 8.0);
         t.add_provider(isp_a, incumbent).unwrap();
         t.add_provider(isp_b, incumbent).unwrap();
         t
@@ -336,6 +535,29 @@ mod tests {
         assert_eq!(t.as_count(), 3);
         assert_eq!(t.as_info(1).unwrap().name, "ISP-A");
         assert!(t.as_info(9).is_err());
+    }
+
+    #[test]
+    fn regions_are_interned_once() {
+        let t = small();
+        assert_eq!(t.regions().len(), 1);
+        assert_eq!(t.region(t.as_info(0).unwrap().region), &region());
+        assert_eq!(t.find_region("MX"), Some(0));
+        assert_eq!(t.find_region("ZZ"), None);
+    }
+
+    #[test]
+    fn add_as_in_validates_region() {
+        let mut t = small();
+        let mx = t.find_region("MX").unwrap();
+        let id = t.add_as_in("Fast".to_owned(), AsKind::Access, mx, 1.0).unwrap();
+        assert_eq!(t.as_info(id).unwrap().region, mx);
+        assert_eq!(
+            t.add_as_in("Bad".to_owned(), AsKind::Access, 7, 1.0),
+            Err(IxpError::InvalidRegion(7))
+        );
+        assert!(t.add_ixp_in("IX".to_owned(), mx).is_ok());
+        assert!(t.add_ixp_in("IX-bad".to_owned(), 9).is_err());
     }
 
     #[test]
@@ -373,7 +595,7 @@ mod tests {
     #[test]
     fn ixp_membership_and_multilateral_peering() {
         let mut t = small();
-        let ixp = t.add_ixp("IXP-MX", region());
+        let ixp = t.add_ixp("IXP-MX", &region());
         t.join_ixp(1, ixp).unwrap();
         t.join_ixp(2, ixp).unwrap();
         t.join_ixp(1, ixp).unwrap(); // idempotent
@@ -393,7 +615,7 @@ mod tests {
     #[test]
     fn customer_cone_transitive() {
         let mut t = small();
-        let reseller = t.add_as("Reseller", AsKind::Access, region(), 2.0);
+        let reseller = t.add_as("Reseller", AsKind::Access, &region(), 2.0);
         t.add_provider(reseller, 1).unwrap(); // reseller buys from ISP-A
         assert_eq!(t.customer_cone(0).unwrap(), vec![0, 1, 2, 3]);
         assert_eq!(t.customer_cone(1).unwrap(), vec![1, 3]);
@@ -406,19 +628,48 @@ mod tests {
         assert!(t.is_hierarchy_acyclic());
         // Build a 3-cycle: 0 -> 1 -> 2 -> 0 (providers).
         let mut c = AsTopology::new();
-        let a = c.add_as("a", AsKind::Transit, region(), 1.0);
-        let b = c.add_as("b", AsKind::Transit, region(), 1.0);
-        let d = c.add_as("c", AsKind::Transit, region(), 1.0);
+        let a = c.add_as("a", AsKind::Transit, &region(), 1.0);
+        let b = c.add_as("b", AsKind::Transit, &region(), 1.0);
+        let d = c.add_as("c", AsKind::Transit, &region(), 1.0);
         c.add_provider(a, b).unwrap();
         c.add_provider(b, d).unwrap();
         c.add_provider(d, a).unwrap();
         assert!(!c.is_hierarchy_acyclic());
+        assert!(t.freeze().is_hierarchy_acyclic());
+        assert!(!c.freeze().is_hierarchy_acyclic());
     }
 
     #[test]
     fn negative_size_clamped() {
         let mut t = AsTopology::new();
-        let id = t.add_as("x", AsKind::Access, region(), -5.0);
+        let id = t.add_as("x", AsKind::Access, &region(), -5.0);
         assert_eq!(t.as_info(id).unwrap().size, 0.0);
+    }
+
+    #[test]
+    fn freeze_mirrors_adjacency() {
+        let mut t = small();
+        let ixp = t.add_ixp("IXP-MX", &region());
+        t.join_ixp(1, ixp).unwrap();
+        t.join_ixp(2, ixp).unwrap();
+        t.multilateral_peering(ixp).unwrap();
+        t.add_peering(0, 2, None).unwrap();
+        let f = t.freeze();
+        assert_eq!(f.as_count(), t.as_count());
+        for u in 0..t.as_count() {
+            let provs: Vec<u32> = t.providers_of(u).iter().map(|&p| p as u32).collect();
+            assert_eq!(f.providers_of(u), &provs[..]);
+            let custs: Vec<u32> = t.customers_of(u).iter().map(|&c| c as u32).collect();
+            assert_eq!(f.customers_of(u), &custs[..]);
+            let (nbrs, ixps) = f.peer_sessions_of(u);
+            let want: Vec<(u32, u32)> = t
+                .peers_of(u)
+                .iter()
+                .map(|&(v, x)| (v as u32, x.map_or(NO_IXP, |x| x as u32)))
+                .collect();
+            let got: Vec<(u32, u32)> =
+                nbrs.iter().copied().zip(ixps.iter().copied()).collect();
+            assert_eq!(got, want);
+        }
     }
 }

@@ -96,6 +96,81 @@ impl TrafficMatrix {
         Ok(TrafficMatrix { demands })
     }
 
+    /// Sampled gravity matrix for internet-scale topologies, where the
+    /// all-pairs product set of [`TrafficMatrix::gravity`] is quadratic
+    /// and pointless: draw `pairs` source–destination demands from the
+    /// same gravity population (uniform eyeball source; destination is a
+    /// content AS with probability `content_share`, another eyeball
+    /// otherwise; volume `src.size × dst.size`, boosted by
+    /// `same_region_affinity` for domestic pairs). The demand list
+    /// references only the sampled destinations, so it pairs with
+    /// [`RoutingTable::compute_for_destinations`] to avoid all-pairs
+    /// route materialization. Deterministic in `(topology, config, pairs,
+    /// seed)`.
+    pub fn gravity_sampled(
+        topology: &AsTopology,
+        config: &TrafficConfig,
+        pairs: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        if config.same_region_affinity <= 0.0 {
+            return Err(IxpError::InvalidParameter("affinity must be positive"));
+        }
+        if !(0.0..=1.0).contains(&config.content_share) {
+            return Err(IxpError::InvalidParameter("content_share must be in [0,1]"));
+        }
+        let eyeballs: Vec<&crate::topology::AsInfo> = topology
+            .ases()
+            .iter()
+            .filter(|a| matches!(a.kind, AsKind::Access | AsKind::Community))
+            .collect();
+        let contents: Vec<&crate::topology::AsInfo> = topology
+            .ases()
+            .iter()
+            .filter(|a| a.kind == AsKind::Content)
+            .collect();
+        if eyeballs.is_empty() {
+            return Err(IxpError::InvalidParameter("no eyeball ASes to source traffic"));
+        }
+        if eyeballs.len() < 2 && contents.is_empty() {
+            return Err(IxpError::InvalidParameter("no destinations to sample"));
+        }
+        let mut rng = humnet_stats::Rng::new(seed);
+        let mut demands = Vec::with_capacity(pairs);
+        for _ in 0..pairs {
+            let src = *rng.choose(&eyeballs);
+            let to_content = !contents.is_empty() && rng.chance(config.content_share);
+            let dst = if to_content || eyeballs.len() < 2 {
+                *rng.choose(&contents)
+            } else {
+                // Re-draw until distinct; terminates since eyeballs ≥ 2.
+                loop {
+                    let d = *rng.choose(&eyeballs);
+                    if d.id != src.id {
+                        break d;
+                    }
+                }
+            };
+            let mut v = src.size * dst.size;
+            if src.region == dst.region {
+                v *= config.same_region_affinity;
+            }
+            if v > 0.0 {
+                demands.push((src.id, dst.id, v));
+            }
+        }
+        Ok(TrafficMatrix { demands })
+    }
+
+    /// The distinct destinations named by this matrix, sorted — the input
+    /// for [`RoutingTable::compute_for_destinations`].
+    pub fn destinations(&self) -> Vec<AsId> {
+        let mut dsts: Vec<AsId> = self.demands.iter().map(|&(_, d, _)| d).collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        dsts
+    }
+
     /// Total demand volume.
     pub fn total(&self) -> f64 {
         self.demands.iter().map(|&(_, _, v)| v).sum()
@@ -141,10 +216,10 @@ mod tests {
         let mut t = AsTopology::new();
         let mx = RegionTag::new("MX", true);
         let us = RegionTag::new("US", false);
-        let transit = t.add_as("T", AsKind::Transit, us.clone(), 1.0);
-        let a = t.add_as("A", AsKind::Access, mx.clone(), 10.0);
-        let b = t.add_as("B", AsKind::Access, mx, 5.0);
-        let c = t.add_as("CDN", AsKind::Content, us, 50.0);
+        let transit = t.add_as("T", AsKind::Transit, &us, 1.0);
+        let a = t.add_as("A", AsKind::Access, &mx, 10.0);
+        let b = t.add_as("B", AsKind::Access, &mx, 5.0);
+        let c = t.add_as("CDN", AsKind::Content, &us, 50.0);
         t.add_provider(a, transit).unwrap();
         t.add_provider(b, transit).unwrap();
         t.add_provider(c, transit).unwrap();
@@ -209,12 +284,36 @@ mod tests {
     #[test]
     fn unserved_traffic_reported() {
         let mut t = topo();
-        let island = t.add_as("Island", AsKind::Access, RegionTag::new("ZZ", true), 3.0);
+        let island = t.add_as("Island", AsKind::Access, &RegionTag::new("ZZ", true), 3.0);
         let _ = island;
         let m = TrafficMatrix::gravity(&t, &TrafficConfig::default()).unwrap();
         let rt = RoutingTable::compute(&t).unwrap();
         let (_flows, unserved) = m.assign(&rt);
         assert!(!unserved.is_empty());
+    }
+
+    #[test]
+    fn sampled_gravity_is_deterministic_and_routable_on_sampled_rows() {
+        let t = topo();
+        let cfg = TrafficConfig::default();
+        let a = TrafficMatrix::gravity_sampled(&t, &cfg, 64, 9).unwrap();
+        let b = TrafficMatrix::gravity_sampled(&t, &cfg, 64, 9).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.demands.len(), 64);
+        // Routing only the sampled destinations serves every demand.
+        let rt = RoutingTable::compute_for_destinations(&t, &a.destinations()).unwrap();
+        let (flows, unserved) = a.assign(&rt);
+        assert_eq!(flows.len(), 64);
+        assert!(unserved.is_empty());
+        // Sources are always eyeballs; self-demands never occur.
+        for &(src, dst, v) in &a.demands {
+            assert_ne!(src, dst);
+            assert!(v > 0.0);
+        }
+        assert_ne!(
+            TrafficMatrix::gravity_sampled(&t, &cfg, 64, 10).unwrap(),
+            a
+        );
     }
 
     #[test]

@@ -75,8 +75,8 @@ pub use replay::{
 };
 pub use report::{ExperimentReport, ExperimentStatus, RunArtifact, RunReport};
 pub use runner::{
-    render_chain, ExperimentSpec, Job, JobError, JobOutput, RunnerConfig, SupervisedRun,
-    Supervisor, SupervisorBuilder,
+    pool_execute, render_chain, ExperimentSpec, Job, JobError, JobOutput, PoolHandle,
+    RunnerConfig, SupervisedRun, Supervisor, SupervisorBuilder,
 };
 pub use schedule::{run_stealing, Schedule};
 pub use shard::{merge_runs, run_sharded, ShardPlan, ShardPlanError};

@@ -123,7 +123,7 @@ impl RunReport {
         self.experiments.iter().map(|e| e.faults_injected).sum()
     }
 
-    /// One-line summary: `16 experiments: 12 ok, 3 degraded, 1 failed`.
+    /// One-line summary: `17 experiments: 13 ok, 3 degraded, 1 failed`.
     pub fn summary_line(&self) -> String {
         let mut parts = Vec::new();
         for status in [

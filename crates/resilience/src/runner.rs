@@ -368,13 +368,13 @@ fn pool_run(job: PoolJob) -> Result<(), PoolJob> {
 
 /// Handle to a job running on a pooled worker; [`PoolHandle::join`] blocks
 /// for its result like [`std::thread::JoinHandle::join`].
-pub(crate) struct PoolHandle<T> {
+pub struct PoolHandle<T> {
     rx: mpsc::Receiver<thread::Result<T>>,
 }
 
 impl<T> PoolHandle<T> {
     /// Wait for the job's result; `Err` carries the panic payload.
-    pub(crate) fn join(self) -> thread::Result<T> {
+    pub fn join(self) -> thread::Result<T> {
         match self.rx.recv() {
             Ok(result) => result,
             Err(_) => Err(Box::new("pooled worker vanished without a result".to_owned())),
@@ -384,8 +384,10 @@ impl<T> PoolHandle<T> {
 
 /// Run `f` on a pooled worker thread and return a joinable handle. Falls
 /// back to running `f` inline if no thread could be obtained at all, so
-/// the handle always resolves.
-pub(crate) fn pool_execute<T, F>(f: F) -> PoolHandle<T>
+/// the handle always resolves. Public so other crates (e.g. the parallel
+/// routing engine in `humnet-ixp`) can fan work across the same warm
+/// pool instead of growing one of their own.
+pub fn pool_execute<T, F>(f: F) -> PoolHandle<T>
 where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,

@@ -108,6 +108,45 @@ fn experiment_suite_reproducible() {
 }
 
 #[test]
+fn routing_worker_count_never_changes_results() {
+    use humnet::core::experiments as exp;
+    use humnet::ixp::RoutingTable;
+    use humnet::resilience::NoFaults;
+    use humnet::telemetry::Telemetry;
+
+    // The SoA engine at 1/2/8 workers produces byte-identical tables on the
+    // topologies the F3 and F4 experiments route over.
+    let mx = MexicoScenario::run(&MexicoConfig::default()).unwrap();
+    let tr = TwoRegionScenario::run(&TwoRegionConfig::default()).unwrap();
+    for t in [&mx.topology, &tr.topology] {
+        let serial = RoutingTable::compute_parallel(t, 1).unwrap();
+        for workers in [2usize, 8] {
+            let par = RoutingTable::compute_parallel(t, workers).unwrap();
+            assert_eq!(par, serial, "workers = {workers}");
+            assert_eq!(par.digest(), serial.digest());
+        }
+    }
+
+    // ... so the F3/F4 experiment journals are unchanged: the scenarios
+    // route through the same engine, and repeated instrumented runs emit
+    // identical canonical event streams (timings excluded).
+    let journal = |run: &dyn Fn(&Telemetry)| -> Vec<String> {
+        let tel = Telemetry::new();
+        run(&tel);
+        tel.snapshot().canonical_events()
+    };
+    let f3 = |tel: &Telemetry| {
+        exp::f3_telmex_instrumented(4, &mut NoFaults, tel).unwrap();
+    };
+    let f4 = |tel: &Telemetry| {
+        exp::f4_gravity_instrumented(4, &mut NoFaults, tel).unwrap();
+    };
+    assert_eq!(journal(&f3), journal(&f3));
+    assert_eq!(journal(&f4), journal(&f4));
+    assert!(!journal(&f3).is_empty(), "F3 must journal events");
+}
+
+#[test]
 fn supervised_chaos_run_reproducible() {
     use humnet::core::experiments::ExperimentId;
     use humnet::resilience::{ExperimentSpec, FaultProfile, JobError, JobOutput, Supervisor};
@@ -115,7 +154,7 @@ fn supervised_chaos_run_reproducible() {
 
     let specs = || -> Vec<ExperimentSpec> {
         // A cross-family subset keeps the double run fast; the binary's
-        // acceptance path covers all sixteen.
+        // acceptance path covers all seventeen.
         [ExperimentId::F1, ExperimentId::T2, ExperimentId::F4, ExperimentId::F5]
             .into_iter()
             .map(|id| {

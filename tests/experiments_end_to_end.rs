@@ -192,6 +192,27 @@ fn f8_locality_vs_connectivity_maximization() {
 }
 
 #[test]
+fn f10_internet_scale_concentration() {
+    let table = exp::f10_scale(7).unwrap();
+    let get = |label: &str| -> String {
+        table.rows.iter().find(|r| r[0] == label).unwrap()[1].clone()
+    };
+    // The synthetic internet is fully reachable: every sampled demand routes.
+    assert_eq!(get("flows served"), get("sampled demands"));
+    assert_eq!(get("flows unserved"), "0");
+    // Paper §3's concentration shape at scale: a meaningful share of volume
+    // crosses peering links, and the single seeded giant IXP carries a
+    // disproportionate share of it.
+    let peer_share: f64 = get("peer-hop volume share").parse().unwrap();
+    let giant_share: f64 = get("giant-IXP volume share").parse().unwrap();
+    assert!(peer_share > 0.2, "peer share = {peer_share}");
+    assert!(giant_share > 0.2, "giant share = {giant_share}");
+    // Internet-plausible path lengths on a 2k-AS topology.
+    let hops: f64 = get("mean AS-path hops").parse().unwrap();
+    assert!((1.0..10.0).contains(&hops), "mean hops = {hops}");
+}
+
+#[test]
 fn f9_cfp_intervention_reverses_methodology_collapse() {
     let (series, table) = exp::f9_adoption().unwrap();
     assert_eq!(table.rows.len(), 30);

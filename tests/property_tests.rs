@@ -257,7 +257,7 @@ fn random_topology(seed: u64, n: usize) -> AsTopology {
     let mut t = AsTopology::new();
     let region = RegionTag::new("X", false);
     for i in 0..n {
-        t.add_as(&format!("AS{i}"), AsKind::Access, region.clone(), 1.0);
+        t.add_as(&format!("AS{i}"), AsKind::Access, &region, 1.0);
     }
     for j in 1..n {
         // Every AS below the root buys from at least one earlier AS.
@@ -343,6 +343,37 @@ proptest! {
         for src in 0..n {
             for dst in 0..n {
                 prop_assert!(routes.reachable(src, dst), "no route {src}->{dst}");
+            }
+        }
+    }
+
+    /// Differential oracle: the SoA engine (serial, parallel, sampled, and
+    /// on-demand) selects routes identical to the retained seed
+    /// implementation on random topologies.
+    #[test]
+    fn soa_routing_matches_reference(seed in 0u64..300, n in 3usize..16) {
+        let topology = random_topology(seed, n);
+        let soa = RoutingTable::compute(&topology).unwrap();
+        let naive = humnet::ixp::routing::reference::ReferenceTable::compute(&topology).unwrap();
+        let par = RoutingTable::compute_parallel(&topology, 4).unwrap();
+        prop_assert_eq!(&par, &soa);
+        let ft = topology.freeze();
+        for src in 0..n {
+            for dst in 0..n {
+                let expected = naive.route(src, dst).ok();
+                prop_assert_eq!(&soa.route(src, dst).ok(), &expected, "route {}->{}", src, dst);
+                if (src + dst) % 5 == 0 {
+                    let demand = RoutingTable::route_on_demand(&ft, src, dst).ok();
+                    prop_assert_eq!(&demand, &expected, "on-demand {}->{}", src, dst);
+                }
+            }
+        }
+        // A sampled table agrees on its covered rows.
+        let sample: Vec<usize> = (0..n).filter(|d| d % 2 == 0).collect();
+        let sampled = RoutingTable::compute_for_destinations(&topology, &sample).unwrap();
+        for src in 0..n {
+            for &dst in &sample {
+                prop_assert_eq!(sampled.route(src, dst).ok(), naive.route(src, dst).ok());
             }
         }
     }
